@@ -1,0 +1,105 @@
+//! The Random and Human-designed baselines (paper Section 7.4).
+
+use elivagar_circuit::templates::{human_designed_circuit, EmbeddingKind};
+use elivagar_circuit::{Circuit, Gate, Instruction, ParamExpr};
+use rand::Rng;
+
+/// Generates one device-unaware random circuit in the RXYZ + CZ gate set
+/// with a fixed angle embedding — the paper's Random baseline (25 such
+/// circuits are averaged in Fig. 8).
+///
+/// # Panics
+///
+/// Panics if the parameter budget is zero or measured qubits exceed the
+/// circuit.
+pub fn random_baseline_circuit<R: Rng + ?Sized>(
+    num_qubits: usize,
+    param_budget: usize,
+    num_measured: usize,
+    feature_dim: usize,
+    rng: &mut R,
+) -> Circuit {
+    assert!(param_budget > 0, "parameter budget must be positive");
+    assert!(num_measured <= num_qubits, "too many measured qubits");
+    let mut c = Circuit::new(num_qubits);
+    elivagar_circuit::templates::append_angle_embedding(&mut c, feature_dim);
+    let rotations = [Gate::Rx, Gate::Ry, Gate::Rz];
+    let mut next = 0usize;
+    while next < param_budget {
+        if num_qubits >= 2 && rng.random::<f64>() < 0.35 {
+            let a = rng.random_range(0..num_qubits);
+            let mut b = rng.random_range(0..num_qubits);
+            while b == a {
+                b = rng.random_range(0..num_qubits);
+            }
+            c.push(Instruction::new(Gate::Cz, vec![a, b], vec![]));
+        } else {
+            let g = rotations[rng.random_range(0..rotations.len())];
+            let q = rng.random_range(0..num_qubits);
+            c.push(Instruction::new(g, vec![q], vec![ParamExpr::trainable(next)]));
+            next += 1;
+        }
+    }
+    c.set_measured((0..num_measured).collect());
+    c
+}
+
+/// The three human-designed baseline circuits: angle, amplitude, and IQP
+/// embeddings over `BasicEntanglerLayers` (their accuracies are averaged
+/// in Fig. 8).
+pub fn human_baseline_circuits(
+    num_qubits: usize,
+    feature_dim: usize,
+    param_budget: usize,
+    num_measured: usize,
+) -> Vec<(EmbeddingKind, Circuit)> {
+    [EmbeddingKind::Angle, EmbeddingKind::Amplitude, EmbeddingKind::Iqp]
+        .into_iter()
+        .map(|kind| {
+            (
+                kind,
+                human_designed_circuit(num_qubits, feature_dim, param_budget, num_measured, kind),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_baseline_meets_budget_and_gateset() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = random_baseline_circuit(4, 20, 1, 4, &mut rng);
+        assert_eq!(c.num_trainable_params(), 20);
+        for ins in c.instructions() {
+            assert!(
+                matches!(ins.gate, Gate::Rx | Gate::Ry | Gate::Rz | Gate::Cz),
+                "unexpected gate {}",
+                ins.gate
+            );
+        }
+    }
+
+    #[test]
+    fn random_baselines_are_diverse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_baseline_circuit(4, 10, 1, 4, &mut rng);
+        let b = random_baseline_circuit(4, 10, 1, 4, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn human_baselines_cover_three_embeddings() {
+        let all = human_baseline_circuits(4, 8, 16, 2);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().any(|(k, _)| *k == EmbeddingKind::Amplitude));
+        for (_, c) in &all {
+            assert!(c.num_trainable_params() >= 16);
+            assert_eq!(c.measured().len(), 2);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The SuperCircuit: weight-shared search space of QuantumNAS and
+//! QuantumSupernet (paper Section 2.3).
+//!
+//! A SuperCircuit is a stack of blocks; each block holds one trainable
+//! rotation per qubit — with one *shared* parameter per (block, qubit,
+//! gate-choice) — followed by an entangling ring. A subcircuit selects a
+//! subset of blocks and one rotation gate per qubit per active block; all
+//! subcircuits read the same shared parameter table, which is what lets a
+//! trained SuperCircuit estimate candidate performance without retraining.
+
+use elivagar_circuit::templates::append_angle_embedding;
+use elivagar_circuit::{Circuit, Gate, Instruction, ParamExpr, ParamSource};
+use rand::Rng;
+
+/// Rotation choices per qubit slot (the RXYZ space of QuantumNAS).
+pub const ROTATIONS: [Gate; 3] = [Gate::Rx, Gate::Ry, Gate::Rz];
+
+/// The entangling gate used between rotation layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Entangler {
+    /// CZ ring (QuantumNAS's RXYZ + CZ space).
+    Cz,
+    /// CRY ring (QuantumSupernet's deeper entangling blocks; one shared
+    /// parameter per edge per block).
+    Cry,
+}
+
+/// The weight-shared search space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuperCircuit {
+    num_qubits: usize,
+    num_blocks: usize,
+    entangler: Entangler,
+    feature_dim: usize,
+    num_measured: usize,
+    /// `param_table[block][qubit][gate_choice]` = shared parameter index.
+    param_table: Vec<Vec<Vec<usize>>>,
+    /// `entangler_params[block][edge]` = shared parameter index (CRY only).
+    entangler_params: Vec<Vec<usize>>,
+    total_params: usize,
+}
+
+/// One subcircuit: which blocks are active and which rotation each qubit
+/// uses in each block.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SubcircuitConfig {
+    /// Per-block activity flags.
+    pub active: Vec<bool>,
+    /// `gate_choice[block][qubit]` indexes [`ROTATIONS`].
+    pub gate_choice: Vec<Vec<usize>>,
+}
+
+impl SuperCircuit {
+    /// Builds a SuperCircuit search space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `num_measured > num_qubits`.
+    pub fn new(
+        num_qubits: usize,
+        num_blocks: usize,
+        entangler: Entangler,
+        feature_dim: usize,
+        num_measured: usize,
+    ) -> Self {
+        assert!(num_qubits > 0 && num_blocks > 0 && feature_dim > 0, "degenerate space");
+        assert!(num_measured >= 1 && num_measured <= num_qubits, "bad measured count");
+        let mut next = 0usize;
+        let mut param_table = Vec::with_capacity(num_blocks);
+        let mut entangler_params = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            let mut block = Vec::with_capacity(num_qubits);
+            for _ in 0..num_qubits {
+                let choices: Vec<usize> = (0..ROTATIONS.len())
+                    .map(|_| {
+                        let i = next;
+                        next += 1;
+                        i
+                    })
+                    .collect();
+                block.push(choices);
+            }
+            param_table.push(block);
+            let edges = if num_qubits >= 2 { num_qubits } else { 0 };
+            let eparams: Vec<usize> = (0..edges)
+                .map(|_| {
+                    if entangler == Entangler::Cry {
+                        let i = next;
+                        next += 1;
+                        i
+                    } else {
+                        usize::MAX
+                    }
+                })
+                .collect();
+            entangler_params.push(eparams);
+        }
+        SuperCircuit {
+            num_qubits,
+            num_blocks,
+            entangler,
+            feature_dim,
+            num_measured,
+            param_table,
+            entangler_params,
+            total_params: next,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Size of the shared parameter table.
+    pub fn total_params(&self) -> usize {
+        self.total_params
+    }
+
+    /// Samples a random subcircuit configuration.
+    pub fn sample_config<R: Rng + ?Sized>(&self, rng: &mut R) -> SubcircuitConfig {
+        loop {
+            let active: Vec<bool> = (0..self.num_blocks).map(|_| rng.random()).collect();
+            if !active.iter().any(|&a| a) {
+                continue; // at least one block must be active
+            }
+            let gate_choice = (0..self.num_blocks)
+                .map(|_| {
+                    (0..self.num_qubits)
+                        .map(|_| rng.random_range(0..ROTATIONS.len()))
+                        .collect()
+                })
+                .collect();
+            return SubcircuitConfig { active, gate_choice };
+        }
+    }
+
+    /// Materializes a subcircuit as a [`Circuit`] whose trainable indices
+    /// point into the *shared* parameter table (fixed angle embedding, as
+    /// the SuperCircuit approach requires).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config shape does not match the space.
+    pub fn subcircuit(&self, config: &SubcircuitConfig) -> Circuit {
+        assert_eq!(config.active.len(), self.num_blocks, "config shape mismatch");
+        let mut c = Circuit::new(self.num_qubits);
+        append_angle_embedding(&mut c, self.feature_dim);
+        for b in 0..self.num_blocks {
+            if !config.active[b] {
+                continue;
+            }
+            for q in 0..self.num_qubits {
+                let choice = config.gate_choice[b][q];
+                let param = self.param_table[b][q][choice];
+                c.push(Instruction::new(
+                    ROTATIONS[choice],
+                    vec![q],
+                    vec![ParamExpr::trainable(param)],
+                ));
+            }
+            if self.num_qubits >= 2 {
+                for q in 0..self.num_qubits {
+                    // On two qubits a closed ring would apply the entangler
+                    // twice (cancelling CZ entirely); use a single edge.
+                    if self.num_qubits == 2 && q == 1 {
+                        continue;
+                    }
+                    let t = (q + 1) % self.num_qubits;
+                    if t == q {
+                        continue;
+                    }
+                    match self.entangler {
+                        Entangler::Cz => c.push_gate(Gate::Cz, &[q, t], &[]),
+                        Entangler::Cry => c.push_gate(
+                            Gate::Cry,
+                            &[q, t],
+                            &[ParamExpr::trainable(self.entangler_params[b][q])],
+                        ),
+                    }
+                }
+            }
+        }
+        c.set_measured((0..self.num_measured).collect());
+        c
+    }
+
+    /// Number of parameters a subcircuit actually uses.
+    pub fn active_params(&self, config: &SubcircuitConfig) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for (p, _) in self.subcircuit(config).instructions().iter().flat_map(|i| {
+            i.params.iter().filter_map(|p| match p.source {
+                ParamSource::Trainable(t) => Some((t, ())),
+                _ => None,
+            })
+        }) {
+            seen.insert(p);
+        }
+        seen.len()
+    }
+
+    /// Extracts a standalone circuit from a subcircuit: shared parameter
+    /// indices are renumbered contiguously and the current shared values
+    /// are returned alongside (so the standalone circuit can be retrained
+    /// or deployed independently).
+    pub fn extract(&self, config: &SubcircuitConfig, shared: &[f64]) -> (Circuit, Vec<f64>) {
+        assert_eq!(shared.len(), self.total_params, "shared vector size mismatch");
+        let sub = self.subcircuit(config);
+        let mut mapping: Vec<Option<usize>> = vec![None; self.total_params];
+        let mut values = Vec::new();
+        let mut out = Circuit::new(sub.num_qubits());
+        for ins in sub.instructions() {
+            let params: Vec<ParamExpr> = ins
+                .params
+                .iter()
+                .map(|p| match p.source {
+                    ParamSource::Trainable(t) => {
+                        let new = *mapping[t].get_or_insert_with(|| {
+                            values.push(shared[t]);
+                            values.len() - 1
+                        });
+                        ParamExpr { scale: p.scale, source: ParamSource::Trainable(new) }
+                    }
+                    _ => *p,
+                })
+                .collect();
+            out.push(Instruction::new(ins.gate, ins.qubits.clone(), params));
+        }
+        out.set_measured(sub.measured().to_vec());
+        (out, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SuperCircuit {
+        SuperCircuit::new(3, 4, Entangler::Cz, 3, 1)
+    }
+
+    #[test]
+    fn parameter_table_covers_all_slots() {
+        let s = space();
+        // 4 blocks * 3 qubits * 3 choices = 36 shared params (CZ adds none).
+        assert_eq!(s.total_params(), 36);
+        let cry = SuperCircuit::new(3, 4, Entangler::Cry, 3, 1);
+        assert_eq!(cry.total_params(), 36 + 4 * 3);
+    }
+
+    #[test]
+    fn subcircuit_contains_only_active_blocks() {
+        let s = space();
+        let config = SubcircuitConfig {
+            active: vec![true, false, true, false],
+            gate_choice: vec![vec![0; 3]; 4],
+        };
+        let c = s.subcircuit(&config);
+        // Embedding (3 gates) + 2 active blocks * (3 rotations + 3 CZ).
+        assert_eq!(c.len(), 3 + 2 * 6);
+        assert_eq!(s.active_params(&config), 6);
+    }
+
+    #[test]
+    fn shared_parameters_are_stable_across_configs() {
+        let s = space();
+        let a = SubcircuitConfig {
+            active: vec![true, false, false, false],
+            gate_choice: vec![vec![1; 3]; 4],
+        };
+        let b = SubcircuitConfig {
+            active: vec![true, true, false, false],
+            gate_choice: vec![vec![1; 3]; 4],
+        };
+        let ca = s.subcircuit(&a);
+        let cb = s.subcircuit(&b);
+        // The first block's rotation on qubit 0 references the same shared
+        // index in both subcircuits (weight sharing).
+        let idx = |c: &Circuit| {
+            c.instructions()
+                .iter()
+                .find(|i| i.gate == Gate::Ry)
+                .and_then(|i| i.params[0].trainable_index())
+                .expect("has rotation")
+        };
+        assert_eq!(idx(&ca), idx(&cb));
+    }
+
+    #[test]
+    fn sampled_configs_have_an_active_block() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = s.sample_config(&mut rng);
+            assert!(c.active.iter().any(|&a| a));
+        }
+    }
+
+    #[test]
+    fn extract_renumbers_contiguously_and_preserves_values() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = s.sample_config(&mut rng);
+        let shared: Vec<f64> = (0..s.total_params()).map(|i| i as f64 * 0.1).collect();
+        let (circuit, values) = s.extract(&config, &shared);
+        assert_eq!(circuit.num_trainable_params(), values.len());
+        // Behavior equivalence: standalone(values) == subcircuit(shared).
+        let sub = s.subcircuit(&config);
+        let x = [0.4, 0.9, 1.3];
+        let d_sub = elivagar_sim::StateVector::run(&sub, &shared, &x)
+            .marginal_probabilities(sub.measured());
+        let d_ext = elivagar_sim::StateVector::run(&circuit, &values, &x)
+            .marginal_probabilities(circuit.measured());
+        assert!(elivagar_sim::tvd(&d_sub, &d_ext) < 1e-12);
+    }
+
+    #[test]
+    fn cry_entanglers_share_edge_parameters() {
+        let s = SuperCircuit::new(2, 1, Entangler::Cry, 2, 1);
+        let config = SubcircuitConfig {
+            active: vec![true],
+            gate_choice: vec![vec![0, 0]],
+        };
+        let c = s.subcircuit(&config);
+        assert!(c.instructions().iter().any(|i| i.gate == Gate::Cry));
+    }
+}

@@ -1,0 +1,72 @@
+//! Compiler micro-benchmarks: SABRE routing and peephole passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elivagar_circuit::{Circuit, Gate, ParamExpr};
+use elivagar_compiler::{cancel_adjacent_inverses, decompose_to_basis, route, TwoQubitBasis};
+use elivagar_device::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn all_to_all(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for (p, q) in (0..n).enumerate() {
+        c.push_gate(Gate::Ry, &[q], &[ParamExpr::trainable(p)]);
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            c.push_gate(Gate::Cx, &[a, b], &[]);
+        }
+    }
+    c.set_measured((0..n).collect());
+    c
+}
+
+fn bench_sabre(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sabre_route_all_to_all");
+    let topo = Topology::heavy_hex(7, 15);
+    for n in [4usize, 6, 8] {
+        let circuit = all_to_all(n);
+        let mapping: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(route(&circuit, &topo, &mapping, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_basis_decomposition(c: &mut Criterion) {
+    let mut circuit = Circuit::new(6);
+    let mut p = 0;
+    for _ in 0..4 {
+        for q in 0..5 {
+            circuit.push_gate(Gate::Crz, &[q, q + 1], &[ParamExpr::trainable(p)]);
+            p += 1;
+        }
+    }
+    circuit.set_measured(vec![0]);
+    c.bench_function("basis_decompose_20_crz", |b| {
+        b.iter(|| black_box(decompose_to_basis(&circuit, TwoQubitBasis::Cx)));
+    });
+}
+
+fn bench_cancellation(c: &mut Criterion) {
+    let mut circuit = Circuit::new(4);
+    for k in 0..100 {
+        let q = k % 4;
+        circuit.push_gate(Gate::H, &[q], &[]);
+        circuit.push_gate(Gate::H, &[q], &[]);
+        circuit.push_gate(Gate::Cx, &[q, (q + 1) % 4], &[]);
+    }
+    c.bench_function("cancel_pass_300_gates", |b| {
+        b.iter(|| black_box(cancel_adjacent_inverses(&circuit)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sabre, bench_basis_decomposition, bench_cancellation
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Cost of Elivagar's two predictors versus training-based evaluation —
+//! the resource-efficiency claim at the heart of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elivagar::{cnr, generate_candidate, repcap, SearchConfig};
+use elivagar_datasets::moons;
+use elivagar_device::devices::ibm_lagos;
+use elivagar_ml::{train, QuantumClassifier, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn config() -> SearchConfig {
+    let mut c = SearchConfig::for_task(4, 16, 2, 2);
+    c.clifford_replicas = 16;
+    c.cnr_trajectories = 32;
+    c.repcap_samples_per_class = 8;
+    c.repcap_param_inits = 8;
+    c.repcap_bases = 3;
+    c
+}
+
+fn bench_cnr(c: &mut Criterion) {
+    let device = ibm_lagos();
+    let cfg = config();
+    let mut rng = StdRng::seed_from_u64(1);
+    let cand = generate_candidate(&device, &cfg, &mut rng);
+    c.bench_function("cnr_16_replicas", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(cnr(&cand, &device, &cfg, &mut rng).expect("fits device")));
+    });
+}
+
+fn bench_repcap(c: &mut Criterion) {
+    let device = ibm_lagos();
+    let cfg = config();
+    let mut rng = StdRng::seed_from_u64(3);
+    let cand = generate_candidate(&device, &cfg, &mut rng);
+    let data = moons(64, 16, 1).normalized(std::f64::consts::PI);
+    let (x, y) = data.sample_per_class(cfg.repcap_samples_per_class, &mut rng);
+    c.bench_function("repcap_8x2_samples", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(repcap(&cand.circuit, &x, &y, &cfg, &mut rng)));
+    });
+}
+
+fn bench_training_based_evaluation(c: &mut Criterion) {
+    // The cost the predictors replace: actually training the candidate.
+    let device = ibm_lagos();
+    let cfg = config();
+    let mut rng = StdRng::seed_from_u64(5);
+    let cand = generate_candidate(&device, &cfg, &mut rng);
+    let data = moons(64, 16, 2).normalized(std::f64::consts::PI);
+    let model = QuantumClassifier::new(cand.circuit.clone(), 2);
+    c.bench_function("train_based_eval_25_epochs", |b| {
+        b.iter(|| {
+            let config = TrainConfig { epochs: 25, batch_size: 32, ..Default::default() };
+            black_box(train(&model, data.train(), &config))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cnr, bench_repcap, bench_training_based_evaluation
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Micro-benchmarks of the simulation substrate: state-vector gate
+//! throughput, stabilizer scaling, and noisy trajectory cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elivagar_circuit::{Circuit, Gate, ParamExpr};
+use elivagar_sim::noise::CircuitNoise;
+use elivagar_sim::{noisy_distribution, run_clifford, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn layered_circuit(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut p = 0;
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push_gate(Gate::Ry, &[q], &[ParamExpr::trainable(p)]);
+            p += 1;
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.push_gate(Gate::Cx, &[q, q + 1], &[]);
+        }
+    }
+    c.set_measured((0..n.min(4)).collect());
+    c
+}
+
+fn clifford_circuit(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push_gate(Gate::H, &[q], &[]);
+            c.push_gate(Gate::S, &[q], &[]);
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.push_gate(Gate::Cx, &[q, q + 1], &[]);
+        }
+    }
+    c.set_measured((0..n.min(4)).collect());
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_run");
+    for n in [4usize, 8, 12] {
+        let circuit = layered_circuit(n, 4);
+        let params: Vec<f64> = (0..circuit.num_trainable_params())
+            .map(|i| 0.1 * i as f64)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(StateVector::run(&circuit, &params, &[])));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stabilizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stabilizer_run");
+    // Stabilizer simulation scales polynomially: much wider circuits stay
+    // cheap (the property CNR exploits).
+    for n in [8usize, 16, 32] {
+        let circuit = clifford_circuit(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let t = run_clifford(&circuit, &[], &[]).expect("clifford");
+                black_box(t.measurement_distribution(circuit.measured()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_trajectories(c: &mut Criterion) {
+    let circuit = layered_circuit(6, 3);
+    let params: Vec<f64> = (0..circuit.num_trainable_params())
+        .map(|i| 0.1 * i as f64)
+        .collect();
+    let arities: Vec<usize> = circuit.instructions().iter().map(|i| i.qubits.len()).collect();
+    let noise = CircuitNoise::uniform(&arities, circuit.measured().len(), 3e-4, 1e-2, 2e-2);
+    c.bench_function("noisy_trajectories_6q_32traj", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            black_box(noisy_distribution(
+                &circuit, &params, &[], &noise, 32, &mut rng,
+            ))
+        });
+    });
+}
+
+fn bench_adjoint_vs_shift(c: &mut Criterion) {
+    use elivagar_ml::{batch_gradient, GradientMethod, QuantumClassifier};
+    let mut circuit = layered_circuit(4, 4);
+    circuit.set_measured(vec![0]);
+    let model = QuantumClassifier::new(circuit, 2);
+    let params: Vec<f64> = (0..model.num_params()).map(|i| 0.1 * i as f64).collect();
+    let x = vec![vec![]];
+    let y = [0usize];
+    let mut group = c.benchmark_group("gradient_methods_16_params");
+    group.bench_function("adjoint", |b| {
+        b.iter(|| black_box(batch_gradient(&model, &params, &x, &y, GradientMethod::Adjoint)));
+    });
+    group.bench_function("parameter_shift", |b| {
+        b.iter(|| {
+            black_box(batch_gradient(
+                &model,
+                &params,
+                &x,
+                &y,
+                GradientMethod::ParameterShift,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_statevector, bench_stabilizer, bench_noisy_trajectories, bench_adjoint_vs_shift
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Ablations over Elivagar's own design choices (beyond the paper's
+//! figures):
+//!
+//! 1. **Clifford replica count** — Section 5.1 claims "as few as 16
+//!    Clifford replicas can accurately characterize circuit noise
+//!    robustness"; we measure CNR estimator spread vs `M`.
+//! 2. **alpha_CNR sweep** — Eq. 7's weighting between noise robustness and
+//!    performance (paper default 0.5).
+//! 3. **Predictor shoot-out** — RepCap vs the literature's expressibility /
+//!    entangling-capability metrics (Section 10.1 argues they are too
+//!    expensive for QCS): correlation with trained loss and cost per
+//!    circuit.
+
+use elivagar::{
+    cnr, entangling_capability, expressibility, generate_candidate, repcap, search,
+    SearchConfig,
+};
+use elivagar_bench::{
+    evaluate_physical, load_benchmark, mean, pearson, print_table, search_config_for, Scale,
+};
+use elivagar_datasets::spec;
+use elivagar_device::devices::{ibm_lagos, ibmq_kolkata};
+use elivagar_ml::{evaluate_loss, train, QuantumClassifier, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn replica_count_convergence(scale: Scale) {
+    let device = ibmq_kolkata();
+    let mut config = SearchConfig::for_task(4, 16, 4, 2);
+    config.num_measured = 4;
+    config.cnr_trajectories = scale.trajectories.max(64);
+    let mut rng = StdRng::seed_from_u64(0xAB1);
+    let cand = generate_candidate(&device, &config, &mut rng);
+    let mut rows = Vec::new();
+    for m in [2usize, 4, 8, 16, 32, 64] {
+        config.clifford_replicas = m;
+        // Spread of the CNR estimate over independent evaluations.
+        let estimates: Vec<f64> = (0..8)
+            .map(|k| {
+                let mut rng = StdRng::seed_from_u64(1000 + k);
+                cnr(&cand, &device, &config, &mut rng).expect("device-aware").cnr
+            })
+            .collect();
+        let mu = mean(&estimates);
+        let sd = (estimates.iter().map(|e| (e - mu).powi(2)).sum::<f64>()
+            / (estimates.len() - 1) as f64)
+            .sqrt();
+        rows.push(vec![m.to_string(), format!("{mu:.4}"), format!("{sd:.4}")]);
+    }
+    print_table(
+        "Ablation 1: CNR estimator vs Clifford replica count (paper: 16 suffices)",
+        &["replicas M", "mean CNR", "std dev"],
+        &rows,
+    );
+}
+
+fn alpha_cnr_sweep(scale: Scale) {
+    let device = ibm_lagos();
+    let bench = spec("fmnist-2").expect("known benchmark");
+    let dataset = load_benchmark("fmnist-2", scale, 0xAB2);
+    let mut rows = Vec::new();
+    for alpha in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let mut accs = Vec::new();
+        for r in 0..scale.repeats {
+            let mut config = search_config_for(bench, scale, 500 + r as u64);
+            config.alpha_cnr = alpha;
+            let result = search(&device, &dataset, &config);
+            let physical = result.best.physical_circuit(&device);
+            let o = evaluate_physical(&device, &physical, &dataset, scale, 500 + r as u64);
+            accs.push(o.noisy_accuracy);
+        }
+        rows.push(vec![format!("{alpha}"), format!("{:.3}", mean(&accs))]);
+    }
+    print_table(
+        "Ablation 2: composite-score alpha_CNR sweep on fmnist-2/ibm-lagos (paper default 0.5)",
+        &["alpha_CNR", "noisy accuracy"],
+        &rows,
+    );
+}
+
+fn predictor_shootout(scale: Scale) {
+    let device = ibm_lagos();
+    let bench = spec("mnist-2").expect("known benchmark");
+    let dataset = load_benchmark("mnist-2", scale, 0xAB3);
+    let mut config = search_config_for(bench, scale, 3);
+    config.repcap_param_inits = 16;
+    config.repcap_bases = 6;
+    let mut rng = StdRng::seed_from_u64(0xAB3);
+    let (samples, labels) = dataset.sample_per_class(config.repcap_samples_per_class, &mut rng);
+
+    let mut repcaps = Vec::new();
+    let mut expr = Vec::new();
+    let mut entcap = Vec::new();
+    let mut losses = Vec::new();
+    let mut t_repcap = 0.0;
+    let mut t_expr = 0.0;
+    let features0 = samples[0].clone();
+    for i in 0..scale.candidates {
+        let cand = generate_candidate(&device, &config, &mut rng);
+        let t = Instant::now();
+        repcaps.push(repcap(&cand.circuit, &samples, &labels, &config, &mut rng).repcap);
+        t_repcap += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        expr.push(expressibility(&cand.circuit, &features0, 300, 30, &mut rng));
+        entcap.push(entangling_capability(&cand.circuit, &features0, 100, &mut rng));
+        t_expr += t.elapsed().as_secs_f64();
+        let model = QuantumClassifier::new(cand.circuit, 2);
+        let mut loss = 0.0;
+        for s in 0..2u64 {
+            let outcome = train(
+                &model,
+                dataset.train(),
+                &TrainConfig {
+                    epochs: scale.epochs,
+                    batch_size: 32,
+                    seed: 2 * i as u64 + s,
+                    ..Default::default()
+                },
+            );
+            loss += evaluate_loss(&model, &outcome.params, dataset.test()) / 2.0;
+        }
+        losses.push(loss);
+    }
+    print_table(
+        "Ablation 3: predictor quality (correlation with trained loss) and cost",
+        &["predictor", "pearson R vs loss", "seconds/circuit"],
+        &[
+            vec![
+                "repcap".into(),
+                format!("{:.3}", pearson(&repcaps, &losses)),
+                format!("{:.3}", t_repcap / scale.candidates as f64),
+            ],
+            vec![
+                "expressibility".into(),
+                format!("{:.3}", pearson(&expr, &losses)),
+                format!("{:.3}", t_expr / scale.candidates as f64),
+            ],
+            vec![
+                "entangling capability".into(),
+                format!("{:.3}", pearson(&entcap, &losses)),
+                String::new(),
+            ],
+        ],
+    );
+}
+
+fn main() {
+    let mut scale = Scale::from_env();
+    scale.epochs = scale.epochs.max(80);
+    replica_count_convergence(scale);
+    alpha_cnr_sweep(scale);
+    predictor_shootout(scale);
+}

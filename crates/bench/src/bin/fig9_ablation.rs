@@ -1,0 +1,70 @@
+//! Fig. 9: contribution breakdown — device/noise-unaware generation vs
+//! noise-aware generation vs +RepCap vs +CNR (full Elivagar).
+//!
+//! The paper finds noise-aware generation adds ~5%, RepCap adds ~6%, and
+//! CNR adds ~2% on average; the reproduction should show the same
+//! monotone ordering of the four bars.
+
+use elivagar::{GenerationStrategy, SelectionStrategy};
+use elivagar_bench::{mean, print_table, run_elivagar_ablation, Scale};
+use elivagar_device::devices::{ibm_lagos, ibm_nairobi, ibm_perth, ibmq_jakarta};
+
+fn main() {
+    let scale = Scale::from_env();
+    let pairs = [
+        (ibm_lagos(), "mnist-2"),
+        (ibm_perth(), "moons"),
+        (ibm_nairobi(), "bank"),
+        (ibmq_jakarta(), "fmnist-2"),
+    ];
+    let variants: [(&str, GenerationStrategy, SelectionStrategy); 4] = [
+        ("noise-unaware", GenerationStrategy::DeviceUnaware, SelectionStrategy::Random),
+        ("noise-aware", GenerationStrategy::DeviceAware, SelectionStrategy::Random),
+        ("+repcap", GenerationStrategy::DeviceAware, SelectionStrategy::RepCapOnly),
+        ("+cnr (elivagar)", GenerationStrategy::DeviceAware, SelectionStrategy::Full),
+    ];
+
+    let mut rows = Vec::new();
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for (device, bench) in &pairs {
+        eprintln!("running {bench} on {} ...", device.name());
+        let mut row = vec![device.name().to_string(), bench.to_string()];
+        for (k, (label, generation, selection)) in variants.iter().enumerate() {
+            // Average over repeats with different seeds (the paper averages
+            // 25 runs). Random-selection variants are cheap (no predictor
+            // cost) but high-variance, so they get extra repeats.
+            let repeats = if *selection == SelectionStrategy::Random {
+                3 * scale.repeats
+            } else {
+                scale.repeats
+            };
+            let mut accs = Vec::new();
+            for r in 0..repeats {
+                let o = run_elivagar_ablation(
+                    bench,
+                    device,
+                    scale,
+                    100 + r as u64,
+                    *generation,
+                    *selection,
+                );
+                accs.push(o.noisy_accuracy);
+            }
+            let acc = mean(&accs);
+            per_variant[k].push(acc);
+            row.push(format!("{acc:.3}"));
+            let _ = label;
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Fig. 9: ablation (noisy accuracy)",
+        &["device", "benchmark", "noise-unaware", "noise-aware", "+repcap", "+cnr (elivagar)"],
+        &rows,
+    );
+    println!();
+    for (k, (label, _, _)) in variants.iter().enumerate() {
+        println!("mean {label}: {:.3}", mean(&per_variant[k]));
+    }
+}

@@ -1,0 +1,102 @@
+//! Table 4: Elivagar vs QuantumNAS runtimes and speedups.
+//!
+//! Two views, as in the paper:
+//! * **(C) classical simulators** — wall-clock time of both pipelines at
+//!   the current scale (gradients via adjoint/backprop, which
+//!   disproportionately helps the training-heavy QuantumNAS);
+//! * **(Q) quantum hardware** — circuit-execution counts, combining the
+//!   measured search executions with the paper-scale analytical cost model
+//!   (Section 6.1), where the speedup grows with problem size up to the
+//!   271x geometric mean.
+
+use elivagar::EmbeddingPolicy;
+use elivagar_bench::{geometric_mean, print_table, run_elivagar, run_quantumnas, Scale};
+use elivagar_datasets::spec;
+use elivagar_device::devices::ibmq_kolkata;
+use elivagar_ml::{elivagar_default_cost, SuperCircuitCost};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let device = ibmq_kolkata();
+    // MNIST-10 needs a 10-qubit region; Kolkata (27 qubits) hosts all
+    // benchmarks. Order benchmarks by paper Table 4.
+    let order = [
+        "moons", "vowel-4", "vowel-2", "bank", "mnist-2", "fmnist-2", "fmnist-4", "mnist-4",
+        "mnist-10",
+    ];
+
+    let mut rows = Vec::new();
+    let mut speedups_c = Vec::new();
+    let mut speedups_q = Vec::new();
+    for name in order {
+        let s = spec(name).expect("known benchmark");
+        eprintln!("running {name} ...");
+
+        // Wall-clock (C): measured at the harness scale.
+        let t0 = Instant::now();
+        let qnas = run_quantumnas(name, &device, scale, 44);
+        let t_qnas = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let (eliv, _) = run_elivagar(name, &device, scale, 44, EmbeddingPolicy::Searched);
+        let t_eliv = t0.elapsed().as_secs_f64();
+        let speedup_c = t_qnas / t_eliv.max(1e-9);
+
+        // Executions (Q): paper-scale analytical model (Section 6.1) with
+        // Table 2 sizes; the SuperCircuit trains with parameter-shift on
+        // the full training set, Elivagar runs CNR + RepCap only.
+        // QuantumNAS trains its SuperCircuit for on the order of a hundred
+        // epochs (its released configs); that training dominates its
+        // execution budget (paper: >90%, Section 6).
+        let qnas_cost = SuperCircuitCost {
+            epochs: 100,
+            train_samples: s.train,
+            avg_params: s.params,
+            candidates: 100,
+            valid_samples: s.test,
+        };
+        let eliv_cost = elivagar_default_cost(100, s.classes);
+        let speedup_q = qnas_cost.executions() as f64 / eliv_cost.executions() as f64;
+
+        speedups_c.push(speedup_c);
+        speedups_q.push(speedup_q);
+        rows.push(vec![
+            name.to_string(),
+            format!("{t_qnas:.1}s"),
+            format!("{t_eliv:.1}s"),
+            format!("{speedup_c:.1}x"),
+            format!("{}", qnas_cost.executions()),
+            format!("{}", eliv_cost.executions()),
+            format!("{speedup_q:.0}x"),
+            format!("{}", qnas.search_executions),
+            format!("{}", eliv.search_executions),
+        ]);
+    }
+    rows.push(vec![
+        "GMean".into(),
+        String::new(),
+        String::new(),
+        format!("{:.1}x (paper: 11.7x)", geometric_mean(&speedups_c)),
+        String::new(),
+        String::new(),
+        format!("{:.0}x (paper: 271x)", geometric_mean(&speedups_q)),
+        String::new(),
+        String::new(),
+    ]);
+
+    print_table(
+        "Table 4: QuantumNAS vs Elivagar runtimes and speedups",
+        &[
+            "benchmark",
+            "qnas wall",
+            "elivagar wall",
+            "speedup (C)",
+            "qnas execs (paper-scale)",
+            "elivagar execs (paper-scale)",
+            "speedup (Q)",
+            "qnas execs (measured)",
+            "elivagar execs (measured)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,135 @@
+//! Table 5: device-aware generation vs device-unaware circuits routed by
+//! SABRE + full optimization.
+//!
+//! Matched pairs share the exact gate sequence; the device-unaware twin
+//! scrambles the qubit assignment so that routing must insert SWAPs. The
+//! paper reports identical pre-compilation 2Q counts, 2-3x the 2Q gates
+//! after compilation for SABRE, and ~18.9% higher fidelity for
+//! device-aware circuits.
+
+use elivagar::{generate_candidate, SearchConfig};
+use elivagar_bench::{candidate_fidelity, mean, print_table, Scale};
+use elivagar_circuit::{Circuit, Instruction};
+use elivagar_compiler::{compile, CompileOptions, OptimizationLevel, TwoQubitBasis};
+use elivagar_device::devices::{ibm_geneva, ibmq_kolkata, ibmq_mumbai, oqc_lucy};
+use elivagar_device::{circuit_noise, Device};
+use elivagar_sim::{fidelity, noisy_distribution, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rewrites a device-aware circuit onto a random all-to-all qubit
+/// relabeling so the gate counts match but topology compatibility is lost.
+fn scramble_qubits<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut out = Circuit::new(n);
+    for ins in circuit.instructions() {
+        // Also rewire 2Q gates to random pairs, not just a permutation, so
+        // the interaction graph is genuinely device-unaware.
+        let qubits: Vec<usize> = if ins.qubits.len() == 2 && n > 2 {
+            let a = rng.random_range(0..n);
+            let mut b = rng.random_range(0..n);
+            while b == a {
+                b = rng.random_range(0..n);
+            }
+            vec![a, b]
+        } else {
+            ins.qubits.iter().map(|&q| perm[q]).collect()
+        };
+        out.push(Instruction::new(ins.gate, qubits, ins.params.clone()));
+    }
+    out.set_measured(circuit.measured().iter().map(|&q| perm[q]).collect());
+    out
+}
+
+/// Fidelity of a routed physical circuit (compacted for simulation).
+fn routed_fidelity(device: &Device, physical: &Circuit, seed: u64, trajectories: usize) -> f64 {
+    let noise = circuit_noise(device, physical).expect("routed circuit is executable");
+    let local = elivagar_bench::compact_circuit(physical);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params: Vec<f64> = (0..local.num_trainable_params())
+        .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
+        .collect();
+    let features: Vec<f64> = (0..local.num_features_used().max(1))
+        .map(|_| rng.random_range(0.0..std::f64::consts::PI))
+        .collect();
+    let ideal =
+        StateVector::run(&local, &params, &features).marginal_probabilities(local.measured());
+    let noisy = noisy_distribution(&local, &params, &features, &noise, trajectories, &mut rng);
+    fidelity(&ideal, &noisy)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let devices = [oqc_lucy(), ibm_geneva(), ibmq_kolkata(), ibmq_mumbai()];
+    let pairs_per_device = scale.repeats.max(2) * 4;
+
+    let mut rows = Vec::new();
+    let mut gains = Vec::new();
+    for device in &devices {
+        eprintln!("running {} ...", device.name());
+        let mut config = SearchConfig::for_task(4, 16, 4, 2);
+        config.two_qubit_fraction = 0.4;
+        // Fidelity is measured over the full register, as in the paper's
+        // fidelity experiments (a single qubit's marginal hides errors).
+        config.num_measured = 4;
+        let mut rng = StdRng::seed_from_u64(0x07AB_0005);
+        let mut aware_2q_pre = Vec::new();
+        let mut aware_2q_post = Vec::new();
+        let mut aware_fid = Vec::new();
+        let mut sabre_2q_post = Vec::new();
+        let mut sabre_fid = Vec::new();
+        for i in 0..pairs_per_device {
+            let cand = generate_candidate(device, &config, &mut rng);
+            let pre_2q = cand.circuit.two_qubit_gate_count() as f64;
+            aware_2q_pre.push(pre_2q);
+            // Elivagar: run unoptimized (level 0); 2Q count is unchanged.
+            aware_2q_post.push(pre_2q);
+            aware_fid.push(candidate_fidelity(device, &cand, scale.trajectories, i as u64));
+
+            // Matched device-unaware twin: same gates, scrambled wiring,
+            // SABRE + level-3 optimization.
+            let unaware = scramble_qubits(&cand.circuit, &mut rng);
+            let compiled = compile(
+                &unaware,
+                device,
+                CompileOptions {
+                    level: OptimizationLevel::O3,
+                    basis: TwoQubitBasis::Cx,
+                    seed: i as u64,
+                },
+            );
+            sabre_2q_post.push(compiled.circuit.two_qubit_gate_count() as f64);
+            sabre_fid.push(routed_fidelity(device, &compiled.circuit, i as u64, scale.trajectories));
+        }
+        gains.push(mean(&aware_fid) - mean(&sabre_fid));
+        rows.push(vec![
+            device.name().to_string(),
+            "sabre".into(),
+            format!("{:.2}", mean(&aware_2q_pre)),
+            format!("{:.2}", mean(&sabre_2q_post)),
+            format!("{:.3}", mean(&sabre_fid)),
+        ]);
+        rows.push(vec![
+            device.name().to_string(),
+            "elivagar".into(),
+            format!("{:.2}", mean(&aware_2q_pre)),
+            format!("{:.2}", mean(&aware_2q_post)),
+            format!("{:.3}", mean(&aware_fid)),
+        ]);
+    }
+
+    print_table(
+        "Table 5: device-aware vs SABRE-routed circuits",
+        &["device", "policy", "2Q gates", "2Q gates after compilation", "fidelity"],
+        &rows,
+    );
+    println!(
+        "\nmean fidelity gain of device-aware generation: {:+.3} (paper: +0.189 absolute on average)",
+        mean(&gains)
+    );
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness for the Elivagar reproduction.
+//!
+//! One binary per paper table/figure regenerates the corresponding rows or
+//! series (see `DESIGN.md` for the index); this library holds the shared
+//! drivers ([`harness`]) and correlation statistics ([`stats`]).
+//!
+//! Scale is controlled by `ELIVAGAR_SCALE` (`smoke` default, `full` for
+//! paper-sized runs).
+
+pub mod harness;
+pub mod stats;
+
+pub use harness::{
+    candidate_fidelity, compact_circuit, evaluate_physical, load_benchmark, print_table,
+    run_elivagar, run_elivagar_ablation, run_human_baseline, run_quantumnas,
+    run_random_baseline, run_supernet, search_config_for, MethodOutcome, Scale,
+};
+pub use stats::{geometric_mean, mean, pearson, spearman};

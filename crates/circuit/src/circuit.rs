@@ -1,0 +1,362 @@
+//! The [`Circuit`] container: an ordered list of instructions plus
+//! measurement information.
+
+use crate::gate::Gate;
+use crate::instruction::{Instruction, ParamExpr, ParamSource};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A variational quantum circuit.
+///
+/// A circuit owns its instruction list, the set of measured qubits (in
+/// measurement order — the k-th measured qubit produces the k-th classical
+/// output), and a flag selecting amplitude embedding (where the input vector
+/// is loaded directly into the initial state amplitudes rather than through
+/// rotation angles).
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_circuit::{Circuit, Gate, ParamExpr};
+/// let mut c = Circuit::new(2);
+/// c.push_gate(Gate::H, &[0], &[]);
+/// c.push_gate(Gate::Rx, &[1], &[ParamExpr::trainable(0)]);
+/// c.push_gate(Gate::Cx, &[0, 1], &[]);
+/// c.set_measured(vec![0, 1]);
+/// assert_eq!(c.num_trainable_params(), 1);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    instructions: Vec<Instruction>,
+    measured: Vec<usize>,
+    amplitude_embedding: bool,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits with no measured
+    /// qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "circuit must have at least one qubit");
+        Circuit {
+            num_qubits,
+            instructions: Vec::new(),
+            measured: Vec::new(),
+            amplitude_embedding: false,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Mutable access to the instruction sequence (used by compiler passes).
+    pub fn instructions_mut(&mut self) -> &mut Vec<Instruction> {
+        &mut self.instructions
+    }
+
+    /// Qubits that are measured, in measurement order.
+    pub fn measured(&self) -> &[usize] {
+        &self.measured
+    }
+
+    /// Sets the measured qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of range or duplicated.
+    pub fn set_measured(&mut self, qubits: Vec<usize>) {
+        let mut seen = vec![false; self.num_qubits];
+        for &q in &qubits {
+            assert!(q < self.num_qubits, "measured qubit {q} out of range");
+            assert!(!seen[q], "measured qubit {q} duplicated");
+            seen[q] = true;
+        }
+        self.measured = qubits;
+    }
+
+    /// Whether the input vector is loaded via amplitude embedding.
+    pub fn amplitude_embedding(&self) -> bool {
+        self.amplitude_embedding
+    }
+
+    /// Enables or disables amplitude embedding.
+    pub fn set_amplitude_embedding(&mut self, enabled: bool) {
+        self.amplitude_embedding = enabled;
+    }
+
+    /// Appends an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand qubit is out of range.
+    pub fn push(&mut self, instruction: Instruction) {
+        for &q in &instruction.qubits {
+            assert!(q < self.num_qubits, "qubit {q} out of range (n={})", self.num_qubits);
+        }
+        self.instructions.push(instruction);
+    }
+
+    /// Convenience wrapper building and appending an [`Instruction`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on operand/parameter count mismatch or out-of-range qubits.
+    pub fn push_gate(&mut self, gate: Gate, qubits: &[usize], params: &[ParamExpr]) {
+        self.push(Instruction::new(gate, qubits.to_vec(), params.to_vec()));
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` if the circuit has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of distinct trainable parameters (one plus the maximum
+    /// trainable index referenced, or zero if none).
+    pub fn num_trainable_params(&self) -> usize {
+        self.instructions
+            .iter()
+            .flat_map(|i| i.params.iter())
+            .filter_map(|p| p.trainable_index())
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Number of input features referenced (one plus the maximum feature
+    /// index, or zero). With amplitude embedding the circuit consumes
+    /// `2^num_qubits` features instead.
+    pub fn num_features_used(&self) -> usize {
+        self.instructions
+            .iter()
+            .flat_map(|i| i.params.iter())
+            .filter_map(|p| match p.source {
+                ParamSource::Feature(i) => Some(i),
+                ParamSource::FeatureProduct(i, j) => Some(i.max(j)),
+                _ => None,
+            })
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Circuit depth: the longest chain of instructions sharing qubits.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        for ins in &self.instructions {
+            let next = ins.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for &q in &ins.qubits {
+                level[q] = next;
+            }
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// Count of single-qubit gates (identity excluded).
+    pub fn one_qubit_gate_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.num_qubits() == 1 && i.gate != Gate::I)
+            .count()
+    }
+
+    /// Count of two-qubit gates.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.is_two_qubit()).count()
+    }
+
+    /// Indices of instructions that embed input data.
+    pub fn embedding_instructions(&self) -> Vec<usize> {
+        self.instructions
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_embedding())
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Returns a circuit with qubit `q` renamed to `mapping[q]` everywhere.
+    ///
+    /// This is how a logical circuit is placed onto physical device qubits:
+    /// the search generates circuits directly on a device subgraph, so the
+    /// mapping is simply the subgraph vertex list (paper Section 4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` is shorter than the qubit count, maps two qubits
+    /// to the same target, or targets a qubit `>= new_num_qubits`.
+    pub fn remap(&self, mapping: &[usize], new_num_qubits: usize) -> Circuit {
+        assert!(mapping.len() >= self.num_qubits, "mapping too short");
+        let used = &mapping[..self.num_qubits];
+        let mut seen = std::collections::HashSet::new();
+        for &m in used {
+            assert!(m < new_num_qubits, "mapping target {m} out of range");
+            assert!(seen.insert(m), "mapping target {m} duplicated");
+        }
+        let mut out = Circuit::new(new_num_qubits);
+        out.amplitude_embedding = self.amplitude_embedding;
+        for ins in &self.instructions {
+            let qubits = ins.qubits.iter().map(|&q| mapping[q]).collect();
+            out.push(Instruction::new(ins.gate, qubits, ins.params.clone()));
+        }
+        out.measured = self.measured.iter().map(|&q| mapping[q]).collect();
+        out
+    }
+
+    /// Returns `true` if every instruction is a fixed Clifford gate or a
+    /// parametric gate whose *constant* angles sit on the Clifford grid.
+    ///
+    /// Trainable or data-driven parameters make a circuit non-Clifford by
+    /// definition (their runtime values are arbitrary).
+    pub fn is_clifford(&self) -> bool {
+        self.instructions.iter().all(|ins| {
+            if ins.gate.is_fixed_clifford() {
+                return true;
+            }
+            let Some(gran) = ins.gate.clifford_granularity() else {
+                return false; // fixed non-Clifford gate (T, Tdg)
+            };
+            ins.params.iter().all(|p| match p.as_constant() {
+                Some(c) => {
+                    let steps = c / gran;
+                    (steps - steps.round()).abs() < 1e-9
+                }
+                None => false,
+            })
+        })
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits, {} gates)", self.num_qubits, self.instructions.len())?;
+        for ins in &self.instructions {
+            writeln!(f, "  {ins}")?;
+        }
+        if !self.measured.is_empty() {
+            write!(f, "  measure ")?;
+            for (k, q) in self.measured.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "q{q}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Ry, &[2], &[ParamExpr::feature(3)]);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::trainable(2)]);
+        c.set_measured(vec![0, 2]);
+        c
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let c = sample_circuit();
+        assert_eq!(c.one_qubit_gate_count(), 4);
+        assert_eq!(c.two_qubit_gate_count(), 1);
+        // q0: H -> CX -> RZ = depth 3
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.num_trainable_params(), 3);
+        assert_eq!(c.num_features_used(), 4);
+    }
+
+    #[test]
+    fn embedding_instruction_detection() {
+        let c = sample_circuit();
+        assert_eq!(c.embedding_instructions(), vec![3]);
+    }
+
+    #[test]
+    fn remap_renames_consistently() {
+        let c = sample_circuit();
+        let mapped = c.remap(&[5, 2, 7], 8);
+        assert_eq!(mapped.num_qubits(), 8);
+        assert_eq!(mapped.instructions()[2].qubits, vec![5, 2]);
+        assert_eq!(mapped.measured(), &[5, 7]);
+        assert_eq!(mapped.num_trainable_params(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicated")]
+    fn remap_rejects_collisions() {
+        sample_circuit().remap(&[1, 1, 2], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::X, &[2], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicated")]
+    fn set_measured_rejects_duplicates() {
+        let mut c = Circuit::new(2);
+        c.set_measured(vec![0, 0]);
+    }
+
+    #[test]
+    fn clifford_detection() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Rz, &[1], &[ParamExpr::constant(PI / 2.0)]);
+        assert!(c.is_clifford());
+        c.push_gate(Gate::Rz, &[1], &[ParamExpr::constant(0.3)]);
+        assert!(!c.is_clifford());
+
+        let mut t = Circuit::new(1);
+        t.push_gate(Gate::T, &[0], &[]);
+        assert!(!t.is_clifford());
+
+        let mut v = Circuit::new(1);
+        v.push_gate(Gate::Rx, &[0], &[ParamExpr::trainable(0)]);
+        assert!(!v.is_clifford());
+
+        // Controlled rotations need pi granularity.
+        let mut cr = Circuit::new(2);
+        cr.push_gate(Gate::Crz, &[0, 1], &[ParamExpr::constant(PI / 2.0)]);
+        assert!(!cr.is_clifford());
+        let mut cr2 = Circuit::new(2);
+        cr2.push_gate(Gate::Crz, &[0, 1], &[ParamExpr::constant(PI)]);
+        assert!(cr2.is_clifford());
+    }
+
+    #[test]
+    fn empty_circuit_properties() {
+        let c = Circuit::new(4);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.num_trainable_params(), 0);
+        assert!(c.is_clifford());
+    }
+}

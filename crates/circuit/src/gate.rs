@@ -1,0 +1,524 @@
+//! The gate set used throughout the reproduction.
+//!
+//! The set covers everything Elivagar's search space, the baselines
+//! (RXYZ + CZ gate set from QuantumNAS, `BasicEntanglerLayers`, IQP
+//! embeddings), and the device basis gates need: fixed Clifford gates,
+//! single-qubit rotations, `U3`, and controlled / two-qubit rotations.
+//!
+//! Matrix conventions: for a two-qubit instruction on qubits `[a, b]`, the
+//! first operand `a` is the *low* bit of the 4-dimensional subspace index
+//! (`index = bit_a + 2 * bit_b`), and `a` is the control for controlled
+//! gates.
+
+use crate::math::{C64, Mat2, Mat4};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quantum gate type.
+///
+/// Parametric gates carry their angles externally (see
+/// [`crate::instruction::Instruction`]); this enum only identifies the gate
+/// family so that circuits can be stored compactly and parameters rebound
+/// (trainable values, embedded data) without rewriting the circuit.
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_circuit::gate::Gate;
+/// assert_eq!(Gate::Cx.num_qubits(), 2);
+/// assert_eq!(Gate::U3.num_params(), 3);
+/// assert!(Gate::H.is_fixed_clifford());
+/// assert!(!Gate::T.is_fixed_clifford());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// `T = diag(1, e^{i pi/4})`.
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Rotation about X: `RX(theta)`.
+    Rx,
+    /// Rotation about Y: `RY(theta)`.
+    Ry,
+    /// Rotation about Z: `RZ(theta)`.
+    Rz,
+    /// Phase shift `P(theta) = diag(1, e^{i theta})`.
+    P,
+    /// General single-qubit rotation `U3(theta, phi, lambda)`.
+    U3,
+    /// Controlled-X (CNOT); first operand is the control.
+    Cx,
+    /// Controlled-Y; first operand is the control.
+    Cy,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// SWAP.
+    Swap,
+    /// Controlled `RX`; first operand is the control.
+    Crx,
+    /// Controlled `RY`; first operand is the control.
+    Cry,
+    /// Controlled `RZ`; first operand is the control.
+    Crz,
+    /// Controlled phase shift.
+    Cp,
+    /// Ising XX interaction `RXX(theta) = exp(-i theta XX / 2)`.
+    Rxx,
+    /// Ising YY interaction.
+    Ryy,
+    /// Ising ZZ interaction (used by IQP embeddings).
+    Rzz,
+}
+
+/// All gates, for enumeration in tests and property checks.
+pub const ALL_GATES: &[Gate] = &[
+    Gate::I,
+    Gate::X,
+    Gate::Y,
+    Gate::Z,
+    Gate::H,
+    Gate::S,
+    Gate::Sdg,
+    Gate::T,
+    Gate::Tdg,
+    Gate::Sx,
+    Gate::Rx,
+    Gate::Ry,
+    Gate::Rz,
+    Gate::P,
+    Gate::U3,
+    Gate::Cx,
+    Gate::Cy,
+    Gate::Cz,
+    Gate::Swap,
+    Gate::Crx,
+    Gate::Cry,
+    Gate::Crz,
+    Gate::Cp,
+    Gate::Rxx,
+    Gate::Ryy,
+    Gate::Rzz,
+];
+
+impl Gate {
+    /// Number of qubit operands.
+    pub fn num_qubits(self) -> usize {
+        match self {
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Sx
+            | Gate::Rx
+            | Gate::Ry
+            | Gate::Rz
+            | Gate::P
+            | Gate::U3 => 1,
+            _ => 2,
+        }
+    }
+
+    /// Number of continuous parameters (angles).
+    pub fn num_params(self) -> usize {
+        match self {
+            Gate::Rx | Gate::Ry | Gate::Rz | Gate::P => 1,
+            Gate::U3 => 3,
+            Gate::Crx | Gate::Cry | Gate::Crz | Gate::Cp => 1,
+            Gate::Rxx | Gate::Ryy | Gate::Rzz => 1,
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` for parameter-free gates that are members of the
+    /// Clifford group.
+    pub fn is_fixed_clifford(self) -> bool {
+        matches!(
+            self,
+            Gate::I
+                | Gate::X
+                | Gate::Y
+                | Gate::Z
+                | Gate::H
+                | Gate::S
+                | Gate::Sdg
+                | Gate::Sx
+                | Gate::Cx
+                | Gate::Cy
+                | Gate::Cz
+                | Gate::Swap
+        )
+    }
+
+    /// Returns `true` if the gate carries continuous parameters.
+    pub fn is_parametric(self) -> bool {
+        self.num_params() > 0
+    }
+
+    /// For parametric gates: the angle granularity (radians) at which the
+    /// gate becomes a Clifford operation.
+    ///
+    /// Plain rotations (`RX/RY/RZ/P/U3/RXX/RYY/RZZ`) are Clifford at
+    /// multiples of `pi/2`; controlled rotations and controlled phase are
+    /// Clifford only at multiples of `pi`. Returns `None` for fixed gates.
+    ///
+    /// Clifford replicas (paper Section 5.1) snap every parameter to a random
+    /// multiple of this granularity so that the replica keeps the exact gate
+    /// structure of the original circuit while being stabilizer-simulable.
+    pub fn clifford_granularity(self) -> Option<f64> {
+        use std::f64::consts::PI;
+        match self {
+            Gate::Rx | Gate::Ry | Gate::Rz | Gate::P | Gate::U3 => Some(PI / 2.0),
+            Gate::Rxx | Gate::Ryy | Gate::Rzz => Some(PI / 2.0),
+            Gate::Crx | Gate::Cry | Gate::Crz | Gate::Cp => Some(PI),
+            _ => None,
+        }
+    }
+
+    /// Lowercase OpenQASM-style mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Rx => "rx",
+            Gate::Ry => "ry",
+            Gate::Rz => "rz",
+            Gate::P => "p",
+            Gate::U3 => "u3",
+            Gate::Cx => "cx",
+            Gate::Cy => "cy",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+            Gate::Crx => "crx",
+            Gate::Cry => "cry",
+            Gate::Crz => "crz",
+            Gate::Cp => "cp",
+            Gate::Rxx => "rxx",
+            Gate::Ryy => "ryy",
+            Gate::Rzz => "rzz",
+        }
+    }
+
+    /// The 2x2 unitary for a single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not single-qubit or if `params` has the wrong
+    /// length.
+    pub fn matrix1(self, params: &[f64]) -> Mat2 {
+        assert_eq!(self.num_qubits(), 1, "matrix1 called on {self}");
+        assert_eq!(params.len(), self.num_params(), "wrong param count for {self}");
+        let o = C64::ONE;
+        let z = C64::ZERO;
+        let i = C64::i();
+        match self {
+            Gate::I => Mat2::identity(),
+            Gate::X => Mat2([[z, o], [o, z]]),
+            Gate::Y => Mat2([[z, -i], [i, z]]),
+            Gate::Z => Mat2([[o, z], [z, -o]]),
+            Gate::H => {
+                let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+                Mat2([[s, s], [s, -s]])
+            }
+            Gate::S => Mat2([[o, z], [z, i]]),
+            Gate::Sdg => Mat2([[o, z], [z, -i]]),
+            Gate::T => Mat2([[o, z], [z, C64::cis(std::f64::consts::FRAC_PI_4)]]),
+            Gate::Tdg => Mat2([[o, z], [z, C64::cis(-std::f64::consts::FRAC_PI_4)]]),
+            Gate::Sx => {
+                let p = C64::new(0.5, 0.5);
+                let m = C64::new(0.5, -0.5);
+                Mat2([[p, m], [m, p]])
+            }
+            Gate::Rx => {
+                let (c, s) = ((params[0] / 2.0).cos(), (params[0] / 2.0).sin());
+                Mat2([[C64::real(c), C64::new(0.0, -s)], [C64::new(0.0, -s), C64::real(c)]])
+            }
+            Gate::Ry => {
+                let (c, s) = ((params[0] / 2.0).cos(), (params[0] / 2.0).sin());
+                Mat2([[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]])
+            }
+            Gate::Rz => {
+                let h = params[0] / 2.0;
+                Mat2([[C64::cis(-h), z], [z, C64::cis(h)]])
+            }
+            Gate::P => Mat2([[o, z], [z, C64::cis(params[0])]]),
+            Gate::U3 => {
+                let (theta, phi, lambda) = (params[0], params[1], params[2]);
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                Mat2([
+                    [C64::real(c), C64::cis(lambda).scale(-s)],
+                    [C64::cis(phi).scale(s), C64::cis(phi + lambda).scale(c)],
+                ])
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// The 4x4 unitary for a two-qubit gate, in the `index = bit_a + 2*bit_b`
+    /// convention where `a` is the first operand (and the control, for
+    /// controlled gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not two-qubit or if `params` has the wrong
+    /// length.
+    pub fn matrix2(self, params: &[f64]) -> Mat4 {
+        assert_eq!(self.num_qubits(), 2, "matrix2 called on {self}");
+        assert_eq!(params.len(), self.num_params(), "wrong param count for {self}");
+        match self {
+            Gate::Cx => controlled(Gate::X.matrix1(&[])),
+            Gate::Cy => controlled(Gate::Y.matrix1(&[])),
+            Gate::Cz => controlled(Gate::Z.matrix1(&[])),
+            Gate::Crx => controlled(Gate::Rx.matrix1(params)),
+            Gate::Cry => controlled(Gate::Ry.matrix1(params)),
+            Gate::Crz => controlled(Gate::Rz.matrix1(params)),
+            Gate::Cp => controlled(Gate::P.matrix1(params)),
+            Gate::Swap => {
+                let o = C64::ONE;
+                let z = C64::ZERO;
+                Mat4([
+                    [o, z, z, z],
+                    [z, z, o, z],
+                    [z, o, z, z],
+                    [z, z, z, o],
+                ])
+            }
+            Gate::Rzz => {
+                let h = params[0] / 2.0;
+                let (em, ep) = (C64::cis(-h), C64::cis(h));
+                let z = C64::ZERO;
+                // exp(-i theta/2 Z(x)Z): diag(e^{-i}, e^{+i}, e^{+i}, e^{-i})
+                Mat4([
+                    [em, z, z, z],
+                    [z, ep, z, z],
+                    [z, z, ep, z],
+                    [z, z, z, em],
+                ])
+            }
+            Gate::Rxx => {
+                let (c, s) = ((params[0] / 2.0).cos(), (params[0] / 2.0).sin());
+                let cc = C64::real(c);
+                let ms = C64::new(0.0, -s);
+                let z = C64::ZERO;
+                Mat4([
+                    [cc, z, z, ms],
+                    [z, cc, ms, z],
+                    [z, ms, cc, z],
+                    [ms, z, z, cc],
+                ])
+            }
+            Gate::Ryy => {
+                let (c, s) = ((params[0] / 2.0).cos(), (params[0] / 2.0).sin());
+                let cc = C64::real(c);
+                let ms = C64::new(0.0, -s);
+                let ps = C64::new(0.0, s);
+                let z = C64::ZERO;
+                Mat4([
+                    [cc, z, z, ps],
+                    [z, cc, ms, z],
+                    [z, ms, cc, z],
+                    [ps, z, z, cc],
+                ])
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a controlled version of a single-qubit unitary, with the first
+/// operand (low bit) as control.
+fn controlled(u: Mat2) -> Mat4 {
+    let o = C64::ONE;
+    let z = C64::ZERO;
+    // Basis index = bit_a + 2*bit_b; a (low bit) is the control.
+    // control=0 rows/cols: indices 0 (b=0) and 2 (b=1) -> identity.
+    // control=1 rows/cols: indices 1 (b=0) and 3 (b=1) -> apply u to b.
+    Mat4([
+        [o, z, z, z],
+        [z, u.0[0][0], z, u.0[0][1]],
+        [z, z, o, z],
+        [z, u.0[1][0], z, u.0[1][1]],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn params_for(g: Gate) -> Vec<f64> {
+        (0..g.num_params()).map(|k| 0.3 + 0.7 * k as f64).collect()
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for &g in ALL_GATES {
+            let p = params_for(g);
+            if g.num_qubits() == 1 {
+                assert!(g.matrix1(&p).is_unitary(1e-12), "{g} not unitary");
+            } else {
+                assert!(g.matrix2(&p).is_unitary(1e-12), "{g} not unitary");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_at_zero_is_identity() {
+        for g in [Gate::Rx, Gate::Ry, Gate::Rz, Gate::P] {
+            assert!(g.matrix1(&[0.0]).approx_eq_up_to_phase(&Mat2::identity(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(Gate::Rx
+            .matrix1(&[PI])
+            .approx_eq_up_to_phase(&Gate::X.matrix1(&[]), 1e-12));
+        assert!(Gate::Ry
+            .matrix1(&[PI])
+            .approx_eq_up_to_phase(&Gate::Y.matrix1(&[]), 1e-12));
+        assert!(Gate::Rz
+            .matrix1(&[PI])
+            .approx_eq_up_to_phase(&Gate::Z.matrix1(&[]), 1e-12));
+    }
+
+    #[test]
+    fn u3_reduces_to_known_gates() {
+        // U3(pi/2, 0, pi) = H
+        assert!(Gate::U3
+            .matrix1(&[PI / 2.0, 0.0, PI])
+            .approx_eq_up_to_phase(&Gate::H.matrix1(&[]), 1e-12));
+        // U3(pi, 0, pi) = X
+        assert!(Gate::U3
+            .matrix1(&[PI, 0.0, PI])
+            .approx_eq_up_to_phase(&Gate::X.matrix1(&[]), 1e-12));
+        // U3(theta, -pi/2, pi/2) = RX(theta)
+        assert!(Gate::U3
+            .matrix1(&[0.7, -PI / 2.0, PI / 2.0])
+            .approx_eq_up_to_phase(&Gate::Rx.matrix1(&[0.7]), 1e-12));
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let s = Gate::S.matrix1(&[]);
+        assert!(s.matmul(&s).approx_eq(&Gate::Z.matrix1(&[]), 1e-12));
+        let sx = Gate::Sx.matrix1(&[]);
+        assert!(sx
+            .matmul(&sx)
+            .approx_eq_up_to_phase(&Gate::X.matrix1(&[]), 1e-12));
+        let t = Gate::T.matrix1(&[]);
+        assert!(t.matmul(&t).approx_eq(&Gate::S.matrix1(&[]), 1e-12));
+    }
+
+    #[test]
+    fn sdg_is_s_dagger_and_tdg_is_t_dagger() {
+        assert!(Gate::Sdg
+            .matrix1(&[])
+            .approx_eq(&Gate::S.matrix1(&[]).dagger(), 1e-12));
+        assert!(Gate::Tdg
+            .matrix1(&[])
+            .approx_eq(&Gate::T.matrix1(&[]).dagger(), 1e-12));
+    }
+
+    #[test]
+    fn cx_permutes_basis_states_correctly() {
+        let cx = Gate::Cx.matrix2(&[]);
+        // |a=1, b=0> (index 1) -> |a=1, b=1> (index 3)
+        assert!(cx.0[3][1].approx_eq(C64::ONE, 1e-12));
+        assert!(cx.0[1][3].approx_eq(C64::ONE, 1e-12));
+        assert!(cx.0[0][0].approx_eq(C64::ONE, 1e-12));
+        assert!(cx.0[2][2].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn swap_is_three_cx(){
+        // SWAP = CX(a,b) CX(b,a) CX(a,b); CX(b,a) in our convention is the
+        // matrix with roles of the low/high bits exchanged.
+        let cx_ab = Gate::Cx.matrix2(&[]);
+        // CX with control = high bit: maps index 2 -> 3, 3 -> 2.
+        let o = C64::ONE;
+        let z = C64::ZERO;
+        let cx_ba = Mat4([
+            [o, z, z, z],
+            [z, o, z, z],
+            [z, z, z, o],
+            [z, z, o, z],
+        ]);
+        let prod = cx_ab.matmul(&cx_ba).matmul(&cx_ab);
+        assert!(prod.approx_eq(&Gate::Swap.matrix2(&[]), 1e-12));
+    }
+
+    #[test]
+    fn rzz_is_diagonal_with_correct_phases() {
+        let m = Gate::Rzz.matrix2(&[PI]);
+        // At theta = pi: diag(-i, i, i, -i)
+        assert!(m.0[0][0].approx_eq(C64::new(0.0, -1.0), 1e-12));
+        assert!(m.0[1][1].approx_eq(C64::new(0.0, 1.0), 1e-12));
+        assert!(m.0[2][2].approx_eq(C64::new(0.0, 1.0), 1e-12));
+        assert!(m.0[3][3].approx_eq(C64::new(0.0, -1.0), 1e-12));
+    }
+
+    #[test]
+    fn controlled_rotations_act_only_in_control_one_subspace() {
+        for g in [Gate::Crx, Gate::Cry, Gate::Crz, Gate::Cp] {
+            let m = g.matrix2(&[0.9]);
+            // control = 0 rows (indices 0 and 2) must be identity rows.
+            assert!(m.0[0][0].approx_eq(C64::ONE, 1e-12), "{g}");
+            assert!(m.0[2][2].approx_eq(C64::ONE, 1e-12), "{g}");
+            assert!(m.0[0][1].approx_eq(C64::ZERO, 1e-12), "{g}");
+            assert!(m.0[2][3].approx_eq(C64::ZERO, 1e-12), "{g}");
+        }
+    }
+
+    #[test]
+    fn clifford_granularity_classification() {
+        assert_eq!(Gate::Rx.clifford_granularity(), Some(PI / 2.0));
+        assert_eq!(Gate::Crz.clifford_granularity(), Some(PI));
+        assert_eq!(Gate::H.clifford_granularity(), None);
+        for &g in ALL_GATES {
+            assert_eq!(g.is_parametric(), g.clifford_granularity().is_some());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ALL_GATES.iter().map(|g| g.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_GATES.len());
+    }
+}

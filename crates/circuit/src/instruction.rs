@@ -1,0 +1,293 @@
+//! Circuit instructions and parameter binding expressions.
+
+use crate::gate::Gate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a gate angle's value comes from.
+///
+/// QML circuits mix *trainable* parameters (updated by the optimizer), *data
+/// embedding* parameters (rotation angles taken from the classical input
+/// vector — Section 2.2.1 of the paper), and plain constants. Keeping the
+/// source symbolic lets the same circuit be run with different parameter
+/// vectors and different input samples without rebuilding it, and lets
+/// Elivagar's search designate gates as embedding gates after generation
+/// (Algorithm 1, line 14).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ParamSource {
+    /// Index into the trainable parameter vector.
+    Trainable(usize),
+    /// Index into the input feature vector (angle embedding).
+    Feature(usize),
+    /// Product of two input features, as used by IQP-style embeddings.
+    FeatureProduct(usize, usize),
+    /// A fixed constant angle.
+    Constant(f64),
+}
+
+/// A gate angle: a [`ParamSource`] with a real multiplier.
+///
+/// The multiplier exists so that compiler passes can decompose gates — e.g.
+/// `CRZ(theta)` into `RZ(theta/2) CX RZ(-theta/2) CX` — without losing the
+/// symbolic binding to trainable parameters or input features.
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_circuit::instruction::ParamExpr;
+/// let theta = vec![0.5];
+/// let x = vec![1.0, 2.0];
+/// assert_eq!(ParamExpr::trainable(0).resolve(&theta, &x), 0.5);
+/// assert_eq!(ParamExpr::feature(1).resolve(&theta, &x), 2.0);
+/// assert_eq!(ParamExpr::feature_product(0, 1).resolve(&theta, &x), 2.0);
+/// assert_eq!(ParamExpr::constant(3.0).resolve(&theta, &x), 3.0);
+/// assert_eq!(ParamExpr::trainable(0).scaled(-0.5).resolve(&theta, &x), -0.25);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParamExpr {
+    /// Multiplier applied to the source value.
+    pub scale: f64,
+    /// Where the base value comes from.
+    pub source: ParamSource,
+}
+
+impl ParamExpr {
+    /// A trainable parameter reference.
+    pub fn trainable(index: usize) -> Self {
+        ParamExpr { scale: 1.0, source: ParamSource::Trainable(index) }
+    }
+
+    /// An input-feature reference (angle embedding).
+    pub fn feature(index: usize) -> Self {
+        ParamExpr { scale: 1.0, source: ParamSource::Feature(index) }
+    }
+
+    /// A product of two input features (IQP-style embedding).
+    pub fn feature_product(i: usize, j: usize) -> Self {
+        ParamExpr { scale: 1.0, source: ParamSource::FeatureProduct(i, j) }
+    }
+
+    /// A constant angle.
+    pub fn constant(value: f64) -> Self {
+        ParamExpr { scale: 1.0, source: ParamSource::Constant(value) }
+    }
+
+    /// Returns this expression with its multiplier scaled by `factor`.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        ParamExpr { scale: self.scale * factor, source: self.source }
+    }
+
+    /// Evaluates the expression against a trainable parameter vector and an
+    /// input feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced index is out of bounds.
+    #[inline]
+    pub fn resolve(self, params: &[f64], features: &[f64]) -> f64 {
+        let base = match self.source {
+            ParamSource::Trainable(i) => params[i],
+            ParamSource::Feature(i) => features[i],
+            ParamSource::FeatureProduct(i, j) => features[i] * features[j],
+            ParamSource::Constant(c) => c,
+        };
+        self.scale * base
+    }
+
+    /// Returns the trainable index if this reads a trainable parameter.
+    #[inline]
+    pub fn trainable_index(self) -> Option<usize> {
+        match self.source {
+            ParamSource::Trainable(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the resolved constant value if this is a constant.
+    #[inline]
+    pub fn as_constant(self) -> Option<f64> {
+        match self.source {
+            ParamSource::Constant(c) => Some(self.scale * c),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the expression reads from the input data.
+    #[inline]
+    pub fn is_data(self) -> bool {
+        matches!(
+            self.source,
+            ParamSource::Feature(_) | ParamSource::FeatureProduct(_, _)
+        )
+    }
+}
+
+impl From<ParamSource> for ParamExpr {
+    fn from(source: ParamSource) -> Self {
+        ParamExpr { scale: 1.0, source }
+    }
+}
+
+/// A single gate application within a circuit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The gate family.
+    pub gate: Gate,
+    /// Qubit operands; length equals `gate.num_qubits()`. For controlled
+    /// gates the first operand is the control.
+    pub qubits: Vec<usize>,
+    /// Angle sources; length equals `gate.num_params()`.
+    pub params: Vec<ParamExpr>,
+}
+
+impl Instruction {
+    /// Creates an instruction, validating operand and parameter counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` or `params` have lengths inconsistent with the
+    /// gate, or if a two-qubit gate is applied to a duplicated qubit.
+    pub fn new(gate: Gate, qubits: Vec<usize>, params: Vec<ParamExpr>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.num_qubits(),
+            "gate {gate} expects {} qubit(s), got {}",
+            gate.num_qubits(),
+            qubits.len()
+        );
+        assert_eq!(
+            params.len(),
+            gate.num_params(),
+            "gate {gate} expects {} param(s), got {}",
+            gate.num_params(),
+            params.len()
+        );
+        if qubits.len() == 2 {
+            assert_ne!(qubits[0], qubits[1], "two-qubit gate {gate} applied to one qubit");
+        }
+        Instruction { gate, qubits, params }
+    }
+
+    /// Resolves all angle expressions to concrete values.
+    pub fn resolve_params(&self, params: &[f64], features: &[f64]) -> Vec<f64> {
+        self.params.iter().map(|p| p.resolve(params, features)).collect()
+    }
+
+    /// Returns `true` if any parameter embeds input data.
+    pub fn is_embedding(&self) -> bool {
+        self.params.iter().any(|p| p.is_data())
+    }
+
+    /// Returns `true` if any parameter is trainable.
+    pub fn is_trainable(&self) -> bool {
+        self.params.iter().any(|p| p.trainable_index().is_some())
+    }
+
+    /// Returns `true` if the instruction is a two-qubit gate.
+    pub fn is_two_qubit(&self) -> bool {
+        self.gate.num_qubits() == 2
+    }
+}
+
+impl fmt::Display for ParamExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if (self.scale - 1.0).abs() > 1e-12 && !matches!(self.source, ParamSource::Constant(_)) {
+            write!(f, "{:.4}*", self.scale)?;
+        }
+        match self.source {
+            ParamSource::Trainable(i) => write!(f, "t{i}"),
+            ParamSource::Feature(i) => write!(f, "x{i}"),
+            ParamSource::FeatureProduct(i, j) => write!(f, "x{i}*x{j}"),
+            ParamSource::Constant(c) => write!(f, "{:.4}", self.scale * c),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.gate)?;
+        if !self.params.is_empty() {
+            write!(f, "(")?;
+            for (k, p) in self.params.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, " ")?;
+        for (k, q) in self.qubits.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "q{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_operand_counts() {
+        let ins = Instruction::new(Gate::Cx, vec![0, 1], vec![]);
+        assert!(ins.is_two_qubit());
+        assert!(!ins.is_embedding());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 qubit")]
+    fn wrong_qubit_count_panics() {
+        Instruction::new(Gate::Cx, vec![0], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "applied to one qubit")]
+    fn duplicate_qubits_panic() {
+        Instruction::new(Gate::Cz, vec![3, 3], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 param")]
+    fn wrong_param_count_panics() {
+        Instruction::new(Gate::Rx, vec![0], vec![]);
+    }
+
+    #[test]
+    fn resolve_mixes_sources() {
+        let ins = Instruction::new(
+            Gate::U3,
+            vec![0],
+            vec![
+                ParamExpr::trainable(1),
+                ParamExpr::feature(0),
+                ParamExpr::constant(0.25),
+            ],
+        );
+        let vals = ins.resolve_params(&[9.0, 7.0], &[0.5]);
+        assert_eq!(vals, vec![7.0, 0.5, 0.25]);
+        assert!(ins.is_embedding());
+        assert!(ins.is_trainable());
+    }
+
+    #[test]
+    fn scaling_composes() {
+        let p = ParamExpr::trainable(0).scaled(0.5).scaled(-1.0);
+        assert_eq!(p.resolve(&[2.0], &[]), -1.0);
+        assert_eq!(p.trainable_index(), Some(0));
+        assert_eq!(ParamExpr::constant(4.0).scaled(0.25).as_constant(), Some(1.0));
+        assert_eq!(p.as_constant(), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ins = Instruction::new(Gate::Rzz, vec![0, 2], vec![ParamExpr::feature_product(0, 1)]);
+        assert_eq!(format!("{ins}"), "rzz(x0*x1) q0,q2");
+        let scaled = Instruction::new(Gate::Rz, vec![1], vec![ParamExpr::trainable(3).scaled(0.5)]);
+        assert_eq!(format!("{scaled}"), "rz(0.5000*t3) q1");
+    }
+}

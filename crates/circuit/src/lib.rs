@@ -1,0 +1,36 @@
+//! Quantum circuit intermediate representation for the Elivagar
+//! reproduction.
+//!
+//! This crate defines the gate set, parameter-binding expressions, the
+//! [`Circuit`] container, and the standard templates (angle / IQP /
+//! amplitude embeddings and entangler layers) used by the paper's baselines.
+//! It also hosts the small complex/matrix math layer ([`math`]) shared by
+//! the simulators.
+//!
+//! # Examples
+//!
+//! Build a tiny variational classifier circuit with an angle embedding and
+//! one trainable layer:
+//!
+//! ```
+//! use elivagar_circuit::{Circuit, Gate, ParamExpr, templates};
+//!
+//! let mut c = Circuit::new(2);
+//! templates::append_angle_embedding(&mut c, 2);
+//! templates::append_basic_entangler_layers(&mut c, 1, Gate::Ry, 0);
+//! c.set_measured(vec![0]);
+//! assert_eq!(c.num_trainable_params(), 2);
+//! ```
+
+pub mod circuit;
+pub mod gate;
+pub mod instruction;
+pub mod math;
+pub mod qasm;
+pub mod templates;
+
+pub use circuit::Circuit;
+pub use gate::{Gate, ALL_GATES};
+pub use instruction::{Instruction, ParamExpr, ParamSource};
+pub use math::{C64, Mat2, Mat4};
+pub use qasm::to_qasm;

@@ -1,0 +1,401 @@
+//! Minimal complex arithmetic and small matrices used for gate semantics.
+//!
+//! Implemented in-crate (rather than pulling in `num-complex`) to keep the
+//! dependency footprint within the approved list. Only what quantum gate
+//! algebra needs is provided: a [`C64`] type, 2x2 / 4x4 unitaries, and a
+//! Kronecker product.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_circuit::math::C64;
+/// let i = C64::i();
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// The imaginary unit `i`.
+    #[inline]
+    pub const fn i() -> Self {
+        C64 { re: 0.0, im: 1.0 }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Returns `true` if both components are within `tol` of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "" } else { "+" }, self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> C64 {
+        C64::real(re)
+    }
+}
+
+/// A 2x2 complex matrix in row-major order, used for single-qubit unitaries.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mat2(pub [[C64; 2]; 2]);
+
+impl Mat2 {
+    /// The 2x2 identity.
+    pub fn identity() -> Self {
+        Mat2([[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]])
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Mat2) -> Mat2 {
+        let mut out = [[C64::ZERO; 2]; 2];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                for k in 0..2 {
+                    *cell += self.0[i][k] * rhs.0[k][j];
+                }
+            }
+        }
+        Mat2(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat2 {
+        let m = &self.0;
+        Mat2([[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]])
+    }
+
+    /// Returns `true` if `self * self^dagger` is the identity within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.matmul(&self.dagger());
+        p.approx_eq(&Mat2::identity(), tol)
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        self.0
+            .iter()
+            .flatten()
+            .zip(other.0.iter().flatten())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Entry-wise approximate equality up to a global phase factor.
+    pub fn approx_eq_up_to_phase(&self, other: &Mat2, tol: f64) -> bool {
+        // Find the first entry of `other` with non-negligible magnitude and
+        // use it to fix the relative phase.
+        for i in 0..2 {
+            for j in 0..2 {
+                if other.0[i][j].abs() > 1e-9 {
+                    if self.0[i][j].abs() <= 1e-9 {
+                        return false;
+                    }
+                    let phase = self.0[i][j] / other.0[i][j];
+                    let scaled = Mat2([
+                        [other.0[0][0] * phase, other.0[0][1] * phase],
+                        [other.0[1][0] * phase, other.0[1][1] * phase],
+                    ]);
+                    return self.approx_eq(&scaled, tol);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A 4x4 complex matrix in row-major order, used for two-qubit unitaries.
+///
+/// The basis ordering is `|q1 q0>` where `q0` is the first qubit operand:
+/// index `b = 2*b1 + b0`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mat4(pub [[C64; 4]; 4]);
+
+impl Mat4 {
+    /// The 4x4 identity.
+    pub fn identity() -> Self {
+        let mut m = [[C64::ZERO; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = C64::ONE;
+        }
+        Mat4(m)
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = [[C64::ZERO; 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                for k in 0..4 {
+                    *cell += self.0[i][k] * rhs.0[k][j];
+                }
+            }
+        }
+        Mat4(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat4 {
+        let mut out = [[C64::ZERO; 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.0[j][i].conj();
+            }
+        }
+        Mat4(out)
+    }
+
+    /// Returns `true` if `self * self^dagger` is the identity within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.matmul(&self.dagger());
+        p.approx_eq(&Mat4::identity(), tol)
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Mat4, tol: f64) -> bool {
+        self.0
+            .iter()
+            .flatten()
+            .zip(other.0.iter().flatten())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Kronecker product `a (x) b` where `a` acts on the high bit.
+    pub fn kron(a: &Mat2, b: &Mat2) -> Mat4 {
+        let mut out = [[C64::ZERO; 4]; 4];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        out[2 * i + k][2 * j + l] = a.0[i][j] * b.0[k][l];
+                    }
+                }
+            }
+        }
+        Mat4(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn complex_field_axioms() {
+        let a = C64::new(1.5, -2.0);
+        let b = C64::new(-0.25, 3.0);
+        assert!(((a + b) - b).approx_eq(a, TOL));
+        assert!((a * b / b).approx_eq(a, TOL));
+        assert!((a * C64::ONE).approx_eq(a, TOL));
+        assert!((a + C64::ZERO).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn complex_conjugate_and_norm() {
+        let a = C64::new(3.0, 4.0);
+        assert!((a.abs() - 5.0).abs() < TOL);
+        assert!((a * a.conj()).approx_eq(C64::real(25.0), TOL));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.5;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn mat2_identity_is_unitary() {
+        assert!(Mat2::identity().is_unitary(TOL));
+    }
+
+    #[test]
+    fn mat2_matmul_against_hand_computation() {
+        let x = Mat2([[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]);
+        let z = Mat2([[C64::ONE, C64::ZERO], [C64::ZERO, C64::real(-1.0)]]);
+        // X * Z = [[0,-1],[1,0]]
+        let xz = x.matmul(&z);
+        assert!(xz.approx_eq(
+            &Mat2([[C64::ZERO, C64::real(-1.0)], [C64::ONE, C64::ZERO]]),
+            TOL
+        ));
+    }
+
+    #[test]
+    fn mat4_kron_of_identities_is_identity() {
+        let id = Mat4::kron(&Mat2::identity(), &Mat2::identity());
+        assert!(id.approx_eq(&Mat4::identity(), TOL));
+    }
+
+    #[test]
+    fn global_phase_equality() {
+        let z = Mat2([[C64::ONE, C64::ZERO], [C64::ZERO, C64::real(-1.0)]]);
+        let phase = C64::cis(0.7);
+        let zp = Mat2([
+            [z.0[0][0] * phase, z.0[0][1] * phase],
+            [z.0[1][0] * phase, z.0[1][1] * phase],
+        ]);
+        assert!(zp.approx_eq_up_to_phase(&z, 1e-9));
+        let x = Mat2([[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]);
+        assert!(!zp.approx_eq_up_to_phase(&x, 1e-9));
+    }
+}

@@ -1,0 +1,227 @@
+//! Standard circuit templates: fixed data embeddings and variational
+//! ansaetze used by the human-designed baseline (paper Section 7.4) and by
+//! the fixed-embedding ablations (Fig. 10).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::ParamExpr;
+
+/// Which fixed data-embedding scheme to prepend to a template circuit.
+///
+/// These are the three embeddings paired with `BasicEntanglerLayers` in the
+/// paper's human-designed baseline, plus the two fixed embeddings used in
+/// the Fig. 10 ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EmbeddingKind {
+    /// One rotation per feature (RX), cycling over qubits.
+    Angle,
+    /// Instantaneous Quantum Polynomial-time embedding: H layer, RZ(x_i),
+    /// and RZZ(x_i * x_j) entanglers on a ring.
+    Iqp,
+    /// Features loaded directly into the initial state amplitudes.
+    Amplitude,
+}
+
+/// Appends an angle embedding: `RX(x_k)` on qubit `k mod n`, covering all
+/// `num_features` features in ceil(features / qubits) layers.
+///
+/// # Panics
+///
+/// Panics if `num_features` is zero.
+pub fn append_angle_embedding(circuit: &mut Circuit, num_features: usize) {
+    assert!(num_features > 0, "angle embedding needs at least one feature");
+    let n = circuit.num_qubits();
+    for k in 0..num_features {
+        circuit.push_gate(Gate::Rx, &[k % n], &[ParamExpr::feature(k)]);
+    }
+}
+
+/// Appends an IQP embedding (Havlicek et al.): a Hadamard layer, single-
+/// feature `RZ` rotations, and `RZZ(x_i * x_j)` couplings along a qubit
+/// ring. Repeated feature blocks cycle over qubits like the angle embedding.
+///
+/// # Panics
+///
+/// Panics if `num_features` is zero.
+pub fn append_iqp_embedding(circuit: &mut Circuit, num_features: usize) {
+    assert!(num_features > 0, "IQP embedding needs at least one feature");
+    let n = circuit.num_qubits();
+    for q in 0..n {
+        circuit.push_gate(Gate::H, &[q], &[]);
+    }
+    for k in 0..num_features {
+        circuit.push_gate(Gate::Rz, &[k % n], &[ParamExpr::feature(k)]);
+    }
+    if n >= 2 {
+        for k in 0..num_features {
+            let j = (k + 1) % num_features;
+            let (qa, qb) = (k % n, (k + 1) % n);
+            if qa != qb {
+                circuit.push_gate(Gate::Rzz, &[qa, qb], &[ParamExpr::feature_product(k, j)]);
+            }
+        }
+    }
+}
+
+/// Appends `BasicEntanglerLayers` (Pennylane): each layer is one trainable
+/// rotation per qubit followed by a closed ring of CNOTs.
+///
+/// `next_param` is the index of the first fresh trainable parameter; the
+/// index one past the last used parameter is returned, so multiple template
+/// blocks can share one parameter vector.
+pub fn append_basic_entangler_layers(
+    circuit: &mut Circuit,
+    num_layers: usize,
+    rotation: Gate,
+    mut next_param: usize,
+) -> usize {
+    assert_eq!(rotation.num_params(), 1, "entangler rotation must take one angle");
+    let n = circuit.num_qubits();
+    for _ in 0..num_layers {
+        for q in 0..n {
+            circuit.push_gate(rotation, &[q], &[ParamExpr::trainable(next_param)]);
+            next_param += 1;
+        }
+        if n >= 2 {
+            for q in 0..n {
+                // Pennylane's convention: on two qubits the ring collapses
+                // to a single CNOT.
+                if n == 2 && q == 1 {
+                    continue;
+                }
+                let target = (q + 1) % n;
+                if target != q {
+                    circuit.push_gate(Gate::Cx, &[q, target], &[]);
+                }
+            }
+        }
+    }
+    next_param
+}
+
+/// Builds the full human-designed baseline circuit for a task: a fixed
+/// embedding followed by enough `BasicEntanglerLayers` to reach (at least)
+/// `param_budget` trainable parameters, measuring the first
+/// `num_measured` qubits.
+///
+/// # Panics
+///
+/// Panics if `num_measured` exceeds the qubit count or the budget is zero.
+pub fn human_designed_circuit(
+    num_qubits: usize,
+    num_features: usize,
+    param_budget: usize,
+    num_measured: usize,
+    embedding: EmbeddingKind,
+) -> Circuit {
+    assert!(param_budget > 0, "parameter budget must be positive");
+    assert!(num_measured <= num_qubits, "cannot measure more qubits than exist");
+    let mut c = Circuit::new(num_qubits);
+    match embedding {
+        EmbeddingKind::Angle => append_angle_embedding(&mut c, num_features),
+        EmbeddingKind::Iqp => append_iqp_embedding(&mut c, num_features),
+        EmbeddingKind::Amplitude => c.set_amplitude_embedding(true),
+    }
+    let layers = param_budget.div_ceil(num_qubits);
+    append_basic_entangler_layers(&mut c, layers, Gate::Rx, 0);
+    c.set_measured((0..num_measured).collect());
+    c
+}
+
+/// Appends `StronglyEntanglingLayers`-style blocks: per layer a trainable
+/// `U3` on every qubit plus a ring of CNOTs with stride `r+1` on layer `r`.
+/// Returns the next free parameter index.
+pub fn append_strongly_entangling_layers(
+    circuit: &mut Circuit,
+    num_layers: usize,
+    mut next_param: usize,
+) -> usize {
+    let n = circuit.num_qubits();
+    for layer in 0..num_layers {
+        for q in 0..n {
+            circuit.push_gate(
+                Gate::U3,
+                &[q],
+                &[
+                    ParamExpr::trainable(next_param),
+                    ParamExpr::trainable(next_param + 1),
+                    ParamExpr::trainable(next_param + 2),
+                ],
+            );
+            next_param += 3;
+        }
+        if n >= 2 {
+            let stride = (layer % (n - 1)) + 1;
+            for q in 0..n {
+                let target = (q + stride) % n;
+                if target != q {
+                    circuit.push_gate(Gate::Cx, &[q, target], &[]);
+                }
+            }
+        }
+    }
+    next_param
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angle_embedding_covers_all_features() {
+        let mut c = Circuit::new(4);
+        append_angle_embedding(&mut c, 10);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.num_features_used(), 10);
+        assert!(c.instructions().iter().all(|i| i.is_embedding()));
+    }
+
+    #[test]
+    fn iqp_embedding_has_h_rz_rzz_structure() {
+        let mut c = Circuit::new(4);
+        append_iqp_embedding(&mut c, 4);
+        let h = c.instructions().iter().filter(|i| i.gate == Gate::H).count();
+        let rz = c.instructions().iter().filter(|i| i.gate == Gate::Rz).count();
+        let rzz = c.instructions().iter().filter(|i| i.gate == Gate::Rzz).count();
+        assert_eq!(h, 4);
+        assert_eq!(rz, 4);
+        assert_eq!(rzz, 4);
+        assert_eq!(c.num_features_used(), 4);
+    }
+
+    #[test]
+    fn basic_entangler_parameter_accounting() {
+        let mut c = Circuit::new(3);
+        let next = append_basic_entangler_layers(&mut c, 2, Gate::Rx, 5);
+        assert_eq!(next, 5 + 6);
+        assert_eq!(c.num_trainable_params(), 11);
+        assert_eq!(c.two_qubit_gate_count(), 6);
+    }
+
+    #[test]
+    fn single_qubit_entangler_has_no_cnots() {
+        let mut c = Circuit::new(1);
+        append_basic_entangler_layers(&mut c, 3, Gate::Ry, 0);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+        assert_eq!(c.num_trainable_params(), 3);
+    }
+
+    #[test]
+    fn human_designed_meets_param_budget() {
+        for embedding in [EmbeddingKind::Angle, EmbeddingKind::Iqp, EmbeddingKind::Amplitude] {
+            let c = human_designed_circuit(4, 8, 20, 2, embedding);
+            assert!(c.num_trainable_params() >= 20, "{embedding:?}");
+            assert_eq!(c.measured(), &[0, 1]);
+            assert_eq!(c.amplitude_embedding(), embedding == EmbeddingKind::Amplitude);
+        }
+    }
+
+    #[test]
+    fn strongly_entangling_uses_u3() {
+        let mut c = Circuit::new(4);
+        let next = append_strongly_entangling_layers(&mut c, 2, 0);
+        assert_eq!(next, 24);
+        assert!(c.depth() > 0);
+        assert_eq!(c.two_qubit_gate_count(), 8);
+    }
+}

@@ -1,0 +1,268 @@
+//! Translation of two-qubit gates to a device's native entangling gate.
+//!
+//! IBM machines expose CX (ECR), Rigetti and OQC expose CZ-class gates. The
+//! translation keeps symbolic parameter bindings intact by scaling
+//! [`ParamExpr`]s (e.g. `CRZ(theta) -> RZ(theta/2) CX RZ(-theta/2) CX`), so
+//! compiled circuits remain trainable.
+
+use elivagar_circuit::{Circuit, Gate, Instruction, ParamExpr};
+
+/// The native two-qubit gate family of a backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TwoQubitBasis {
+    /// CNOT-native backends (IBM).
+    #[default]
+    Cx,
+    /// CZ-native backends (Rigetti, OQC).
+    Cz,
+}
+
+/// Rewrites every two-qubit gate into the native entangling gate plus
+/// single-qubit gates. Single-qubit gates pass through unchanged.
+///
+/// The rewrite preserves circuit semantics exactly (up to global phase) and
+/// keeps trainable/data parameter bindings via scaled [`ParamExpr`]s.
+pub fn decompose_to_basis(circuit: &Circuit, basis: TwoQubitBasis) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    out.set_amplitude_embedding(circuit.amplitude_embedding());
+    for ins in circuit.instructions() {
+        lower(ins, basis, &mut out);
+    }
+    out.set_measured(circuit.measured().to_vec());
+    out
+}
+
+/// Emits the native entangler on `(a, b)`.
+fn entangler(a: usize, b: usize, basis: TwoQubitBasis, out: &mut Circuit) {
+    match basis {
+        TwoQubitBasis::Cx => out.push_gate(Gate::Cx, &[a, b], &[]),
+        TwoQubitBasis::Cz => {
+            // CX = (H on target) CZ (H on target).
+            out.push_gate(Gate::H, &[b], &[]);
+            out.push_gate(Gate::Cz, &[a, b], &[]);
+            out.push_gate(Gate::H, &[b], &[]);
+        }
+    }
+}
+
+/// Emits `CRZ(theta)` as `RZ(theta/2)_b CX RZ(-theta/2)_b CX` (exact).
+fn crz(a: usize, b: usize, theta: ParamExpr, basis: TwoQubitBasis, out: &mut Circuit) {
+    out.push_gate(Gate::Rz, &[b], &[theta.scaled(0.5)]);
+    entangler(a, b, basis, out);
+    out.push_gate(Gate::Rz, &[b], &[theta.scaled(-0.5)]);
+    entangler(a, b, basis, out);
+}
+
+fn lower(ins: &Instruction, basis: TwoQubitBasis, out: &mut Circuit) {
+    if ins.gate.num_qubits() == 1 {
+        out.push(ins.clone());
+        return;
+    }
+    let (a, b) = (ins.qubits[0], ins.qubits[1]);
+    let theta = ins.params.first().copied();
+    match ins.gate {
+        Gate::Cx => match basis {
+            TwoQubitBasis::Cx => out.push(ins.clone()),
+            TwoQubitBasis::Cz => entangler(a, b, basis, out),
+        },
+        Gate::Cz => match basis {
+            TwoQubitBasis::Cz => out.push(ins.clone()),
+            TwoQubitBasis::Cx => {
+                // CZ = (H on target) CX (H on target).
+                out.push_gate(Gate::H, &[b], &[]);
+                out.push_gate(Gate::Cx, &[a, b], &[]);
+                out.push_gate(Gate::H, &[b], &[]);
+            }
+        },
+        Gate::Cy => {
+            // CY = (S on target) CX (Sdg on target).
+            out.push_gate(Gate::Sdg, &[b], &[]);
+            entangler(a, b, basis, out);
+            out.push_gate(Gate::S, &[b], &[]);
+        }
+        Gate::Swap => {
+            entangler(a, b, basis, out);
+            entangler(b, a, basis, out);
+            entangler(a, b, basis, out);
+        }
+        Gate::Crz => {
+            let theta = theta.expect("crz has one parameter");
+            crz(a, b, theta, basis, out);
+        }
+        Gate::Crx => {
+            // CRX = (H on target) CRZ (H on target).
+            let theta = theta.expect("crx has one parameter");
+            out.push_gate(Gate::H, &[b], &[]);
+            crz(a, b, theta, basis, out);
+            out.push_gate(Gate::H, &[b], &[]);
+        }
+        Gate::Cry => {
+            // CRY(theta) = CX RY(-theta/2) CX RY(theta/2) (application
+            // order: first RY(theta/2)).
+            let theta = theta.expect("cry has one parameter");
+            out.push_gate(Gate::Ry, &[b], &[theta.scaled(0.5)]);
+            entangler(a, b, basis, out);
+            out.push_gate(Gate::Ry, &[b], &[theta.scaled(-0.5)]);
+            entangler(a, b, basis, out);
+        }
+        Gate::Cp => {
+            // CP(theta) = (P(theta/2) on control) * CRZ(theta).
+            let theta = theta.expect("cp has one parameter");
+            crz(a, b, theta, basis, out);
+            out.push_gate(Gate::P, &[a], &[theta.scaled(0.5)]);
+        }
+        Gate::Rzz => {
+            let theta = theta.expect("rzz has one parameter");
+            entangler(a, b, basis, out);
+            out.push_gate(Gate::Rz, &[b], &[theta]);
+            entangler(a, b, basis, out);
+        }
+        Gate::Rxx => {
+            let theta = theta.expect("rxx has one parameter");
+            out.push_gate(Gate::H, &[a], &[]);
+            out.push_gate(Gate::H, &[b], &[]);
+            entangler(a, b, basis, out);
+            out.push_gate(Gate::Rz, &[b], &[theta]);
+            entangler(a, b, basis, out);
+            out.push_gate(Gate::H, &[a], &[]);
+            out.push_gate(Gate::H, &[b], &[]);
+        }
+        Gate::Ryy => {
+            let theta = theta.expect("ryy has one parameter");
+            for q in [a, b] {
+                out.push_gate(Gate::Sdg, &[q], &[]);
+                out.push_gate(Gate::H, &[q], &[]);
+            }
+            entangler(a, b, basis, out);
+            out.push_gate(Gate::Rz, &[b], &[theta]);
+            entangler(a, b, basis, out);
+            for q in [a, b] {
+                out.push_gate(Gate::H, &[q], &[]);
+                out.push_gate(Gate::S, &[q], &[]);
+            }
+        }
+        _ => unreachable!("single-qubit gates handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_sim::StateVector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::f64::consts::PI;
+
+    /// Applies both circuits to random product states and compares final
+    /// states up to global phase.
+    fn assert_same_unitary(original: &Circuit, lowered: &Circuit) {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..4 {
+            let mut base = Circuit::new(original.num_qubits());
+            for q in 0..original.num_qubits() {
+                base.push_gate(Gate::Ry, &[q], &[ParamExpr::constant(rng.random_range(0.0..PI))]);
+                base.push_gate(Gate::Rz, &[q], &[ParamExpr::constant(rng.random_range(0.0..PI))]);
+            }
+            let psi0 = StateVector::run(&base, &[], &[]);
+            let mut via_orig = psi0.clone();
+            for ins in original.instructions() {
+                via_orig.apply_instruction(ins, &ins.resolve_params(&[0.37], &[]));
+            }
+            let mut via_low = psi0;
+            for ins in lowered.instructions() {
+                via_low.apply_instruction(ins, &ins.resolve_params(&[0.37], &[]));
+            }
+            let overlap = via_orig.overlap(&via_low);
+            assert!((overlap - 1.0).abs() < 1e-9, "overlap {overlap}");
+        }
+    }
+
+    fn two_qubit_gates() -> Vec<Instruction> {
+        let t = ParamExpr::trainable(0);
+        vec![
+            Instruction::new(Gate::Cx, vec![0, 1], vec![]),
+            Instruction::new(Gate::Cy, vec![0, 1], vec![]),
+            Instruction::new(Gate::Cz, vec![0, 1], vec![]),
+            Instruction::new(Gate::Swap, vec![0, 1], vec![]),
+            Instruction::new(Gate::Crx, vec![0, 1], vec![t]),
+            Instruction::new(Gate::Cry, vec![0, 1], vec![t]),
+            Instruction::new(Gate::Crz, vec![0, 1], vec![t]),
+            Instruction::new(Gate::Cp, vec![0, 1], vec![t]),
+            Instruction::new(Gate::Rxx, vec![0, 1], vec![t]),
+            Instruction::new(Gate::Ryy, vec![0, 1], vec![t]),
+            Instruction::new(Gate::Rzz, vec![0, 1], vec![t]),
+            // Reversed operand order exercises the control/target handling.
+            Instruction::new(Gate::Crz, vec![1, 0], vec![t]),
+            Instruction::new(Gate::Cx, vec![1, 0], vec![]),
+        ]
+    }
+
+    #[test]
+    fn every_two_qubit_gate_lowers_exactly_cx() {
+        for ins in two_qubit_gates() {
+            let mut c = Circuit::new(2);
+            c.push(ins.clone());
+            let lowered = decompose_to_basis(&c, TwoQubitBasis::Cx);
+            assert!(
+                lowered
+                    .instructions()
+                    .iter()
+                    .all(|i| i.gate.num_qubits() == 1 || i.gate == Gate::Cx),
+                "{} left non-native gates",
+                ins.gate
+            );
+            assert_same_unitary(&c, &lowered);
+        }
+    }
+
+    #[test]
+    fn every_two_qubit_gate_lowers_exactly_cz() {
+        for ins in two_qubit_gates() {
+            let mut c = Circuit::new(2);
+            c.push(ins.clone());
+            let lowered = decompose_to_basis(&c, TwoQubitBasis::Cz);
+            assert!(
+                lowered
+                    .instructions()
+                    .iter()
+                    .all(|i| i.gate.num_qubits() == 1 || i.gate == Gate::Cz),
+                "{} left non-native gates",
+                ins.gate
+            );
+            assert_same_unitary(&c, &lowered);
+        }
+    }
+
+    #[test]
+    fn parameter_bindings_survive_lowering() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Crz, &[0, 1], &[ParamExpr::trainable(3)]);
+        let lowered = decompose_to_basis(&c, TwoQubitBasis::Cx);
+        assert_eq!(lowered.num_trainable_params(), 4);
+        let scales: Vec<f64> = lowered
+            .instructions()
+            .iter()
+            .flat_map(|i| i.params.iter())
+            .map(|p| p.scale)
+            .collect();
+        assert_eq!(scales, vec![0.5, -0.5]);
+    }
+
+    #[test]
+    fn single_qubit_gates_pass_through() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::T, &[0], &[]);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::feature(0)]);
+        let lowered = decompose_to_basis(&c, TwoQubitBasis::Cz);
+        assert_eq!(lowered.instructions(), c.instructions());
+    }
+
+    #[test]
+    fn measured_qubits_are_preserved() {
+        let mut c = Circuit::new(3);
+        c.push_gate(Gate::Swap, &[0, 2], &[]);
+        c.set_measured(vec![2, 0]);
+        let lowered = decompose_to_basis(&c, TwoQubitBasis::Cx);
+        assert_eq!(lowered.measured(), &[2, 0]);
+    }
+}

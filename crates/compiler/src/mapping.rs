@@ -1,0 +1,150 @@
+//! Initial logical-to-physical qubit mapping strategies.
+
+use elivagar_circuit::Circuit;
+use elivagar_device::{choose_subgraph, Device};
+use rand::Rng;
+
+/// The identity mapping `logical q -> physical q`.
+pub fn trivial_mapping(num_qubits: usize) -> Vec<usize> {
+    (0..num_qubits).collect()
+}
+
+/// A uniformly random injective mapping onto the device.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device has.
+pub fn random_mapping<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    device: &Device,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = circuit.num_qubits();
+    let m = device.num_qubits();
+    assert!(n <= m, "circuit needs {n} qubits, device has {m}");
+    let mut physical: Vec<usize> = (0..m).collect();
+    // Fisher-Yates prefix shuffle.
+    for i in 0..n {
+        let j = rng.random_range(i..m);
+        physical.swap(i, j);
+    }
+    physical.truncate(n);
+    physical
+}
+
+/// Noise-aware mapping: picks a high-quality connected subgraph (as in
+/// Algorithm 1) and assigns the most entangling logical qubits to the
+/// best-connected physical qubits.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device has.
+pub fn noise_aware_mapping<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    device: &Device,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = circuit.num_qubits();
+    assert!(n <= device.num_qubits(), "circuit larger than device");
+    let subgraph = choose_subgraph(device, n, 8, rng);
+
+    // Logical interaction degree: number of two-qubit gates touching each
+    // logical qubit.
+    let mut logical_degree = vec![0usize; n];
+    for ins in circuit.instructions() {
+        if ins.qubits.len() == 2 {
+            logical_degree[ins.qubits[0]] += 1;
+            logical_degree[ins.qubits[1]] += 1;
+        }
+    }
+    let mut logical_order: Vec<usize> = (0..n).collect();
+    logical_order.sort_by_key(|&q| std::cmp::Reverse(logical_degree[q]));
+
+    // Physical degree within the chosen subgraph.
+    let induced = device.topology().induced_edges(&subgraph);
+    let mut physical_degree = vec![0usize; n];
+    for &(i, j) in &induced {
+        physical_degree[i] += 1;
+        physical_degree[j] += 1;
+    }
+    let mut physical_order: Vec<usize> = (0..n).collect();
+    physical_order.sort_by_key(|&i| std::cmp::Reverse(physical_degree[i]));
+
+    let mut mapping = vec![0usize; n];
+    for (rank, &logical) in logical_order.iter().enumerate() {
+        mapping[logical] = subgraph[physical_order[rank]];
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_circuit::Gate;
+    use elivagar_device::devices::{ibm_lagos, ibmq_kolkata};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_circuit(n: usize) -> Circuit {
+        // Qubit 0 interacts with everyone: should land on a well-connected
+        // physical qubit.
+        let mut c = Circuit::new(n);
+        for q in 1..n {
+            c.push_gate(Gate::Cx, &[0, q], &[]);
+        }
+        c.set_measured(vec![0]);
+        c
+    }
+
+    #[test]
+    fn trivial_is_identity() {
+        assert_eq!(trivial_mapping(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_mapping_is_injective() {
+        let device = ibmq_kolkata();
+        let c = star_circuit(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let m = random_mapping(&c, &device, &mut rng);
+            assert_eq!(m.len(), 6);
+            let mut s = m.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 6);
+            assert!(m.iter().all(|&p| p < device.num_qubits()));
+        }
+    }
+
+    #[test]
+    fn noise_aware_mapping_targets_connected_region() {
+        let device = ibmq_kolkata();
+        let c = star_circuit(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = noise_aware_mapping(&c, &device, &mut rng);
+        assert!(device.topology().is_connected_subset(&m));
+        // The hub qubit (logical 0) gets the highest-degree physical slot.
+        let hub = m[0];
+        let hub_deg = m
+            .iter()
+            .filter(|&&p| device.topology().are_coupled(hub, p))
+            .count();
+        for &other in &m[1..] {
+            let deg = m
+                .iter()
+                .filter(|&&p| p != other && device.topology().are_coupled(other, p))
+                .count();
+            assert!(hub_deg >= deg, "hub degree {hub_deg} < other degree {deg}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than device")]
+    fn oversized_circuit_rejected() {
+        let device = ibm_lagos();
+        let c = star_circuit(9);
+        let mut rng = StdRng::seed_from_u64(3);
+        noise_aware_mapping(&c, &device, &mut rng);
+    }
+}

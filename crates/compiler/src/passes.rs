@@ -1,0 +1,395 @@
+//! Peephole optimization passes: inverse-pair cancellation, rotation
+//! merging, and single-qubit run fusion (the analog of Qiskit's O1–O3
+//! cleanups).
+
+use elivagar_circuit::math::Mat2;
+use elivagar_circuit::{Circuit, Gate, Instruction, ParamExpr};
+
+/// Returns `true` for gates that square to the identity (up to phase).
+fn is_self_inverse(g: Gate) -> bool {
+    matches!(
+        g,
+        Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cx | Gate::Cy | Gate::Cz | Gate::Swap
+    )
+}
+
+/// Returns `true` if operand order does not matter for the gate.
+fn is_symmetric(g: Gate) -> bool {
+    matches!(g, Gate::Cz | Gate::Swap | Gate::Rzz | Gate::Rxx | Gate::Ryy | Gate::Cp)
+}
+
+fn same_operands(a: &Instruction, b: &Instruction) -> bool {
+    if a.qubits == b.qubits {
+        return true;
+    }
+    if a.qubits.len() == 2 && is_symmetric(a.gate) {
+        return a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0];
+    }
+    false
+}
+
+/// Returns the pair `(g, g_inverse)` relationship for fixed gates.
+fn are_inverse_fixed(a: Gate, b: Gate) -> bool {
+    (is_self_inverse(a) && a == b)
+        || matches!((a, b), (Gate::S, Gate::Sdg) | (Gate::Sdg, Gate::S))
+        || matches!((a, b), (Gate::T, Gate::Tdg) | (Gate::Tdg, Gate::T))
+}
+
+/// One sweep of adjacent-cancellation and constant-rotation merging.
+/// Returns `true` if anything changed.
+fn cancel_sweep(instructions: &mut Vec<Instruction>) -> bool {
+    let n = instructions.len();
+    let mut keep = vec![true; n];
+    // For each qubit, index of the most recent surviving instruction.
+    let mut last: Vec<Option<usize>> = Vec::new();
+    let mut changed = false;
+    let num_qubits = instructions
+        .iter()
+        .flat_map(|i| i.qubits.iter())
+        .max()
+        .map_or(0, |&m| m + 1);
+    last.resize(num_qubits, None);
+
+    for i in 0..n {
+        let prevs: Vec<Option<usize>> =
+            instructions[i].qubits.iter().map(|&q| last[q]).collect();
+        let candidate = prevs[0];
+        let adjacent = candidate.is_some() && prevs.iter().all(|&p| p == candidate);
+        if adjacent {
+            let j = candidate.expect("checked above");
+            // `j` must touch exactly the same qubit set (no extra qubits).
+            let same_set = instructions[j].qubits.len() == instructions[i].qubits.len()
+                && same_operands(&instructions[j], &instructions[i]);
+            // CX needs matching control/target orientation.
+            let orientation_ok = is_symmetric(instructions[i].gate)
+                || instructions[j].qubits == instructions[i].qubits;
+            if same_set && orientation_ok {
+                let (gi, gj) = (instructions[i].gate, instructions[j].gate);
+                if are_inverse_fixed(gj, gi) {
+                    keep[i] = false;
+                    keep[j] = false;
+                    for &q in &instructions[i].qubits.clone() {
+                        last[q] = None;
+                    }
+                    changed = true;
+                    continue;
+                }
+                // Merge same-gate constant rotations.
+                if gi == gj
+                    && gi.num_params() == 1
+                    && instructions[i].qubits == instructions[j].qubits
+                {
+                    let ci = instructions[i].params[0].as_constant();
+                    let cj = instructions[j].params[0].as_constant();
+                    if let (Some(ci), Some(cj)) = (ci, cj) {
+                        let merged = ci + cj;
+                        keep[i] = false;
+                        changed = true;
+                        if merged.abs() < 1e-12 {
+                            keep[j] = false;
+                            for &q in &instructions[i].qubits.clone() {
+                                last[q] = None;
+                            }
+                        } else {
+                            instructions[j].params[0] = ParamExpr::constant(merged);
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        for &q in &instructions[i].qubits {
+            last[q] = Some(i);
+        }
+    }
+    if changed {
+        let mut k = 0;
+        instructions.retain(|_| {
+            let r = keep[k];
+            k += 1;
+            r
+        });
+    }
+    changed
+}
+
+/// Cancels adjacent inverse pairs and merges adjacent constant rotations
+/// until a fixed point.
+pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
+    let mut out = circuit.clone();
+    while cancel_sweep(out.instructions_mut()) {}
+    out
+}
+
+/// Removes rotations whose every parameter is the constant zero, and
+/// explicit identity gates.
+pub fn remove_trivial_gates(circuit: &Circuit) -> Circuit {
+    let mut out = circuit.clone();
+    out.instructions_mut().retain(|ins| {
+        if ins.gate == Gate::I {
+            return false;
+        }
+        if ins.gate.num_params() == 0 {
+            return true;
+        }
+        !ins.params
+            .iter()
+            .all(|p| p.as_constant().is_some_and(|c| c.abs() < 1e-12))
+    });
+    out
+}
+
+/// ZYZ Euler decomposition: finds `(theta, phi, lambda)` with
+/// `U3(theta, phi, lambda) = U` up to a global phase.
+///
+/// # Panics
+///
+/// Panics if `u` is not unitary.
+pub fn zyz_decompose(u: &Mat2) -> (f64, f64, f64) {
+    assert!(u.is_unitary(1e-9), "zyz input must be unitary");
+    let c = u.0[0][0].abs();
+    let s = u.0[1][0].abs();
+    let theta = 2.0 * s.atan2(c);
+    let arg = |z: elivagar_circuit::C64| z.im.atan2(z.re);
+    if s < 1e-9 {
+        // Diagonal: only phi + lambda is defined.
+        let phi = arg(u.0[1][1]) - arg(u.0[0][0]);
+        (0.0, phi, 0.0)
+    } else if c < 1e-9 {
+        // Anti-diagonal.
+        let phi = arg(u.0[1][0]) - arg(-u.0[0][1]);
+        (std::f64::consts::PI, phi, 0.0)
+    } else {
+        let phi = arg(u.0[1][0]) - arg(u.0[0][0]);
+        let lambda = arg(-u.0[0][1]) - arg(u.0[0][0]);
+        (theta, phi, lambda)
+    }
+}
+
+/// Fuses maximal runs of *constant* single-qubit gates on each qubit into a
+/// single `U3` (runs of length >= 2 only). Parametric (trainable or data)
+/// gates break runs and are left untouched.
+pub fn fuse_single_qubit_runs(circuit: &Circuit) -> Circuit {
+    let instructions = circuit.instructions();
+    let n = instructions.len();
+    // Group consecutive fusible 1q gates per qubit: a run breaks when any
+    // other instruction touches the qubit.
+    let fusible = |ins: &Instruction| {
+        ins.gate.num_qubits() == 1
+            && ins.params.iter().all(|p| p.as_constant().is_some())
+    };
+    let mut run_of = vec![usize::MAX; n]; // run id per instruction
+    let mut runs: Vec<Vec<usize>> = Vec::new();
+    let mut open: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for (i, ins) in instructions.iter().enumerate() {
+        if fusible(ins) {
+            let q = ins.qubits[0];
+            let run = match open[q] {
+                Some(r) => r,
+                None => {
+                    runs.push(Vec::new());
+                    let r = runs.len() - 1;
+                    open[q] = Some(r);
+                    r
+                }
+            };
+            runs[run].push(i);
+            run_of[i] = run;
+        } else {
+            for &q in &ins.qubits {
+                open[q] = None;
+            }
+        }
+    }
+
+    let mut out = Circuit::new(circuit.num_qubits());
+    out.set_amplitude_embedding(circuit.amplitude_embedding());
+    let mut emitted_run = vec![false; runs.len()];
+    for (i, ins) in instructions.iter().enumerate() {
+        let run = run_of[i];
+        if run == usize::MAX || runs[run].len() < 2 {
+            out.push(ins.clone());
+            continue;
+        }
+        if emitted_run[run] {
+            continue;
+        }
+        emitted_run[run] = true;
+        // Multiply the run (application order: later gates on the left).
+        let mut u = Mat2::identity();
+        for &k in &runs[run] {
+            let gk = &instructions[k];
+            let values = gk.resolve_params(&[], &[]);
+            u = gk.gate.matrix1(&values).matmul(&u);
+        }
+        let (theta, phi, lambda) = zyz_decompose(&u);
+        out.push_gate(
+            Gate::U3,
+            &[ins.qubits[0]],
+            &[
+                ParamExpr::constant(theta),
+                ParamExpr::constant(phi),
+                ParamExpr::constant(lambda),
+            ],
+        );
+    }
+    out.set_measured(circuit.measured().to_vec());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_sim::{tvd, StateVector};
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit) {
+        let params: Vec<f64> = (0..a.num_trainable_params().max(b.num_trainable_params()))
+            .map(|i| 0.4 + 0.3 * i as f64)
+            .collect();
+        let features = [0.7, -0.2, 1.1, 0.5];
+        let qubits: Vec<usize> = (0..a.num_qubits()).collect();
+        let da = StateVector::run(a, &params, &features).marginal_probabilities(&qubits);
+        let db = StateVector::run(b, &params, &features).marginal_probabilities(&qubits);
+        assert!(tvd(&da, &db) < 1e-9, "pass changed semantics");
+    }
+
+    #[test]
+    fn adjacent_self_inverses_cancel() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::X, &[1], &[]);
+        let opt = cancel_adjacent_inverses(&c);
+        assert_eq!(opt.len(), 1);
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn cancellation_cascades() {
+        // H X X H: inner pair cancels, then the outer pair becomes adjacent.
+        let mut c = Circuit::new(1);
+        for g in [Gate::H, Gate::X, Gate::X, Gate::H] {
+            c.push_gate(g, &[0], &[]);
+        }
+        let opt = cancel_adjacent_inverses(&c);
+        assert_eq!(opt.len(), 0);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Rz, &[1], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        let opt = cancel_adjacent_inverses(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn cx_orientation_matters_but_cz_does_not() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Cx, &[1, 0], &[]);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 2);
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Cz, &[0, 1], &[]);
+        c.push_gate(Gate::Cz, &[1, 0], &[]);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+    }
+
+    #[test]
+    fn s_sdg_pair_cancels() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::S, &[0], &[]);
+        c.push_gate(Gate::Sdg, &[0], &[]);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+    }
+
+    #[test]
+    fn constant_rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::constant(0.3)]);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::constant(0.5)]);
+        let opt = cancel_adjacent_inverses(&c);
+        assert_eq!(opt.len(), 1);
+        assert!((opt.instructions()[0].params[0].as_constant().unwrap() - 0.8).abs() < 1e-12);
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::constant(0.9)]);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::constant(-0.9)]);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+    }
+
+    #[test]
+    fn trainable_rotations_do_not_merge() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::trainable(1)]);
+        assert_eq!(cancel_adjacent_inverses(&c).len(), 2);
+    }
+
+    #[test]
+    fn trivial_gates_are_removed() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::I, &[0], &[]);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::constant(0.0)]);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::trainable(0)]);
+        assert_eq!(remove_trivial_gates(&c).len(), 1);
+    }
+
+    #[test]
+    fn zyz_reconstructs_random_unitaries() {
+        use elivagar_circuit::Gate;
+        for (a, b, c_) in [(0.3, 1.2, -0.7), (2.9, 0.1, 0.4), (1.5, -2.2, 3.0)] {
+            let u = Gate::Rz
+                .matrix1(&[a])
+                .matmul(&Gate::Ry.matrix1(&[b]))
+                .matmul(&Gate::Rz.matrix1(&[c_]));
+            let (theta, phi, lambda) = zyz_decompose(&u);
+            let rebuilt = Gate::U3.matrix1(&[theta, phi, lambda]);
+            assert!(
+                rebuilt.approx_eq_up_to_phase(&u, 1e-9),
+                "failed for ({a},{b},{c_})"
+            );
+        }
+        // Degenerate diagonal and anti-diagonal cases.
+        for g in [Gate::Z, Gate::S, Gate::X, Gate::Y, Gate::I] {
+            let u = g.matrix1(&[]);
+            let (theta, phi, lambda) = zyz_decompose(&u);
+            assert!(Gate::U3
+                .matrix1(&[theta, phi, lambda])
+                .approx_eq_up_to_phase(&u, 1e-9));
+        }
+    }
+
+    #[test]
+    fn single_qubit_runs_fuse_to_u3() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::T, &[0], &[]);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::constant(0.4)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::X, &[1], &[]);
+        let fused = fuse_single_qubit_runs(&c);
+        // Run of 3 on q0 becomes one U3; the single X on q1 stays.
+        assert_eq!(fused.len(), 3);
+        assert_eq!(fused.instructions()[0].gate, Gate::U3);
+        assert_equivalent(&c, &fused);
+    }
+
+    #[test]
+    fn parametric_gates_break_fusion_runs() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::H, &[0], &[]);
+        let fused = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.len(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! The registry of the paper's 9 QML benchmarks (Table 2).
+
+use crate::dataset::Dataset;
+use crate::synthetic::{bank, image_dataset, moons, vowel, ImageFamily};
+
+/// Static description of one benchmark: Table 2's row plus the circuit
+/// sizing used by the search experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (e.g. `"fmnist-2"`).
+    pub name: &'static str,
+    /// Number of classes.
+    pub classes: usize,
+    /// Feature dimensionality after preprocessing.
+    pub feature_dim: usize,
+    /// Training samples (Table 2).
+    pub train: usize,
+    /// Test samples (Table 2).
+    pub test: usize,
+    /// Trainable-parameter budget of the searched circuits (Table 2).
+    pub params: usize,
+    /// Number of qubits the searched circuits use.
+    pub qubits: usize,
+}
+
+/// The 9 benchmarks of Table 2, in the paper's order.
+pub const BENCHMARKS: &[BenchmarkSpec] = &[
+    BenchmarkSpec { name: "moons", classes: 2, feature_dim: 2, train: 600, test: 120, params: 16, qubits: 4 },
+    BenchmarkSpec { name: "bank", classes: 2, feature_dim: 4, train: 1100, test: 120, params: 20, qubits: 4 },
+    BenchmarkSpec { name: "mnist-2", classes: 2, feature_dim: 16, train: 1600, test: 400, params: 20, qubits: 4 },
+    BenchmarkSpec { name: "mnist-4", classes: 4, feature_dim: 16, train: 8000, test: 2000, params: 40, qubits: 4 },
+    BenchmarkSpec { name: "fmnist-2", classes: 2, feature_dim: 16, train: 1600, test: 200, params: 32, qubits: 4 },
+    BenchmarkSpec { name: "fmnist-4", classes: 4, feature_dim: 16, train: 8000, test: 2000, params: 24, qubits: 4 },
+    BenchmarkSpec { name: "vowel-2", classes: 2, feature_dim: 10, train: 600, test: 120, params: 32, qubits: 4 },
+    BenchmarkSpec { name: "vowel-4", classes: 4, feature_dim: 10, train: 600, test: 120, params: 40, qubits: 4 },
+    BenchmarkSpec { name: "mnist-10", classes: 10, feature_dim: 36, train: 60000, test: 10000, params: 72, qubits: 10 },
+];
+
+/// Looks up a benchmark spec by name.
+pub fn spec(name: &str) -> Option<&'static BenchmarkSpec> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+/// Materializes a benchmark dataset at its full Table 2 size, normalized to
+/// `[0, pi]` for angle embeddings.
+///
+/// # Panics
+///
+/// Panics if the name is unknown.
+pub fn load(name: &str, seed: u64) -> Dataset {
+    let s = spec(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    load_sized(name, seed, s.train, s.test)
+}
+
+/// Materializes a benchmark with explicit split sizes (class-balanced),
+/// normalized to `[0, pi]`. Used by harnesses to bound runtime without
+/// generating the full 60K-sample sets.
+///
+/// # Panics
+///
+/// Panics if the name is unknown or a split would be empty.
+pub fn load_sized(name: &str, seed: u64, train: usize, test: usize) -> Dataset {
+    let s = spec(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let train = train.max(s.classes * 2);
+    let test = test.max(s.classes);
+    let raw = match s.name {
+        "moons" => moons(train, test, seed),
+        "bank" => bank(train, test, seed),
+        "mnist-2" => image_dataset("mnist-2", ImageFamily::Digits, 2, 4, train, test, seed),
+        "mnist-4" => image_dataset("mnist-4", ImageFamily::Digits, 4, 4, train, test, seed),
+        "mnist-10" => image_dataset("mnist-10", ImageFamily::Digits, 10, 6, train, test, seed),
+        "fmnist-2" => image_dataset("fmnist-2", ImageFamily::Fashion, 2, 4, train, test, seed),
+        "fmnist-4" => image_dataset("fmnist-4", ImageFamily::Fashion, 4, 4, train, test, seed),
+        "vowel-2" => vowel(2, train, test, seed),
+        "vowel-4" => vowel(4, train, test, seed),
+        _ => unreachable!("spec() returned an unknown name"),
+    };
+    raw.normalized(std::f64::consts::PI)
+}
+
+/// Like [`load`] but capped at `train_n`/`test_n` samples, used by
+/// benchmark harnesses to bound runtime.
+pub fn load_truncated(name: &str, seed: u64, train_n: usize, test_n: usize) -> Dataset {
+    let s = spec(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    load_sized(name, seed, train_n.min(s.train), test_n.min(s.test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_benchmarks_match_table2() {
+        assert_eq!(BENCHMARKS.len(), 9);
+        for s in BENCHMARKS {
+            // Keep generation small where the full set is large.
+            let d = load_truncated(s.name, 1, 200, 50);
+            assert_eq!(d.num_classes(), s.classes, "{}", s.name);
+            assert_eq!(d.feature_dim(), s.feature_dim, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn full_sizes_match_for_small_benchmarks() {
+        for name in ["moons", "bank", "vowel-2", "vowel-4"] {
+            let s = spec(name).expect("known benchmark");
+            let d = load(name, 2);
+            assert_eq!(d.train().len(), s.train, "{name}");
+            assert_eq!(d.test().len(), s.test, "{name}");
+        }
+    }
+
+    #[test]
+    fn features_are_normalized_to_pi() {
+        let d = load("moons", 3);
+        for f in d.train().features.iter().chain(&d.test().features) {
+            for &v in f {
+                assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(spec("cifar").is_none());
+    }
+
+    #[test]
+    fn params_budgets_match_table2() {
+        assert_eq!(spec("moons").unwrap().params, 16);
+        assert_eq!(spec("mnist-10").unwrap().params, 72);
+        assert_eq!(spec("fmnist-2").unwrap().params, 32);
+    }
+}

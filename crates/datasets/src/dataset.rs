@@ -1,0 +1,290 @@
+//! The [`Dataset`] container and preprocessing shared by all benchmarks.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One split (train or test) of a classification dataset.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Feature vectors, one per sample.
+    pub features: Vec<Vec<f64>>,
+    /// Class label per sample, in `0..num_classes`.
+    pub labels: Vec<usize>,
+}
+
+impl Split {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Returns `true` if the split holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+/// A classification dataset with train and test splits.
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_datasets::moons;
+/// let data = moons(600, 120, 7);
+/// assert_eq!(data.num_classes(), 2);
+/// assert_eq!(data.feature_dim(), 2);
+/// assert_eq!(data.train().len(), 600);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    num_classes: usize,
+    train: Split,
+    test: Split,
+}
+
+impl Dataset {
+    /// Assembles a dataset, validating shapes and label ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if splits are empty, feature dimensions are inconsistent, or
+    /// a label is out of range.
+    pub fn new(name: impl Into<String>, num_classes: usize, train: Split, test: Split) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(!train.is_empty() && !test.is_empty(), "splits must be non-empty");
+        let dim = train.features[0].len();
+        for split in [&train, &test] {
+            assert_eq!(split.features.len(), split.labels.len(), "feature/label mismatch");
+            for f in &split.features {
+                assert_eq!(f.len(), dim, "inconsistent feature dimension");
+            }
+            for &l in &split.labels {
+                assert!(l < num_classes, "label {l} out of range");
+            }
+        }
+        Dataset {
+            name: name.into(),
+            num_classes,
+            train,
+            test,
+        }
+    }
+
+    /// Dataset name (e.g. `"mnist-4"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.train.features[0].len()
+    }
+
+    /// The training split.
+    pub fn train(&self) -> &Split {
+        &self.train
+    }
+
+    /// The test split.
+    pub fn test(&self) -> &Split {
+        &self.test
+    }
+
+    /// Min-max normalizes every feature dimension to `[0, scale]`, with the
+    /// statistics computed on the training split (the usual leak-free
+    /// convention). Angle embeddings typically use `scale = pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    #[must_use]
+    pub fn normalized(&self, scale: f64) -> Dataset {
+        assert!(scale > 0.0, "scale must be positive");
+        let dim = self.feature_dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for f in &self.train.features {
+            for (d, &v) in f.iter().enumerate() {
+                lo[d] = lo[d].min(v);
+                hi[d] = hi[d].max(v);
+            }
+        }
+        let map = |f: &Vec<f64>| -> Vec<f64> {
+            f.iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    let range = hi[d] - lo[d];
+                    if range < 1e-12 {
+                        0.0
+                    } else {
+                        ((v - lo[d]) / range).clamp(0.0, 1.0) * scale
+                    }
+                })
+                .collect()
+        };
+        Dataset {
+            name: self.name.clone(),
+            num_classes: self.num_classes,
+            train: Split {
+                features: self.train.features.iter().map(map).collect(),
+                labels: self.train.labels.clone(),
+            },
+            test: Split {
+                features: self.test.features.iter().map(map).collect(),
+                labels: self.test.labels.clone(),
+            },
+        }
+    }
+
+    /// Draws `per_class` training samples from every class (without
+    /// replacement when possible), as RepCap's `d_c` sampling requires.
+    ///
+    /// Returns `(features, labels)` grouped by class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some class has no training samples.
+    pub fn sample_per_class<R: Rng + ?Sized>(
+        &self,
+        per_class: usize,
+        rng: &mut R,
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut features = Vec::with_capacity(per_class * self.num_classes);
+        let mut labels = Vec::with_capacity(per_class * self.num_classes);
+        for class in 0..self.num_classes {
+            let idx: Vec<usize> = (0..self.train.len())
+                .filter(|&i| self.train.labels[i] == class)
+                .collect();
+            assert!(!idx.is_empty(), "class {class} has no training samples");
+            // Fisher-Yates shuffle, then take the first `per_class`
+            // (cycling with replacement only when the class is too small).
+            let mut shuffled = idx.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.random_range(0..=i);
+                shuffled.swap(i, j);
+            }
+            for k in 0..per_class {
+                let pick = shuffled[k % shuffled.len()];
+                features.push(self.train.features[pick].clone());
+                labels.push(class);
+            }
+        }
+        (features, labels)
+    }
+
+    /// Takes the first `n` samples of each split (deterministic subsetting
+    /// used to keep benchmark harness runtimes manageable).
+    #[must_use]
+    pub fn truncated(&self, train_n: usize, test_n: usize) -> Dataset {
+        let take = |s: &Split, n: usize| Split {
+            features: s.features.iter().take(n).cloned().collect(),
+            labels: s.labels.iter().take(n).cloned().collect(),
+        };
+        Dataset::new(
+            self.name.clone(),
+            self.num_classes,
+            take(&self.train, train_n.max(self.num_classes * 2).min(self.train.len())),
+            take(&self.test, test_n.max(self.num_classes).min(self.test.len())),
+        )
+    }
+}
+
+/// Interleaves samples so that class labels alternate, which keeps
+/// truncated prefixes class-balanced.
+pub fn interleave_by_class(features: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Split {
+    let mut buckets: Vec<Vec<(Vec<f64>, usize)>> = vec![Vec::new(); num_classes];
+    for (f, l) in features.into_iter().zip(labels) {
+        buckets[l].push((f, l));
+    }
+    let mut out = Split::default();
+    let max_len = buckets.iter().map(Vec::len).max().unwrap_or(0);
+    for k in 0..max_len {
+        for bucket in &mut buckets {
+            if k < bucket.len() {
+                let (f, l) = bucket[k].clone();
+                out.features.push(f);
+                out.labels.push(l);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            "tiny",
+            2,
+            Split {
+                features: vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 30.0]],
+                labels: vec![0, 1, 0],
+            },
+            Split {
+                features: vec![vec![1.0, 25.0]],
+                labels: vec![1],
+            },
+        )
+    }
+
+    #[test]
+    fn normalization_maps_train_range() {
+        let d = tiny().normalized(std::f64::consts::PI);
+        let f = &d.train().features;
+        assert!((f[0][0] - 0.0).abs() < 1e-12);
+        assert!((f[2][0] - std::f64::consts::PI).abs() < 1e-12);
+        assert!((f[1][1] - std::f64::consts::PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_clamps_test_outliers() {
+        let d = tiny().normalized(1.0);
+        // Test feature 25.0 lies inside the train range [10, 30].
+        assert!((d.test().features[0][1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_per_class_is_balanced() {
+        let d = tiny();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (features, labels) = d.sample_per_class(4, &mut rng);
+        assert_eq!(features.len(), 8);
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 4);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 4);
+    }
+
+    #[test]
+    fn interleave_balances_prefixes() {
+        let features = vec![vec![0.0]; 6];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let s = interleave_by_class(features, labels, 2);
+        assert_eq!(&s.labels[..4], &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 2 out of range")]
+    fn out_of_range_label_rejected() {
+        Dataset::new(
+            "bad",
+            2,
+            Split {
+                features: vec![vec![0.0]],
+                labels: vec![2],
+            },
+            Split {
+                features: vec![vec![0.0]],
+                labels: vec![0],
+            },
+        );
+    }
+}

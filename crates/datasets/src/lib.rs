@@ -1,0 +1,26 @@
+//! The paper's 9 QML benchmarks (Table 2), reproduced as synthetic
+//! generators.
+//!
+//! Real MNIST / FMNIST / Vowel / Bank data is not reachable from this
+//! environment; each benchmark is replaced by a deterministic generator
+//! preserving the class count, feature dimensionality (including the
+//! paper's center-crop + mean-pool image pipeline), separability structure,
+//! and sample counts. See `DESIGN.md` for the substitution rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use elivagar_datasets::benchmarks;
+//! let data = benchmarks::load_truncated("mnist-4", 7, 100, 40);
+//! assert_eq!(data.num_classes(), 4);
+//! assert_eq!(data.feature_dim(), 16); // 4x4 pooled images
+//! ```
+
+pub mod benchmarks;
+pub mod dataset;
+pub mod pca;
+pub mod synthetic;
+
+pub use benchmarks::{load, load_sized, load_truncated, spec, BenchmarkSpec, BENCHMARKS};
+pub use dataset::{Dataset, Split};
+pub use synthetic::{bank, image_dataset, moons, vowel, ImageFamily};

@@ -1,0 +1,172 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used by the Vowel benchmarks, which the paper reduces to the 10 most
+//! significant PCA dimensions.
+
+/// Projects samples onto their `k` leading principal components.
+///
+/// Components are computed from the sample covariance by power iteration
+/// with deflation — entirely adequate for the small feature dimensions of
+/// the benchmarks.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `k` exceeds the feature dimension.
+#[allow(clippy::needless_range_loop)]
+pub fn project(samples: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
+    assert!(!samples.is_empty(), "pca of empty sample set");
+    let dim = samples[0].len();
+    assert!(k <= dim, "cannot extract {k} components from {dim} dimensions");
+    let n = samples.len();
+
+    // Mean-center.
+    let mut mean = vec![0.0; dim];
+    for s in samples {
+        for (m, &v) in mean.iter_mut().zip(s) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|s| s.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+        .collect();
+
+    // Covariance matrix.
+    let mut cov = vec![vec![0.0; dim]; dim];
+    for s in &centered {
+        for i in 0..dim {
+            for j in i..dim {
+                cov[i][j] += s[i] * s[j];
+            }
+        }
+    }
+    for i in 0..dim {
+        for j in i..dim {
+            cov[i][j] /= (n - 1).max(1) as f64;
+            cov[j][i] = cov[i][j];
+        }
+    }
+
+    // Power iteration with deflation.
+    let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut work = cov;
+    for c in 0..k {
+        let mut v: Vec<f64> = (0..dim)
+            .map(|i| if (i + c) % 2 == 0 { 1.0 } else { -0.5 } / (i + c + 1) as f64)
+            .collect();
+        let mut eigenvalue = 0.0;
+        for _ in 0..500 {
+            let mut next = vec![0.0; dim];
+            for (i, row) in work.iter().enumerate() {
+                next[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+            }
+            // Re-orthogonalize against previously found components to keep
+            // deflation numerically stable.
+            for comp in &components {
+                let dot: f64 = next.iter().zip(comp).map(|(a, b)| a * b).sum();
+                for (x, &c2) in next.iter_mut().zip(comp) {
+                    *x -= dot * c2;
+                }
+            }
+            let norm: f64 = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-15 {
+                break; // exhausted the spectrum; remaining components are null
+            }
+            for x in &mut next {
+                *x /= norm;
+            }
+            let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            eigenvalue = norm;
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        // Deflate: work -= lambda v v^T.
+        for i in 0..dim {
+            for j in 0..dim {
+                work[i][j] -= eigenvalue * v[i] * v[j];
+            }
+        }
+        components.push(v);
+    }
+
+    centered
+        .iter()
+        .map(|s| {
+            components
+                .iter()
+                .map(|c| c.iter().zip(s).map(|(a, b)| a * b).sum())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Data stretched along (1, 1)/sqrt(2): first component captures it.
+        let samples: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let t = (i as f64 - 50.0) / 10.0;
+                vec![t + 0.01 * (i as f64).sin(), t - 0.01 * (i as f64).cos()]
+            })
+            .collect();
+        let projected = project(&samples, 1);
+        // Variance along the first PC should be close to the total.
+        let var_pc: f64 = projected.iter().map(|p| p[0] * p[0]).sum::<f64>() / 99.0;
+        let total_var: f64 = {
+            let mean: Vec<f64> = vec![0.0, 0.0];
+            samples
+                .iter()
+                .map(|s| s.iter().zip(&mean).map(|(a, b)| (a - b).powi(2)).sum::<f64>())
+                .sum::<f64>()
+                / 99.0
+        };
+        assert!(var_pc / total_var > 0.99, "captured {}", var_pc / total_var);
+    }
+
+    #[test]
+    fn projection_has_requested_dimension() {
+        let samples: Vec<Vec<f64>> = (0..20)
+            .map(|i| (0..5).map(|d| ((i * d) as f64).sin()).collect())
+            .collect();
+        let p = project(&samples, 3);
+        assert_eq!(p.len(), 20);
+        assert!(p.iter().all(|row| row.len() == 3));
+    }
+
+    #[test]
+    fn components_are_ordered_by_variance_and_uncorrelated() {
+        // Three independent streams with variances separated by 10x each.
+        let samples: Vec<Vec<f64>> = (0..400)
+            .map(|i| {
+                let t = i as f64;
+                vec![
+                    10.0 * (t * 0.7129).sin(),
+                    3.0 * (t * 1.3371 + 0.5).sin(),
+                    1.0 * (t * 2.7177 + 1.1).sin(),
+                ]
+            })
+            .collect();
+        let p = project(&samples, 3);
+        let var = |k: usize| p.iter().map(|r| r[k] * r[k]).sum::<f64>() / 399.0;
+        assert!(var(0) > var(1) * 1.5, "{} vs {}", var(0), var(1));
+        assert!(var(1) > var(2) * 1.5, "{} vs {}", var(1), var(2));
+        // Projections onto distinct components are uncorrelated.
+        let cov01: f64 = p.iter().map(|r| r[0] * r[1]).sum::<f64>() / 399.0;
+        assert!(cov01.abs() < 0.05 * (var(0) * var(1)).sqrt(), "cov {cov01}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot extract")]
+    fn too_many_components_rejected() {
+        project(&[vec![1.0, 2.0]], 3);
+    }
+}

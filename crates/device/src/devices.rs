@@ -1,0 +1,417 @@
+//! The device library: the 12 machines of Table 3 (plus Rigetti
+//! Aspen-M-2, whose noise model the paper uses in Fig. 5d).
+//!
+//! Topologies are device-accurate (IBM heavy-hex families, Rigetti octagon
+//! lattices, the OQC Lucy ring); calibration snapshots are synthesized
+//! around the paper's median error rates (see [`crate::calibration`]).
+
+use crate::calibration::{Calibration, CalibrationSpec};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A quantum device: name, coupling graph, and calibration snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    name: String,
+    topology: Topology,
+    calibration: Calibration,
+}
+
+impl Device {
+    /// Assembles a device from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration shapes do not match the topology.
+    pub fn new(name: impl Into<String>, topology: Topology, calibration: Calibration) -> Self {
+        assert_eq!(
+            calibration.readout_error.len(),
+            topology.num_qubits(),
+            "calibration does not match qubit count"
+        );
+        assert_eq!(
+            calibration.gate2q_error.len(),
+            topology.edges().len(),
+            "calibration does not match edge count"
+        );
+        Device {
+            name: name.into(),
+            topology,
+            calibration,
+        }
+    }
+
+    /// Device name (e.g. `"ibmq-kolkata"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Coupling graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Calibration snapshot.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.topology.num_qubits()
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} qubits)", self.name, self.num_qubits())
+    }
+}
+
+/// The coupling map of IBM's 7-qubit Falcon r5.11H devices
+/// (Jakarta, Nairobi, Lagos, Perth): an H-shaped heavy-hex fragment.
+pub fn ibm_7q_topology() -> Topology {
+    Topology::new(7, &[(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)])
+}
+
+/// The coupling map of IBM's 16-qubit Falcon r4P devices
+/// (Guadalupe, Geneva-class fragments).
+pub fn ibm_16q_topology() -> Topology {
+    Topology::new(
+        16,
+        &[
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+        ],
+    )
+}
+
+/// The coupling map of IBM's 27-qubit Falcon r5.11 devices
+/// (Kolkata, Mumbai).
+pub fn ibm_27q_topology() -> Topology {
+    Topology::new(
+        27,
+        &[
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
+        ],
+    )
+}
+
+fn ibm_times() -> (f64, f64, f64) {
+    // (1q, 2q, readout) durations in microseconds, typical Falcon/Eagle.
+    (0.035, 0.40, 0.80)
+}
+
+fn ibm_spec(ro: f64, e1: f64, e2: f64, t1: f64, t2: f64) -> CalibrationSpec {
+    let (g1, g2, m) = ibm_times();
+    CalibrationSpec {
+        readout_error: ro,
+        gate1q_error: e1,
+        gate2q_error: e2,
+        t1_us: t1,
+        t2_us: t2,
+        gate1q_time_us: g1,
+        gate2q_time_us: g2,
+        readout_time_us: m,
+    }
+}
+
+fn build(name: &str, topology: Topology, spec: CalibrationSpec, seed: u64) -> Device {
+    let calibration = Calibration::synthesize(&topology, &spec, seed);
+    Device::new(name, topology, calibration)
+}
+
+/// OQC Lucy: 8-qubit ring. Table 3 medians: RO 1.3e-1, 1Q 6.2e-4,
+/// 2Q 4.4e-2.
+pub fn oqc_lucy() -> Device {
+    let spec = CalibrationSpec {
+        readout_error: 1.3e-1,
+        gate1q_error: 6.2e-4,
+        gate2q_error: 4.4e-2,
+        t1_us: 35.0,
+        t2_us: 45.0,
+        gate1q_time_us: 0.04,
+        gate2q_time_us: 0.50,
+        readout_time_us: 1.5,
+    };
+    build("oqc-lucy", Topology::ring(8), spec, seed_of(1))
+}
+
+/// Stable per-device seeds so calibrations are reproducible run to run.
+const fn seed_of(tag: u64) -> u64 {
+    0xE11A_6A52_0000_0000 ^ tag
+}
+
+/// Rigetti Aspen-M-3: 79-qubit octagon lattice (one disabled qubit).
+/// Table 3 medians: RO 8.0e-2, 1Q 1.5e-3, 2Q 9.3e-2.
+pub fn rigetti_aspen_m3() -> Device {
+    let spec = CalibrationSpec {
+        readout_error: 8.0e-2,
+        gate1q_error: 1.5e-3,
+        gate2q_error: 9.3e-2,
+        t1_us: 25.0,
+        t2_us: 22.0,
+        gate1q_time_us: 0.04,
+        gate2q_time_us: 0.25,
+        readout_time_us: 2.0,
+    };
+    build(
+        "rigetti-aspen-m3",
+        Topology::aspen(2, 5).without_qubit(17),
+        spec,
+        seed_of(2),
+    )
+}
+
+/// Rigetti Aspen-M-2: 80-qubit octagon lattice. Used by the paper as a
+/// noise model in Fig. 5d (not listed in Table 3; medians chosen slightly
+/// better than Aspen-M-3, consistent with Rigetti's published snapshots).
+pub fn rigetti_aspen_m2() -> Device {
+    let spec = CalibrationSpec {
+        readout_error: 7.0e-2,
+        gate1q_error: 1.4e-3,
+        gate2q_error: 8.6e-2,
+        t1_us: 27.0,
+        t2_us: 24.0,
+        gate1q_time_us: 0.04,
+        gate2q_time_us: 0.25,
+        readout_time_us: 2.0,
+    };
+    build("rigetti-aspen-m2", Topology::aspen(2, 5), spec, seed_of(3))
+}
+
+/// IBMQ Jakarta (7 qubits): RO 2.6e-2, 1Q 2.2e-4, 2Q 8.5e-3.
+pub fn ibmq_jakarta() -> Device {
+    build(
+        "ibmq-jakarta",
+        ibm_7q_topology(),
+        ibm_spec(2.6e-2, 2.2e-4, 8.5e-3, 130.0, 40.0),
+        seed_of(4),
+    )
+}
+
+/// IBM Nairobi (7 qubits): RO 2.4e-2, 1Q 2.7e-4, 2Q 9.6e-3.
+pub fn ibm_nairobi() -> Device {
+    build(
+        "ibm-nairobi",
+        ibm_7q_topology(),
+        ibm_spec(2.4e-2, 2.7e-4, 9.6e-3, 120.0, 70.0),
+        seed_of(5),
+    )
+}
+
+/// IBM Lagos (7 qubits): RO 1.9e-2, 1Q 2.1e-4, 2Q 9.8e-3.
+pub fn ibm_lagos() -> Device {
+    build(
+        "ibm-lagos",
+        ibm_7q_topology(),
+        ibm_spec(1.9e-2, 2.1e-4, 9.8e-3, 140.0, 100.0),
+        seed_of(6),
+    )
+}
+
+/// IBM Perth (7 qubits): RO 2.8e-2, 1Q 2.8e-4, 2Q 8.7e-3.
+pub fn ibm_perth() -> Device {
+    build(
+        "ibm-perth",
+        ibm_7q_topology(),
+        ibm_spec(2.8e-2, 2.8e-4, 8.7e-3, 180.0, 110.0),
+        seed_of(7),
+    )
+}
+
+/// IBM Geneva (16 qubits): RO 2.7e-2, 1Q 2.2e-4, 2Q 1.1e-2.
+pub fn ibm_geneva() -> Device {
+    build(
+        "ibm-geneva",
+        ibm_16q_topology(),
+        ibm_spec(2.7e-2, 2.2e-4, 1.1e-2, 300.0, 140.0),
+        seed_of(8),
+    )
+}
+
+/// IBM Guadalupe (16 qubits): RO 2.0e-2, 1Q 2.9e-4, 2Q 8.9e-3.
+pub fn ibm_guadalupe() -> Device {
+    build(
+        "ibm-guadalupe",
+        ibm_16q_topology(),
+        ibm_spec(2.0e-2, 2.9e-4, 8.9e-3, 110.0, 90.0),
+        seed_of(9),
+    )
+}
+
+/// IBMQ Kolkata (27 qubits): RO 1.2e-2, 1Q 2.3e-4, 2Q 9.0e-3.
+pub fn ibmq_kolkata() -> Device {
+    build(
+        "ibmq-kolkata",
+        ibm_27q_topology(),
+        ibm_spec(1.2e-2, 2.3e-4, 9.0e-3, 120.0, 90.0),
+        seed_of(10),
+    )
+}
+
+/// IBMQ Mumbai (27 qubits): RO 1.9e-2, 1Q 2.0e-4, 2Q 9.6e-3.
+pub fn ibmq_mumbai() -> Device {
+    build(
+        "ibmq-mumbai",
+        ibm_27q_topology(),
+        ibm_spec(1.9e-2, 2.0e-4, 9.6e-3, 115.0, 85.0),
+        seed_of(11),
+    )
+}
+
+/// IBM Kyoto (127 qubits): RO 1.4e-2, 1Q 2.5e-4, 2Q 9.1e-3.
+pub fn ibm_kyoto() -> Device {
+    build(
+        "ibm-kyoto",
+        Topology::heavy_hex(7, 15),
+        ibm_spec(1.4e-2, 2.5e-4, 9.1e-3, 220.0, 110.0),
+        seed_of(12),
+    )
+}
+
+/// IBM Osaka (127 qubits): RO 1.7e-2, 1Q 2.2e-4, 2Q 1.0e-2.
+pub fn ibm_osaka() -> Device {
+    build(
+        "ibm-osaka",
+        Topology::heavy_hex(7, 15),
+        ibm_spec(1.7e-2, 2.2e-4, 1.0e-2, 200.0, 120.0),
+        seed_of(13),
+    )
+}
+
+/// All devices of Table 3 plus the Aspen-M-2 noise model.
+pub fn all_devices() -> Vec<Device> {
+    vec![
+        oqc_lucy(),
+        rigetti_aspen_m3(),
+        rigetti_aspen_m2(),
+        ibmq_jakarta(),
+        ibm_nairobi(),
+        ibm_lagos(),
+        ibm_perth(),
+        ibm_geneva(),
+        ibm_guadalupe(),
+        ibmq_kolkata(),
+        ibmq_mumbai(),
+        ibm_kyoto(),
+        ibm_osaka(),
+    ]
+}
+
+/// Looks up a device constructor by name.
+pub fn device_by_name(name: &str) -> Option<Device> {
+    all_devices().into_iter().find(|d| d.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_counts_match_table3() {
+        let expected = [
+            ("oqc-lucy", 8),
+            ("rigetti-aspen-m3", 79),
+            ("rigetti-aspen-m2", 80),
+            ("ibmq-jakarta", 7),
+            ("ibm-nairobi", 7),
+            ("ibm-lagos", 7),
+            ("ibm-perth", 7),
+            ("ibm-geneva", 16),
+            ("ibm-guadalupe", 16),
+            ("ibmq-kolkata", 27),
+            ("ibmq-mumbai", 27),
+            ("ibm-kyoto", 127),
+            ("ibm-osaka", 127),
+        ];
+        for (name, n) in expected {
+            let d = device_by_name(name).unwrap_or_else(|| panic!("missing device {name}"));
+            assert_eq!(d.num_qubits(), n, "{name}");
+        }
+    }
+
+    #[test]
+    fn device_names_are_unique() {
+        let devices = all_devices();
+        let mut names: Vec<_> = devices.iter().map(|d| d.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), devices.len());
+    }
+
+    #[test]
+    fn error_ordering_matches_table3() {
+        // OQC Lucy and Rigetti are an order of magnitude noisier than IBM
+        // machines — the property driving Fig. 8a's device ordering.
+        let lucy = oqc_lucy();
+        let lagos = ibm_lagos();
+        assert!(
+            lucy.calibration().median_gate2q_error()
+                > 3.0 * lagos.calibration().median_gate2q_error()
+        );
+        assert!(
+            lucy.calibration().median_readout_error()
+                > 3.0 * lagos.calibration().median_readout_error()
+        );
+    }
+
+    #[test]
+    fn calibrations_are_stable_across_calls() {
+        assert_eq!(ibmq_kolkata(), ibmq_kolkata());
+    }
+
+    #[test]
+    fn topologies_are_connected() {
+        for d in all_devices() {
+            let t = d.topology();
+            assert!(
+                (0..t.num_qubits()).all(|q| t.distance(0, q) != usize::MAX),
+                "{} disconnected",
+                d.name()
+            );
+        }
+    }
+}

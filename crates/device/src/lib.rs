@@ -1,0 +1,36 @@
+//! NISQ device models for the Elivagar reproduction.
+//!
+//! Provides the coupling graphs and calibration data of the 12 machines in
+//! the paper's Table 3 (plus the Rigetti Aspen-M-2 noise model of Fig. 5d),
+//! noise-guided connected-subgraph sampling (Algorithm 1), and the bridge
+//! from calibration data to executable [`elivagar_sim::CircuitNoise`]
+//! descriptions.
+//!
+//! Calibration snapshots are *synthesized* around the paper's published
+//! median error rates because the original daily snapshots are not
+//! available; see `DESIGN.md` for the substitution rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use elivagar_device::devices::ibm_lagos;
+//! use elivagar_device::subgraph::choose_subgraph;
+//! use rand::SeedableRng;
+//!
+//! let device = ibm_lagos();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let qubits = choose_subgraph(&device, 4, 8, &mut rng);
+//! assert!(device.topology().is_connected_subset(&qubits));
+//! ```
+
+pub mod calibration;
+pub mod devices;
+pub mod noise_model;
+pub mod subgraph;
+pub mod topology;
+
+pub use calibration::{Calibration, CalibrationSpec};
+pub use devices::{all_devices, device_by_name, Device};
+pub use noise_model::{circuit_fidelity, circuit_noise, NoiseModelError};
+pub use subgraph::{choose_subgraph, sample_connected_subgraph, subgraph_quality, weighted_choice};
+pub use topology::Topology;

@@ -1,0 +1,280 @@
+//! Deriving a concrete [`CircuitNoise`] description from device calibration.
+//!
+//! Given a circuit already placed on physical qubits, this builds per-gate
+//! depolarizing channels from calibrated gate errors, idle + gate
+//! decoherence from T1/T2 with an ASAP schedule, and readout confusion
+//! matrices. Idle decoherence between a qubit's last gate and measurement
+//! is folded into the readout error (amplitude damping before a Z-basis
+//! measurement is exactly a `1 -> 0` readout flip).
+
+use crate::devices::Device;
+use elivagar_circuit::Circuit;
+use elivagar_sim::noise::{CircuitNoise, DampingError, InstructionNoise, PauliError, ReadoutError};
+use std::error::Error;
+use std::fmt;
+
+/// Effective-noise multiplier applied to calibrated gate error rates.
+///
+/// Published calibration medians systematically understate the error a
+/// deep circuit experiences on real hardware: crosstalk between
+/// simultaneous gates, calibration drift between snapshots, and
+/// non-Markovian effects are all absent from isolated randomized-
+/// benchmarking numbers. The paper's own measurements imply the gap — its
+/// Table 5 reports fidelities of 0.6-0.74 for ~20-two-qubit-gate circuits
+/// on devices whose median 2Q error is ~0.9%, i.e. an effective per-gate
+/// error ~2.5x the calibrated one. This factor folds that gap in so that
+/// simulated fidelities land in the measured range.
+pub const EFFECTIVE_NOISE_FACTOR: f64 = 2.5;
+
+/// Error returned when a circuit does not fit the device it is being
+/// noise-modeled for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NoiseModelError {
+    /// The circuit uses more qubits than the device has.
+    TooManyQubits {
+        /// Qubits in the circuit.
+        circuit: usize,
+        /// Qubits on the device.
+        device: usize,
+    },
+    /// A two-qubit gate acts on an uncoupled qubit pair (the circuit was
+    /// not routed for this device).
+    UncoupledGate {
+        /// First operand.
+        a: usize,
+        /// Second operand.
+        b: usize,
+    },
+}
+
+impl fmt::Display for NoiseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseModelError::TooManyQubits { circuit, device } => {
+                write!(f, "circuit uses {circuit} qubits but device has {device}")
+            }
+            NoiseModelError::UncoupledGate { a, b } => {
+                write!(f, "two-qubit gate on uncoupled pair ({a},{b}); route the circuit first")
+            }
+        }
+    }
+}
+
+impl Error for NoiseModelError {}
+
+/// Builds the noise description for executing `circuit` on `device`.
+///
+/// The circuit's qubit indices are interpreted as *physical* device qubits
+/// (which is how Elivagar-generated circuits come out of Algorithm 1).
+///
+/// # Errors
+///
+/// Returns [`NoiseModelError`] if the circuit does not fit the device or
+/// applies a two-qubit gate across an uncoupled pair.
+pub fn circuit_noise(device: &Device, circuit: &Circuit) -> Result<CircuitNoise, NoiseModelError> {
+    let topo = device.topology();
+    let cal = device.calibration();
+    if circuit.num_qubits() > topo.num_qubits() {
+        return Err(NoiseModelError::TooManyQubits {
+            circuit: circuit.num_qubits(),
+            device: topo.num_qubits(),
+        });
+    }
+
+    // ASAP schedule: per-qubit clock in microseconds.
+    let mut clock = vec![0.0f64; circuit.num_qubits()];
+    let mut per_instruction = Vec::with_capacity(circuit.len());
+    for ins in circuit.instructions() {
+        let (duration, gate_pauli) = if ins.qubits.len() == 1 {
+            let q = ins.qubits[0];
+            let p = (cal.gate1q_error[q] * EFFECTIVE_NOISE_FACTOR).min(0.75);
+            (cal.gate1q_time_us, vec![PauliError::depolarizing(p)])
+        } else {
+            let (a, b) = (ins.qubits[0], ins.qubits[1]);
+            let edge = topo
+                .edge_index(a, b)
+                .ok_or(NoiseModelError::UncoupledGate { a, b })?;
+            let p = (cal.gate2q_error[edge] * EFFECTIVE_NOISE_FACTOR).min(0.75);
+            // Split the edge error evenly over the two operands so the
+            // total first-order error probability matches the effective
+            // rate.
+            (
+                cal.gate2q_time_us,
+                vec![PauliError::depolarizing(p / 2.0); 2],
+            )
+        };
+        let start = ins.qubits.iter().map(|&q| clock[q]).fold(0.0, f64::max);
+        let end = start + duration;
+        let damping = ins
+            .qubits
+            .iter()
+            .map(|&q| {
+                // Idle time since this qubit's last operation plus the gate
+                // itself.
+                let busy = end - clock[q];
+                DampingError::from_coherence(cal.t1_us[q], cal.t2_us[q], busy)
+            })
+            .collect();
+        for &q in &ins.qubits {
+            clock[q] = end;
+        }
+        per_instruction.push(InstructionNoise {
+            pauli: gate_pauli,
+            damping,
+        });
+    }
+
+    // Readout: calibrated confusion matrix (slightly asymmetric, as on real
+    // transmons where |1> decays) plus idle decoherence until the global
+    // measurement time, folded in exactly.
+    let t_end = clock.iter().cloned().fold(0.0, f64::max);
+    let readout = circuit
+        .measured()
+        .iter()
+        .map(|&q| {
+            let ro = cal.readout_error[q];
+            let idle = t_end - clock[q] + cal.readout_time_us;
+            let gamma = 1.0 - (-idle / cal.t1_us[q]).exp();
+            ReadoutError {
+                p1_given_0: (0.8 * ro).min(0.5),
+                p0_given_1: (1.2 * ro + gamma).min(0.5),
+            }
+        })
+        .collect();
+
+    Ok(CircuitNoise {
+        per_instruction,
+        readout,
+    })
+}
+
+/// Convenience: the fidelity (1 - TVD against noiseless output) of a
+/// circuit on a device, estimated with `num_trajectories` Monte-Carlo
+/// trajectories.
+///
+/// # Errors
+///
+/// Returns [`NoiseModelError`] if the circuit does not fit the device.
+///
+/// # Panics
+///
+/// Panics if the circuit measures no qubits.
+pub fn circuit_fidelity<R: rand::Rng + ?Sized>(
+    device: &Device,
+    circuit: &Circuit,
+    params: &[f64],
+    features: &[f64],
+    num_trajectories: usize,
+    rng: &mut R,
+) -> Result<f64, NoiseModelError> {
+    let noise = circuit_noise(device, circuit)?;
+    let noisy = elivagar_sim::noisy_distribution(
+        circuit,
+        params,
+        features,
+        &noise,
+        num_trajectories,
+        rng,
+    );
+    let ideal = elivagar_sim::StateVector::run(circuit, params, features)
+        .marginal_probabilities(circuit.measured());
+    Ok(elivagar_sim::fidelity(&ideal, &noisy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{ibm_lagos, oqc_lucy};
+    use elivagar_circuit::{Gate, ParamExpr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn routed_circuit() -> Circuit {
+        // Lagos coupling includes (0,1) and (1,3).
+        let mut c = Circuit::new(4);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Rx, &[3], &[ParamExpr::constant(0.5)]);
+        c.push_gate(Gate::Cz, &[1, 3], &[]);
+        c.set_measured(vec![0, 1]);
+        c
+    }
+
+    #[test]
+    fn noise_shapes_match_circuit() {
+        let device = ibm_lagos();
+        let noise = circuit_noise(&device, &routed_circuit()).unwrap();
+        assert_eq!(noise.per_instruction.len(), 4);
+        assert_eq!(noise.per_instruction[1].pauli.len(), 2);
+        assert_eq!(noise.readout.len(), 2);
+        assert!(noise.readout[0].p0_given_1 > noise.readout[0].p1_given_0);
+    }
+
+    #[test]
+    fn uncoupled_gate_is_rejected() {
+        let device = ibm_lagos();
+        let mut c = Circuit::new(7);
+        c.push_gate(Gate::Cx, &[0, 6], &[]);
+        c.set_measured(vec![0]);
+        assert_eq!(
+            circuit_noise(&device, &c),
+            Err(NoiseModelError::UncoupledGate { a: 0, b: 6 })
+        );
+    }
+
+    #[test]
+    fn oversized_circuit_is_rejected() {
+        let device = ibm_lagos();
+        let mut c = Circuit::new(8);
+        c.set_measured(vec![0]);
+        assert!(matches!(
+            circuit_noise(&device, &c),
+            Err(NoiseModelError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn noisier_device_gives_lower_fidelity() {
+        let c = {
+            // Both devices have a coupled (0,1) pair.
+            let mut c = Circuit::new(2);
+            c.push_gate(Gate::H, &[0], &[]);
+            c.push_gate(Gate::Cx, &[0, 1], &[]);
+            c.push_gate(Gate::Cx, &[0, 1], &[]);
+            c.push_gate(Gate::Cx, &[0, 1], &[]);
+            c.set_measured(vec![0, 1]);
+            c
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let f_lagos = circuit_fidelity(&ibm_lagos(), &c, &[], &[], 800, &mut rng).unwrap();
+        let f_lucy = circuit_fidelity(&oqc_lucy(), &c, &[], &[], 800, &mut rng).unwrap();
+        assert!(
+            f_lagos > f_lucy + 0.02,
+            "lagos {f_lagos} should beat lucy {f_lucy}"
+        );
+        assert!(f_lagos > 0.85, "lagos fidelity {f_lagos}");
+    }
+
+    #[test]
+    fn deeper_circuits_have_lower_fidelity() {
+        let device = ibm_lagos();
+        let mut rng = StdRng::seed_from_u64(8);
+        let shallow = {
+            let mut c = Circuit::new(2);
+            c.push_gate(Gate::Cx, &[0, 1], &[]);
+            c.set_measured(vec![0, 1]);
+            c
+        };
+        let deep = {
+            let mut c = Circuit::new(2);
+            for _ in 0..12 {
+                c.push_gate(Gate::Cx, &[0, 1], &[]);
+            }
+            c.set_measured(vec![0, 1]);
+            c
+        };
+        let f_shallow = circuit_fidelity(&device, &shallow, &[], &[], 600, &mut rng).unwrap();
+        let f_deep = circuit_fidelity(&device, &deep, &[], &[], 600, &mut rng).unwrap();
+        assert!(f_shallow > f_deep, "{f_shallow} vs {f_deep}");
+    }
+}

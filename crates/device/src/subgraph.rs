@@ -1,0 +1,229 @@
+//! Noise-guided connected-subgraph sampling (Algorithm 1, lines 1–2).
+//!
+//! Elivagar places every candidate circuit directly on a connected subgraph
+//! of the device topology, which yields the qubit mapping for free and
+//! guarantees hardware efficiency. Subgraphs are sampled from a quality-
+//! weighted distribution over readout fidelity, coherence, and two-qubit
+//! gate fidelity rather than greedily, to keep candidate diversity.
+
+use crate::devices::Device;
+use rand::Rng;
+
+/// Quality score of a single qubit: readout fidelity weighted by coherence.
+fn qubit_quality(device: &Device, q: usize) -> f64 {
+    let cal = device.calibration();
+    let readout_fid = 1.0 - cal.readout_error[q];
+    // Coherence factor relative to a 100 us reference, saturating at 1.
+    let coherence = ((cal.t1_us[q] + cal.t2_us[q]) / 200.0).min(1.0);
+    readout_fid * (0.5 + 0.5 * coherence)
+}
+
+/// Quality score of a connected qubit subset: the geometric mean of qubit
+/// scores times the mean two-qubit gate fidelity over induced edges.
+///
+/// # Panics
+///
+/// Panics if `qubits` is empty or not connected on the device.
+pub fn subgraph_quality(device: &Device, qubits: &[usize]) -> f64 {
+    assert!(!qubits.is_empty(), "empty subgraph");
+    assert!(
+        device.topology().is_connected_subset(qubits),
+        "subgraph must be connected"
+    );
+    let qubit_score: f64 = qubits
+        .iter()
+        .map(|&q| qubit_quality(device, q).max(1e-6).ln())
+        .sum::<f64>();
+    let qubit_score = (qubit_score / qubits.len() as f64).exp();
+    let edges = device.topology().induced_edges(qubits);
+    let edge_score = if edges.is_empty() {
+        1.0
+    } else {
+        edges
+            .iter()
+            .map(|&(i, j)| {
+                let e = device
+                    .topology()
+                    .edge_index(qubits[i], qubits[j])
+                    .expect("induced edge exists");
+                1.0 - device.calibration().gate2q_error[e]
+            })
+            .sum::<f64>()
+            / edges.len() as f64
+    };
+    qubit_score * edge_score
+}
+
+/// Samples one connected subgraph of `size` qubits by a random growth walk
+/// seeded at a quality-weighted random qubit.
+///
+/// # Panics
+///
+/// Panics if `size` is zero or exceeds the device size.
+pub fn sample_connected_subgraph<R: Rng + ?Sized>(
+    device: &Device,
+    size: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let topo = device.topology();
+    assert!(size > 0, "subgraph size must be positive");
+    assert!(size <= topo.num_qubits(), "subgraph larger than device");
+    loop {
+        // Quality-weighted start qubit.
+        let weights: Vec<f64> = (0..topo.num_qubits())
+            .map(|q| qubit_quality(device, q))
+            .collect();
+        let start = weighted_choice(&weights, rng);
+        let mut chosen = vec![start];
+        let mut frontier: Vec<usize> = topo.neighbors(start).to_vec();
+        while chosen.len() < size && !frontier.is_empty() {
+            let fw: Vec<f64> = frontier.iter().map(|&q| qubit_quality(device, q)).collect();
+            let pick = weighted_choice(&fw, rng);
+            let q = frontier.swap_remove(pick);
+            if chosen.contains(&q) {
+                continue;
+            }
+            chosen.push(q);
+            for &n in topo.neighbors(q) {
+                if !chosen.contains(&n) && !frontier.contains(&n) {
+                    frontier.push(n);
+                }
+            }
+        }
+        if chosen.len() == size {
+            return chosen;
+        }
+        // Start qubit sat in a component smaller than `size`; retry.
+    }
+}
+
+/// Samples `count` candidate subgraphs and picks one from the softmax
+/// distribution over their quality scores (Algorithm 1, line 2).
+///
+/// # Panics
+///
+/// Panics if `count` is zero, or under [`sample_connected_subgraph`]'s
+/// conditions.
+pub fn choose_subgraph<R: Rng + ?Sized>(
+    device: &Device,
+    size: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(count > 0, "need at least one candidate subgraph");
+    let candidates: Vec<Vec<usize>> = (0..count)
+        .map(|_| sample_connected_subgraph(device, size, rng))
+        .collect();
+    let scores: Vec<f64> = candidates
+        .iter()
+        .map(|s| subgraph_quality(device, s))
+        .collect();
+    // Softmax with a sharpness that favors good subgraphs without
+    // collapsing diversity.
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = scores.iter().map(|&s| ((s - max) * 20.0).exp()).collect();
+    let pick = weighted_choice(&weights, rng);
+    candidates.into_iter().nth(pick).expect("pick in range")
+}
+
+/// Draws an index proportionally to non-negative weights (uniform if all
+/// weights vanish).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty.
+pub fn weighted_choice<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(!weights.is_empty(), "empty weights");
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{ibm_lagos, ibmq_kolkata, oqc_lucy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_subgraphs_are_connected_and_sized() {
+        let device = ibmq_kolkata();
+        let mut rng = StdRng::seed_from_u64(1);
+        for size in 1..=6 {
+            let s = sample_connected_subgraph(&device, size, &mut rng);
+            assert_eq!(s.len(), size);
+            assert!(device.topology().is_connected_subset(&s));
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), size, "no duplicates");
+        }
+    }
+
+    #[test]
+    fn choose_subgraph_prefers_better_regions() {
+        // Statistical check: averaged over many draws, chosen subgraphs
+        // should score at least as well as uniformly grown ones.
+        let device = ibmq_kolkata();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut chosen_score = 0.0;
+        let mut plain_score = 0.0;
+        for _ in 0..40 {
+            let c = choose_subgraph(&device, 4, 8, &mut rng);
+            chosen_score += subgraph_quality(&device, &c);
+            let p = sample_connected_subgraph(&device, 4, &mut rng);
+            plain_score += subgraph_quality(&device, &p);
+        }
+        assert!(
+            chosen_score >= plain_score,
+            "quality-guided {chosen_score} vs plain {plain_score}"
+        );
+    }
+
+    #[test]
+    fn full_device_subgraph_works() {
+        let device = ibm_lagos();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_connected_subgraph(&device, 7, &mut rng);
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn ring_subgraphs_are_paths() {
+        let device = oqc_lucy();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = sample_connected_subgraph(&device, 4, &mut rng);
+        let edges = device.topology().induced_edges(&s);
+        // A 4-qubit connected subgraph of a ring has 3 or 4 induced edges.
+        assert!(edges.len() == 3 || edges.len() == 4);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..6000 {
+            counts[weighted_choice(&[1.0, 2.0, 1.0], &mut rng)] += 1;
+        }
+        let p1 = counts[1] as f64 / 6000.0;
+        assert!((p1 - 0.5).abs() < 0.05, "p1 = {p1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than device")]
+    fn oversized_subgraph_panics() {
+        let device = ibm_lagos();
+        let mut rng = StdRng::seed_from_u64(6);
+        sample_connected_subgraph(&device, 8, &mut rng);
+    }
+}

@@ -1,0 +1,382 @@
+//! Device coupling graphs.
+//!
+//! NISQ devices only support two-qubit gates between physically coupled
+//! qubits (paper Section 2.1); everything in the reproduction that needs
+//! connectivity — subgraph sampling, SABRE routing, hardware-efficiency
+//! checks — goes through [`Topology`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An undirected coupling graph over `num_qubits` physical qubits.
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_device::Topology;
+/// let ring = Topology::ring(4);
+/// assert!(ring.are_coupled(0, 3));
+/// assert!(!ring.are_coupled(0, 2));
+/// assert_eq!(ring.distance(0, 2), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    num_qubits: usize,
+    /// Normalized edges with `a < b`, sorted and deduplicated.
+    edges: Vec<(usize, usize)>,
+    /// Adjacency lists.
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero, an endpoint is out of range, or an
+    /// edge is a self-loop.
+    pub fn new(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(num_qubits > 0, "topology needs at least one qubit");
+        let mut normalized: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(a, b)| {
+                assert!(a != b, "self-loop on qubit {a}");
+                assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        normalized.sort_unstable();
+        normalized.dedup();
+        let mut neighbors = vec![Vec::new(); num_qubits];
+        for &(a, b) in &normalized {
+            neighbors[a].push(b);
+            neighbors[b].push(a);
+        }
+        Topology {
+            num_qubits,
+            edges: normalized,
+            neighbors,
+        }
+    }
+
+    /// A linear chain `0 - 1 - ... - (n-1)`.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Topology::new(n, &edges)
+    }
+
+    /// A closed ring (used by OQC Lucy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "ring needs at least 3 qubits");
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Topology::new(n, &edges)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The normalized edge list (each edge once, `a < b`).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors of a qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.neighbors[q]
+    }
+
+    /// Returns `true` if the two qubits share a coupler.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        self.neighbors[a].contains(&b)
+    }
+
+    /// Index of an edge in [`Self::edges`], if coupled.
+    pub fn edge_index(&self, a: usize, b: usize) -> Option<usize> {
+        let key = (a.min(b), a.max(b));
+        self.edges.binary_search(&key).ok()
+    }
+
+    /// Shortest-path distance in hops between two qubits, or `usize::MAX`
+    /// if disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range.
+    pub fn distance(&self, from: usize, to: usize) -> usize {
+        assert!(from < self.num_qubits && to < self.num_qubits, "qubit out of range");
+        if from == to {
+            return 0;
+        }
+        let mut dist = vec![usize::MAX; self.num_qubits];
+        dist[from] = 0;
+        let mut queue = VecDeque::from([from]);
+        while let Some(q) = queue.pop_front() {
+            for &n in &self.neighbors[q] {
+                if dist[n] == usize::MAX {
+                    dist[n] = dist[q] + 1;
+                    if n == to {
+                        return dist[n];
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist[to]
+    }
+
+    /// All-pairs shortest-path distances (BFS from every qubit). Used by
+    /// SABRE's lookahead cost.
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        (0..self.num_qubits)
+            .map(|s| {
+                let mut dist = vec![usize::MAX; self.num_qubits];
+                dist[s] = 0;
+                let mut queue = VecDeque::from([s]);
+                while let Some(q) = queue.pop_front() {
+                    for &n in &self.neighbors[q] {
+                        if dist[n] == usize::MAX {
+                            dist[n] = dist[q] + 1;
+                            queue.push_back(n);
+                        }
+                    }
+                }
+                dist
+            })
+            .collect()
+    }
+
+    /// Returns `true` if the induced subgraph over `qubits` is connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty or contains an out-of-range qubit.
+    pub fn is_connected_subset(&self, qubits: &[usize]) -> bool {
+        assert!(!qubits.is_empty(), "empty subset");
+        for &q in qubits {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+        }
+        let in_set = |q: usize| qubits.contains(&q);
+        let mut visited = vec![qubits[0]];
+        let mut queue = VecDeque::from([qubits[0]]);
+        while let Some(q) = queue.pop_front() {
+            for &n in &self.neighbors[q] {
+                if in_set(n) && !visited.contains(&n) {
+                    visited.push(n);
+                    queue.push_back(n);
+                }
+            }
+        }
+        visited.len() == qubits.len()
+    }
+
+    /// Edges of the induced subgraph over `qubits`, expressed in *local*
+    /// indices (positions within `qubits`).
+    pub fn induced_edges(&self, qubits: &[usize]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, &a) in qubits.iter().enumerate() {
+            for (j, &b) in qubits.iter().enumerate().skip(i + 1) {
+                if self.are_coupled(a, b) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// IBM heavy-hex style lattice with `full_rows` rows of `row_len`
+    /// qubits, bridged by sparse connector qubits.
+    ///
+    /// The first and last rows are shortened by one qubit, matching the
+    /// 127-qubit Eagle layout when called as `heavy_hex(7, 15)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_rows < 2` or `row_len < 4`.
+    pub fn heavy_hex(full_rows: usize, row_len: usize) -> Self {
+        assert!(full_rows >= 2 && row_len >= 4, "heavy-hex needs >=2 rows of >=4");
+        let mut edges = Vec::new();
+        let mut row_start = Vec::new();
+        let mut next = 0usize;
+        let row_length = |r: usize| {
+            if r == 0 || r == full_rows - 1 {
+                row_len - 1
+            } else {
+                row_len
+            }
+        };
+        // Lay out full rows, then interleave bridge qubits between them.
+        let mut bridge_start = Vec::new();
+        for r in 0..full_rows {
+            row_start.push(next);
+            let len = row_length(r);
+            for i in 0..len.saturating_sub(1) {
+                edges.push((next + i, next + i + 1));
+            }
+            next += len;
+            if r + 1 < full_rows {
+                bridge_start.push(next);
+                next += row_len / 4 + 1;
+            }
+        }
+        // Connect bridges: bridge k between rows r and r+1 attaches at
+        // column 4k (offset alternating by 2 per row parity), heavy-hex
+        // style.
+        for r in 0..full_rows - 1 {
+            let n_bridges = row_len / 4 + 1;
+            for k in 0..n_bridges {
+                let bridge = bridge_start[r] + k;
+                let offset = if r % 2 == 0 { 0 } else { 2 };
+                let col = (4 * k + offset).min(row_len - 1);
+                let top_col = col.min(row_length(r) - 1);
+                let bot_col = col.min(row_length(r + 1) - 1);
+                edges.push((row_start[r] + top_col, bridge));
+                edges.push((bridge, row_start[r + 1] + bot_col));
+            }
+        }
+        Topology::new(next, &edges)
+    }
+
+    /// Rigetti Aspen-style lattice: a `rows x cols` grid of 8-qubit
+    /// octagons, with two couplers between horizontally adjacent octagons
+    /// and two between vertically adjacent ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn aspen(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "aspen lattice needs positive dimensions");
+        let oct = |r: usize, c: usize| 8 * (r * cols + c);
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let base = oct(r, c);
+                for i in 0..8 {
+                    edges.push((base + i, base + (i + 1) % 8));
+                }
+                if c + 1 < cols {
+                    // Right side of this octagon (1, 2) to left side of the
+                    // next (6, 5).
+                    let right = oct(r, c + 1);
+                    edges.push((base + 1, right + 6));
+                    edges.push((base + 2, right + 5));
+                }
+                if r + 1 < rows {
+                    // Bottom of this octagon (3, 4) to top of the one below
+                    // (0, 7).
+                    let below = oct(r + 1, c);
+                    edges.push((base + 3, below));
+                    edges.push((base + 4, below + 7));
+                }
+            }
+        }
+        Topology::new(8 * rows * cols, &edges)
+    }
+
+    /// Removes a qubit (used to model devices with a disabled qubit, like
+    /// the 79-qubit Aspen-M-3). Remaining qubits are renumbered densely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or the topology has a single qubit.
+    pub fn without_qubit(&self, q: usize) -> Topology {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        assert!(self.num_qubits > 1, "cannot remove the only qubit");
+        let remap = |x: usize| if x > q { x - 1 } else { x };
+        let edges: Vec<_> = self
+            .edges
+            .iter()
+            .filter(|&&(a, b)| a != q && b != q)
+            .map(|&(a, b)| (remap(a), remap(b)))
+            .collect();
+        Topology::new(self.num_qubits - 1, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_ring_shapes() {
+        let line = Topology::line(5);
+        assert_eq!(line.edges().len(), 4);
+        assert_eq!(line.distance(0, 4), 4);
+        let ring = Topology::ring(6);
+        assert_eq!(ring.edges().len(), 6);
+        assert_eq!(ring.distance(0, 3), 3);
+        assert_eq!(ring.distance(0, 5), 1);
+    }
+
+    #[test]
+    fn edges_are_deduplicated_and_normalized() {
+        let t = Topology::new(3, &[(1, 0), (0, 1), (2, 1)]);
+        assert_eq!(t.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(t.edge_index(1, 0), Some(0));
+        assert_eq!(t.edge_index(0, 2), None);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let t = Topology::line(5);
+        assert!(t.is_connected_subset(&[1, 2, 3]));
+        assert!(!t.is_connected_subset(&[0, 2]));
+        assert_eq!(t.induced_edges(&[1, 3, 2]), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn distance_matrix_matches_pairwise() {
+        let t = Topology::ring(8);
+        let m = t.distance_matrix();
+        for (a, row) in m.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate() {
+                assert_eq!(d, t.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hex_eagle_has_127_qubits() {
+        let t = Topology::heavy_hex(7, 15);
+        assert_eq!(t.num_qubits(), 127);
+        // Connected.
+        assert!((0..127).all(|q| t.distance(0, q) != usize::MAX));
+        // Sparse: heavy-hex average degree is well below 3.
+        let avg_degree = 2.0 * t.edges().len() as f64 / 127.0;
+        assert!(avg_degree < 3.0, "average degree {avg_degree}");
+    }
+
+    #[test]
+    fn aspen_lattice_is_connected() {
+        let t = Topology::aspen(2, 5);
+        assert_eq!(t.num_qubits(), 80);
+        assert!((0..80).all(|q| t.distance(0, q) != usize::MAX));
+        let t79 = t.without_qubit(17);
+        assert_eq!(t79.num_qubits(), 79);
+    }
+
+    #[test]
+    fn without_qubit_renumbers() {
+        let t = Topology::line(4).without_qubit(1);
+        // 0-1-2-3 minus qubit 1: edges (1,2) and (2,3) become (1,2) after
+        // renumbering; 0 becomes isolated.
+        assert_eq!(t.num_qubits(), 3);
+        assert_eq!(t.edges(), &[(1, 2)]);
+        assert_eq!(t.distance(0, 2), usize::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        Topology::new(2, &[(1, 1)]);
+    }
+}

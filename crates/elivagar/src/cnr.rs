@@ -1,0 +1,293 @@
+//! Clifford Noise Resilience (paper Section 5).
+//!
+//! CNR predicts a candidate circuit's fidelity before training: replace
+//! every rotation angle with a random Clifford-grid angle (a *Clifford
+//! replica*), execute the replica on the noisy device (here: the noisy
+//! stabilizer engine with the device's Pauli-twirled noise), compare
+//! against the noiseless stabilizer output, and average `1 - TVD` over
+//! `M` replicas (Eq. 1-2).
+
+use crate::config::SearchConfig;
+use crate::generate::Candidate;
+use elivagar_circuit::{Circuit, ParamExpr};
+use elivagar_device::{circuit_noise, Device, NoiseModelError};
+use elivagar_sim::{fidelity, noisy_clifford_distribution, run_clifford};
+use rand::Rng;
+
+/// Builds one Clifford replica: every parametric slot (trainable, data, or
+/// constant) is snapped to a uniformly random multiple of the gate's
+/// Clifford granularity. The gate structure — and therefore depth, routing
+/// and noise profile — is preserved exactly (Section 5.1).
+pub fn clifford_replica<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    out.set_amplitude_embedding(circuit.amplitude_embedding());
+    for ins in circuit.instructions() {
+        let mut replica = ins.clone();
+        if let Some(gran) = ins.gate.clifford_granularity() {
+            for p in &mut replica.params {
+                let k = rng.random_range(0..4u32);
+                *p = ParamExpr::constant(gran * k as f64);
+            }
+        }
+        out.push(replica);
+    }
+    out.set_measured(circuit.measured().to_vec());
+    out
+}
+
+/// Per-candidate CNR evaluation result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CnrResult {
+    /// The Clifford noise resilience (mean replica fidelity, Eq. 2).
+    pub cnr: f64,
+    /// Circuit executions consumed (one per replica, as on hardware).
+    pub executions: u64,
+}
+
+/// Computes CNR for a candidate on a device.
+///
+/// The replica structure equals the candidate's structure, so the noise
+/// description is derived once from the candidate's physical placement and
+/// reused across replicas.
+///
+/// # Errors
+///
+/// Returns [`NoiseModelError`] if the candidate's physical circuit does not
+/// fit the device (possible only for device-unaware candidates, which must
+/// be routed first).
+pub fn cnr<R: Rng + ?Sized>(
+    candidate: &Candidate,
+    device: &Device,
+    config: &SearchConfig,
+    rng: &mut R,
+) -> Result<CnrResult, NoiseModelError> {
+    let physical = candidate.physical_circuit(device);
+    let noise = circuit_noise(device, &physical)?;
+    let mut total = 0.0;
+    for _ in 0..config.clifford_replicas {
+        let replica = clifford_replica(&candidate.circuit, rng);
+        let ideal = run_clifford(&replica, &[], &[])
+            .expect("clifford replica is clifford by construction")
+            .measurement_distribution(replica.measured());
+        let noisy = noisy_clifford_distribution(
+            &replica,
+            &[],
+            &[],
+            &noise,
+            config.cnr_trajectories,
+            rng,
+        )
+        .expect("clifford replica is clifford by construction");
+        total += fidelity(&ideal, &noisy);
+    }
+    Ok(CnrResult {
+        cnr: total / config.clifford_replicas as f64,
+        executions: config.clifford_replicas as u64,
+    })
+}
+
+/// Computes CNR with *finite shots*, exactly as a hardware run would: the
+/// noisy histogram accumulates one sampled outcome per stabilizer
+/// trajectory, and the noiseless reference distribution is itself sampled
+/// with `shots` shots instead of taken exactly.
+///
+/// With `shots` and `config.cnr_trajectories` large this converges to
+/// [`cnr`]; at realistic shot counts (1024-8192) it adds the sampling
+/// noise a real CNR measurement carries.
+///
+/// # Errors
+///
+/// Returns [`NoiseModelError`] under the same conditions as [`cnr`].
+///
+/// # Panics
+///
+/// Panics if `shots` is zero.
+pub fn cnr_with_shots<R: Rng + ?Sized>(
+    candidate: &Candidate,
+    device: &Device,
+    config: &SearchConfig,
+    shots: usize,
+    rng: &mut R,
+) -> Result<CnrResult, NoiseModelError> {
+    assert!(shots > 0, "need at least one shot");
+    let physical = candidate.physical_circuit(device);
+    let noise = circuit_noise(device, &physical)?;
+    let mut total = 0.0;
+    for _ in 0..config.clifford_replicas {
+        let replica = clifford_replica(&candidate.circuit, rng);
+        // Noiseless reference, sampled with finite shots.
+        let ideal_exact = run_clifford(&replica, &[], &[])
+            .expect("clifford replica is clifford by construction")
+            .measurement_distribution(replica.measured());
+        let ideal_counts = elivagar_sim::statevector::sample_from_distribution(
+            &ideal_exact,
+            shots,
+            rng,
+        );
+        let ideal = elivagar_sim::counts_to_distribution(&ideal_counts);
+        // Noisy side: one sampled outcome per trajectory (how shots are
+        // actually spent on hardware). Reuse the trajectory engine with a
+        // per-trajectory exact dist, then sample each.
+        let noisy_exact = noisy_clifford_distribution(
+            &replica,
+            &[],
+            &[],
+            &noise,
+            config.cnr_trajectories,
+            rng,
+        )
+        .expect("clifford replica is clifford by construction");
+        let noisy_counts =
+            elivagar_sim::statevector::sample_from_distribution(&noisy_exact, shots, rng);
+        let noisy = elivagar_sim::counts_to_distribution(&noisy_counts);
+        total += fidelity(&ideal, &noisy);
+    }
+    Ok(CnrResult {
+        cnr: total / config.clifford_replicas as f64,
+        executions: config.clifford_replicas as u64,
+    })
+}
+
+/// Applies the paper's rejection rule (Section 5.3): keep candidates with
+/// CNR at least `threshold` *and* within the top `keep_fraction` of the
+/// pool; if nothing clears the absolute threshold, the top fraction is
+/// kept anyway so the search can proceed on very noisy devices.
+///
+/// Returns the indices of survivors, ordered by descending CNR.
+pub fn reject_low_fidelity(cnrs: &[f64], threshold: f64, keep_fraction: f64) -> Vec<usize> {
+    assert!(!cnrs.is_empty(), "no candidates to filter");
+    let mut order: Vec<usize> = (0..cnrs.len()).collect();
+    order.sort_by(|&a, &b| cnrs[b].partial_cmp(&cnrs[a]).expect("CNR is finite"));
+    let keep = ((cnrs.len() as f64 * keep_fraction).ceil() as usize).clamp(1, cnrs.len());
+    let passing: Vec<usize> = order
+        .iter()
+        .copied()
+        .take(keep)
+        .filter(|&i| cnrs[i] >= threshold)
+        .collect();
+    if passing.is_empty() {
+        order.truncate(keep);
+        order
+    } else {
+        passing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchConfig;
+    use crate::generate::generate_candidate;
+    use elivagar_device::devices::{ibm_lagos, oqc_lucy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fast_config() -> SearchConfig {
+        SearchConfig::for_task(4, 12, 4, 2).fast()
+    }
+
+    #[test]
+    fn replicas_are_clifford_and_structure_preserving() {
+        let device = ibm_lagos();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = generate_candidate(&device, &fast_config(), &mut rng);
+        let replica = clifford_replica(&c.circuit, &mut rng);
+        assert!(replica.is_clifford());
+        assert_eq!(replica.len(), c.circuit.len());
+        assert_eq!(replica.depth(), c.circuit.depth());
+        assert_eq!(replica.measured(), c.circuit.measured());
+        assert_eq!(
+            replica.two_qubit_gate_count(),
+            c.circuit.two_qubit_gate_count()
+        );
+    }
+
+    #[test]
+    fn replicas_differ_between_draws() {
+        let device = ibm_lagos();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = generate_candidate(&device, &fast_config(), &mut rng);
+        let a = clifford_replica(&c.circuit, &mut rng);
+        let b = clifford_replica(&c.circuit, &mut rng);
+        assert_ne!(a, b, "replicas should sample different angles");
+    }
+
+    #[test]
+    fn cnr_is_a_probability_and_noisier_devices_score_lower() {
+        let cfg = fast_config();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Same structural candidate evaluated on a quiet and a loud device.
+        let lagos = ibm_lagos();
+        let lucy = oqc_lucy();
+        let mut cnr_lagos = 0.0;
+        let mut cnr_lucy = 0.0;
+        for _ in 0..4 {
+            let cand = generate_candidate(&lagos, &cfg, &mut rng);
+            cnr_lagos += cnr(&cand, &lagos, &cfg, &mut rng).unwrap().cnr;
+            let cand = generate_candidate(&lucy, &cfg, &mut rng);
+            cnr_lucy += cnr(&cand, &lucy, &cfg, &mut rng).unwrap().cnr;
+        }
+        cnr_lagos /= 4.0;
+        cnr_lucy /= 4.0;
+        assert!((0.0..=1.0).contains(&cnr_lagos));
+        assert!((0.0..=1.0).contains(&cnr_lucy));
+        assert!(
+            cnr_lagos > cnr_lucy,
+            "lagos {cnr_lagos} should beat lucy {cnr_lucy}"
+        );
+        assert!(cnr_lagos > 0.75, "lagos CNR {cnr_lagos}");
+    }
+
+    #[test]
+    fn rejection_keeps_top_fraction_above_threshold() {
+        let cnrs = [0.95, 0.5, 0.8, 0.75, 0.9, 0.65];
+        let kept = reject_low_fidelity(&cnrs, 0.7, 0.5);
+        assert_eq!(kept, vec![0, 4, 2]);
+    }
+
+    #[test]
+    fn rejection_threshold_can_shrink_below_fraction() {
+        let cnrs = [0.95, 0.2, 0.3, 0.25];
+        let kept = reject_low_fidelity(&cnrs, 0.7, 0.5);
+        assert_eq!(kept, vec![0]);
+    }
+
+    #[test]
+    fn rejection_never_empties_the_pool() {
+        let cnrs = [0.1, 0.2, 0.3];
+        let kept = reject_low_fidelity(&cnrs, 0.7, 0.5);
+        assert_eq!(kept, vec![2, 1]);
+    }
+
+    #[test]
+    fn finite_shot_cnr_converges_to_exact_cnr() {
+        let cfg = fast_config();
+        let device = ibm_lagos();
+        let mut rng = StdRng::seed_from_u64(21);
+        let cand = generate_candidate(&device, &cfg, &mut rng);
+        let exact = cnr(&cand, &device, &cfg, &mut StdRng::seed_from_u64(5))
+            .unwrap()
+            .cnr;
+        let shot_based =
+            cnr_with_shots(&cand, &device, &cfg, 8192, &mut StdRng::seed_from_u64(5))
+                .unwrap()
+                .cnr;
+        assert!(
+            (exact - shot_based).abs() < 0.08,
+            "exact {exact} vs shot-based {shot_based}"
+        );
+        // Tiny shot counts still give a probability.
+        let coarse = cnr_with_shots(&cand, &device, &cfg, 16, &mut rng).unwrap().cnr;
+        assert!((0.0..=1.0).contains(&coarse));
+    }
+
+    #[test]
+    fn cnr_counts_replica_executions() {
+        let cfg = fast_config();
+        let device = ibm_lagos();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cand = generate_candidate(&device, &cfg, &mut rng);
+        let r = cnr(&cand, &device, &cfg, &mut rng).unwrap();
+        assert_eq!(r.executions, cfg.clifford_replicas as u64);
+    }
+}

@@ -1,0 +1,206 @@
+//! Search hyperparameters (paper Section 7.5 defaults).
+
+use elivagar_circuit::Gate;
+
+/// The pool of gates Algorithm 1 samples from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateSet {
+    /// Single-qubit gate choices.
+    pub one_qubit: Vec<Gate>,
+    /// Two-qubit gate choices (must contain at least one non-parametric
+    /// gate so generation can always top up entanglement without spending
+    /// parameter budget).
+    pub two_qubit: Vec<Gate>,
+}
+
+impl GateSet {
+    /// The RXYZ + CZ gate set from QuantumNAS (its best-performing set,
+    /// used by the paper for both QuantumNAS and the Random baseline).
+    pub fn rxyz_cz() -> Self {
+        GateSet {
+            one_qubit: vec![Gate::Rx, Gate::Ry, Gate::Rz],
+            two_qubit: vec![Gate::Cz],
+        }
+    }
+
+    /// Elivagar's richer default space: rotations and U3 plus CX/CZ and
+    /// controlled/Ising entanglers.
+    pub fn elivagar_default() -> Self {
+        GateSet {
+            one_qubit: vec![Gate::Rx, Gate::Ry, Gate::Rz, Gate::U3],
+            two_qubit: vec![Gate::Cx, Gate::Cz, Gate::Crx, Gate::Cry, Gate::Crz, Gate::Rzz],
+        }
+    }
+}
+
+/// How candidate circuits obtain their data embedding (Fig. 10 ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EmbeddingPolicy {
+    /// Co-search embeddings: random parametric gates are designated as
+    /// embedding gates (Algorithm 1, line 14).
+    #[default]
+    Searched,
+    /// Fixed angle embedding prepended to every candidate.
+    FixedAngle,
+    /// Fixed IQP embedding prepended to every candidate.
+    FixedIqp,
+}
+
+/// Whether circuits are generated on device subgraphs (Algorithm 1) or
+/// device-unaware with arbitrary connectivity (the Fig. 9 baseline, which
+/// must then be routed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GenerationStrategy {
+    /// Device- and noise-aware generation on topology subgraphs.
+    #[default]
+    DeviceAware,
+    /// Device-unaware all-to-all generation (routed with SABRE before
+    /// execution).
+    DeviceUnaware,
+}
+
+/// Which predictors rank the candidates (Fig. 9 ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// Pick a candidate uniformly at random.
+    Random,
+    /// Rank by RepCap only (no CNR rejection or weighting).
+    RepCapOnly,
+    /// Full Elivagar: CNR rejection then composite CNR/RepCap score.
+    #[default]
+    Full,
+}
+
+/// All knobs of one Elivagar search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchConfig {
+    /// Candidate circuits to generate (`N_C`).
+    pub num_candidates: usize,
+    /// Qubits per candidate circuit.
+    pub num_qubits: usize,
+    /// Trainable parameter budget (Table 2).
+    pub param_budget: usize,
+    /// Number of embedding gate-slots (`O_conf.n_embeds`).
+    pub num_embed_gates: usize,
+    /// Measured qubits (`O_conf.n_meas`).
+    pub num_measured: usize,
+    /// Input feature dimensionality.
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Probability that a sampled gate is two-qubit.
+    pub two_qubit_fraction: f64,
+    /// Gate pool.
+    pub gateset: GateSet,
+    /// Subgraphs drawn per candidate before the quality-weighted pick
+    /// (Algorithm 1, line 1).
+    pub subgraph_candidates: usize,
+    /// Clifford replicas per candidate (`M`, paper default 32).
+    pub clifford_replicas: usize,
+    /// Noisy stabilizer trajectories per replica.
+    pub cnr_trajectories: usize,
+    /// Absolute CNR rejection threshold (paper default 0.7).
+    pub cnr_threshold: f64,
+    /// Fraction of candidates kept after CNR ranking (paper default 0.5).
+    pub cnr_keep_fraction: f64,
+    /// RepCap samples per class (`d_c`, paper default 16).
+    pub repcap_samples_per_class: usize,
+    /// RepCap parameter initializations (`n_p`, paper default 32).
+    pub repcap_param_inits: usize,
+    /// Random measurement bases per representation (`n_bases`).
+    pub repcap_bases: usize,
+    /// CNR weight in the composite score (`alpha_CNR`, paper default 0.5).
+    pub alpha_cnr: f64,
+    /// Embedding policy.
+    pub embedding: EmbeddingPolicy,
+    /// Generation strategy.
+    pub generation: GenerationStrategy,
+    /// Selection strategy.
+    pub selection: SelectionStrategy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// Paper-default hyperparameters for a task shape.
+    pub fn for_task(
+        num_qubits: usize,
+        param_budget: usize,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Self {
+        let num_measured = if num_classes == 2 {
+            1
+        } else {
+            num_classes.min(num_qubits)
+        };
+        SearchConfig {
+            num_candidates: 64,
+            num_qubits,
+            param_budget,
+            // One embedding slot per input feature so searched embeddings
+            // can cover the whole input (they cost no trainable budget).
+            num_embed_gates: feature_dim.max(2),
+            num_measured,
+            feature_dim,
+            num_classes,
+            two_qubit_fraction: 0.35,
+            gateset: GateSet::elivagar_default(),
+            subgraph_candidates: 8,
+            clifford_replicas: 32,
+            cnr_trajectories: 64,
+            cnr_threshold: 0.7,
+            cnr_keep_fraction: 0.5,
+            repcap_samples_per_class: 16,
+            repcap_param_inits: 32,
+            repcap_bases: 4,
+            alpha_cnr: 0.5,
+            embedding: EmbeddingPolicy::default(),
+            generation: GenerationStrategy::default(),
+            selection: SelectionStrategy::default(),
+            seed: 0,
+        }
+    }
+
+    /// A reduced-cost variant for tests and smoke benchmarks: fewer
+    /// candidates, replicas, and parameter initializations.
+    pub fn fast(mut self) -> Self {
+        self.num_candidates = self.num_candidates.min(12);
+        self.clifford_replicas = 8;
+        self.cnr_trajectories = 16;
+        self.repcap_samples_per_class = 4;
+        self.repcap_param_inits = 4;
+        self.repcap_bases = 2;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_section_7_5() {
+        let c = SearchConfig::for_task(4, 20, 4, 2);
+        assert_eq!(c.clifford_replicas, 32);
+        assert_eq!(c.repcap_samples_per_class, 16);
+        assert_eq!(c.repcap_param_inits, 32);
+        assert!((c.cnr_threshold - 0.7).abs() < 1e-12);
+        assert!((c.cnr_keep_fraction - 0.5).abs() < 1e-12);
+        assert!((c.alpha_cnr - 0.5).abs() < 1e-12);
+        assert_eq!(c.num_measured, 1);
+    }
+
+    #[test]
+    fn multiclass_measures_one_qubit_per_class() {
+        let c = SearchConfig::for_task(10, 72, 36, 10);
+        assert_eq!(c.num_measured, 10);
+    }
+
+    #[test]
+    fn gatesets_contain_nonparametric_two_qubit_gates() {
+        for set in [GateSet::rxyz_cz(), GateSet::elivagar_default()] {
+            assert!(set.two_qubit.iter().any(|g| !g.is_parametric()));
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Candidate circuit generation (paper Algorithm 1).
+//!
+//! Elivagar samples a connected subgraph of the device topology, grows a
+//! circuit whose two-qubit gates all sit on subgraph edges (so the qubit
+//! mapping comes for free and no routing is ever needed), picks measured
+//! qubits by readout fidelity, and designates random parametric gates as
+//! data-embedding gates.
+
+use crate::config::{EmbeddingPolicy, GenerationStrategy, SearchConfig};
+use elivagar_circuit::templates::append_angle_embedding;
+use elivagar_circuit::{Circuit, Instruction, ParamExpr, ParamSource};
+use elivagar_device::{choose_subgraph, weighted_choice, Device};
+use rand::Rng;
+
+/// A generated candidate: the circuit in *local* qubit indices plus its
+/// placement onto physical device qubits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// The circuit over local qubits `0..num_qubits` (what simulators and
+    /// training run).
+    pub circuit: Circuit,
+    /// `placement[local] = physical` device qubit. For device-aware
+    /// generation this is a connected subgraph; the physical circuit is
+    /// `circuit.remap(&placement, device.num_qubits())`.
+    pub placement: Vec<usize>,
+}
+
+impl Candidate {
+    /// The circuit remapped onto physical device qubits.
+    pub fn physical_circuit(&self, device: &Device) -> Circuit {
+        self.circuit.remap(&self.placement, device.num_qubits())
+    }
+}
+
+/// Generates one candidate circuit per Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (more measured qubits than
+/// qubits, zero parameter budget, or a gate set without a non-parametric
+/// two-qubit fallback).
+pub fn generate_candidate<R: Rng + ?Sized>(
+    device: &Device,
+    config: &SearchConfig,
+    rng: &mut R,
+) -> Candidate {
+    assert!(config.param_budget > 0, "parameter budget must be positive");
+    assert!(
+        config.num_measured <= config.num_qubits,
+        "cannot measure more qubits than the circuit has"
+    );
+    assert!(
+        config.gateset.two_qubit.iter().any(|g| !g.is_parametric()),
+        "gate set needs a non-parametric two-qubit gate"
+    );
+
+    // Step 1-2: choose the subgraph (device-aware) or any qubit subset
+    // (device-unaware baseline).
+    let (placement, edges) = match config.generation {
+        GenerationStrategy::DeviceAware => {
+            let subgraph =
+                choose_subgraph(device, config.num_qubits, config.subgraph_candidates, rng);
+            let edges = device.topology().induced_edges(&subgraph);
+            (subgraph, edges)
+        }
+        GenerationStrategy::DeviceUnaware => {
+            // Random injective placement; all-to-all logical connectivity.
+            let mut physical: Vec<usize> = (0..device.num_qubits()).collect();
+            for i in 0..config.num_qubits {
+                let j = rng.random_range(i..physical.len());
+                physical.swap(i, j);
+            }
+            physical.truncate(config.num_qubits);
+            let mut edges = Vec::new();
+            for a in 0..config.num_qubits {
+                for b in (a + 1)..config.num_qubits {
+                    edges.push((a, b));
+                }
+            }
+            (physical, edges)
+        }
+    };
+    assert!(
+        config.num_qubits < 2 || !edges.is_empty(),
+        "subgraph has no internal edges"
+    );
+
+    let cal = device.calibration();
+    // Per-local-qubit quality weights from coherence (Algorithm 1 lines
+    // 7, 10) and per-edge weights from 2Q gate fidelity.
+    let qubit_weight: Vec<f64> = placement
+        .iter()
+        .map(|&p| ((cal.t1_us[p] + cal.t2_us[p]) / 200.0).clamp(0.05, 1.0))
+        .collect();
+    let edge_weight: Vec<f64> = edges
+        .iter()
+        .map(|&(i, j)| match device.topology().edge_index(placement[i], placement[j]) {
+            Some(e) => (1.0 - cal.gate2q_error[e]).max(0.05),
+            // Device-unaware edges have no coupler; weight uniformly.
+            None => 1.0,
+        })
+        .collect();
+
+    let mut circuit = Circuit::new(config.num_qubits);
+    let mut next_param = 0usize;
+
+    // Fixed-embedding ablations prepend the template before the sampled
+    // variational gates.
+    // The IQP couplings must follow the subgraph edges (the generic
+    // template's qubit ring would violate device connectivity).
+    match config.embedding {
+        EmbeddingPolicy::FixedAngle => append_angle_embedding(&mut circuit, config.feature_dim),
+        EmbeddingPolicy::FixedIqp => {
+            append_subgraph_iqp_embedding(&mut circuit, config.feature_dim, &edges)
+        }
+        EmbeddingPolicy::Searched => {}
+    }
+
+    // Extra parametric slots that will be converted into embedding gates.
+    let embed_slots = if config.embedding == EmbeddingPolicy::Searched {
+        config.num_embed_gates
+    } else {
+        0
+    };
+    let slot_target = config.param_budget + embed_slots;
+
+    // Step 3-11: sample gates until the parametric-slot budget is filled.
+    while next_param < slot_target {
+        let remaining = slot_target - next_param;
+        let want_two_qubit =
+            config.num_qubits >= 2 && rng.random::<f64>() < config.two_qubit_fraction;
+        let gate = if want_two_qubit {
+            config.gateset.two_qubit[rng.random_range(0..config.gateset.two_qubit.len())]
+        } else {
+            config.gateset.one_qubit[rng.random_range(0..config.gateset.one_qubit.len())]
+        };
+        if gate.num_params() > remaining {
+            continue; // e.g. U3 with fewer than 3 slots left
+        }
+        let params: Vec<ParamExpr> = (0..gate.num_params())
+            .map(|k| ParamExpr::trainable(next_param + k))
+            .collect();
+        if gate.num_qubits() == 1 {
+            let q = weighted_choice(&qubit_weight, rng);
+            circuit.push(Instruction::new(gate, vec![q], params));
+        } else {
+            let (a, b) = edges[weighted_choice(&edge_weight, rng)];
+            // Randomize control/target orientation.
+            let qubits = if rng.random::<bool>() { vec![a, b] } else { vec![b, a] };
+            circuit.push(Instruction::new(gate, qubits, params));
+        }
+        next_param += gate.num_params();
+    }
+
+    // Step 12-13: measured qubits by readout fidelity, without replacement.
+    let mut readout_weight: Vec<f64> = placement
+        .iter()
+        .map(|&p| (1.0 - cal.readout_error[p]).max(0.01))
+        .collect();
+    let mut measured = Vec::with_capacity(config.num_measured);
+    for _ in 0..config.num_measured {
+        let q = weighted_choice(&readout_weight, rng);
+        measured.push(q);
+        readout_weight[q] = 0.0;
+    }
+    circuit.set_measured(measured);
+
+    // Step 14: designate random parametric slots as embedding gates.
+    if config.embedding == EmbeddingPolicy::Searched {
+        designate_embedding_slots(&mut circuit, embed_slots, config.feature_dim, rng);
+    }
+
+    Candidate { circuit, placement }
+}
+
+/// Appends an IQP-style embedding whose `RZZ` feature-product couplings
+/// follow the provided (local) edge list, keeping the circuit
+/// hardware-efficient on the chosen subgraph.
+fn append_subgraph_iqp_embedding(
+    circuit: &mut Circuit,
+    num_features: usize,
+    edges: &[(usize, usize)],
+) {
+    use elivagar_circuit::Gate;
+    let n = circuit.num_qubits();
+    for q in 0..n {
+        circuit.push_gate(Gate::H, &[q], &[]);
+    }
+    for k in 0..num_features {
+        circuit.push_gate(Gate::Rz, &[k % n], &[ParamExpr::feature(k)]);
+    }
+    if !edges.is_empty() && num_features >= 2 {
+        for k in 0..num_features {
+            let j = (k + 1) % num_features;
+            let (a, b) = edges[k % edges.len()];
+            circuit.push_gate(Gate::Rzz, &[a, b], &[ParamExpr::feature_product(k, j)]);
+        }
+    }
+}
+
+/// Converts `count` randomly chosen trainable slots into data-embedding
+/// slots (each reading a random input feature), then renumbers the
+/// remaining trainable parameters contiguously.
+///
+/// # Panics
+///
+/// Panics if the circuit has fewer than `count` trainable slots.
+fn designate_embedding_slots<R: Rng + ?Sized>(
+    circuit: &mut Circuit,
+    count: usize,
+    feature_dim: usize,
+    rng: &mut R,
+) {
+    let total = circuit.num_trainable_params();
+    assert!(total >= count, "not enough parametric slots to embed into");
+    // Choose `count` distinct slot indices.
+    let mut slots: Vec<usize> = (0..total).collect();
+    for i in 0..count {
+        let j = rng.random_range(i..total);
+        slots.swap(i, j);
+    }
+    let chosen: std::collections::HashSet<usize> = slots[..count].iter().copied().collect();
+
+    // Feature assignment: a shuffled round-robin over the input features,
+    // so that whenever there are at least as many embedding slots as
+    // features every feature is embedded at least once (random placement,
+    // full coverage).
+    let mut feature_order: Vec<usize> = (0..feature_dim).collect();
+    for i in (1..feature_dim).rev() {
+        let j = rng.random_range(0..=i);
+        feature_order.swap(i, j);
+    }
+    let mut feature_cursor = 0usize;
+
+    // Remap: chosen -> Feature(round-robin); others -> contiguous
+    // trainables.
+    let mut new_index = vec![usize::MAX; total];
+    let mut next = 0usize;
+    for (i, idx) in new_index.iter_mut().enumerate() {
+        if !chosen.contains(&i) {
+            *idx = next;
+            next += 1;
+        }
+    }
+    for ins in circuit.instructions_mut() {
+        for p in &mut ins.params {
+            if let ParamSource::Trainable(t) = p.source {
+                if chosen.contains(&t) {
+                    *p = ParamExpr::feature(feature_order[feature_cursor % feature_dim]);
+                    feature_cursor += 1;
+                } else {
+                    p.source = ParamSource::Trainable(new_index[t]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchConfig;
+    use elivagar_circuit::Gate;
+    use elivagar_device::devices::{ibm_lagos, ibmq_kolkata};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> SearchConfig {
+        SearchConfig::for_task(4, 20, 4, 2)
+    }
+
+    #[test]
+    fn candidate_meets_parameter_budget_exactly() {
+        let device = ibmq_kolkata();
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..10 {
+            let _ = seed;
+            let c = generate_candidate(&device, &config(), &mut rng);
+            assert_eq!(c.circuit.num_trainable_params(), 20);
+        }
+    }
+
+    #[test]
+    fn candidate_has_requested_embedding_gates() {
+        let device = ibmq_kolkata();
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = generate_candidate(&device, &cfg, &mut rng);
+        let embed_slots: usize = c
+            .circuit
+            .instructions()
+            .iter()
+            .flat_map(|i| i.params.iter())
+            .filter(|p| p.is_data())
+            .count();
+        assert_eq!(embed_slots, cfg.num_embed_gates);
+        // All referenced features are in range.
+        assert!(c.circuit.num_features_used() <= cfg.feature_dim);
+    }
+
+    #[test]
+    fn device_aware_candidates_are_hardware_efficient() {
+        let device = ibmq_kolkata();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let c = generate_candidate(&device, &config(), &mut rng);
+            let physical = c.physical_circuit(&device);
+            for ins in physical.instructions() {
+                if ins.qubits.len() == 2 {
+                    assert!(
+                        device.topology().are_coupled(ins.qubits[0], ins.qubits[1]),
+                        "gate on uncoupled pair"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn device_unaware_candidates_may_violate_topology() {
+        let device = ibm_lagos();
+        let mut cfg = config();
+        cfg.num_qubits = 5;
+        cfg.generation = GenerationStrategy::DeviceUnaware;
+        cfg.two_qubit_fraction = 0.9;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut violations = 0;
+        for _ in 0..10 {
+            let c = generate_candidate(&device, &cfg, &mut rng);
+            let physical = c.physical_circuit(&device);
+            violations += physical
+                .instructions()
+                .iter()
+                .filter(|ins| {
+                    ins.qubits.len() == 2
+                        && !device.topology().are_coupled(ins.qubits[0], ins.qubits[1])
+                })
+                .count();
+        }
+        assert!(violations > 0, "device-unaware generation should violate topology");
+    }
+
+    #[test]
+    fn measured_qubit_count_matches_config() {
+        let device = ibmq_kolkata();
+        let mut cfg = config();
+        cfg.num_measured = 3;
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = generate_candidate(&device, &cfg, &mut rng);
+        assert_eq!(c.circuit.measured().len(), 3);
+    }
+
+    #[test]
+    fn fixed_angle_embedding_prepends_template() {
+        let device = ibmq_kolkata();
+        let mut cfg = config();
+        cfg.embedding = EmbeddingPolicy::FixedAngle;
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = generate_candidate(&device, &cfg, &mut rng);
+        // First feature_dim gates are the RX embedding.
+        for ins in c.circuit.instructions().iter().take(cfg.feature_dim) {
+            assert_eq!(ins.gate, Gate::Rx);
+            assert!(ins.is_embedding());
+        }
+        // Parameter budget unchanged.
+        assert_eq!(c.circuit.num_trainable_params(), cfg.param_budget);
+    }
+
+    #[test]
+    fn fixed_iqp_embedding_prepends_template() {
+        let device = ibmq_kolkata();
+        let mut cfg = config();
+        cfg.embedding = EmbeddingPolicy::FixedIqp;
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = generate_candidate(&device, &cfg, &mut rng);
+        assert!(c.circuit.instructions().iter().any(|i| i.gate == Gate::Rzz));
+        assert_eq!(c.circuit.num_trainable_params(), cfg.param_budget);
+    }
+
+    #[test]
+    fn searched_embeddings_cover_every_feature() {
+        let device = ibmq_kolkata();
+        let mut cfg = config();
+        cfg.feature_dim = 4;
+        cfg.num_embed_gates = 4;
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let c = generate_candidate(&device, &cfg, &mut rng);
+            let mut used = vec![false; cfg.feature_dim];
+            for ins in c.circuit.instructions() {
+                for p in &ins.params {
+                    if let elivagar_circuit::ParamSource::Feature(f) = p.source {
+                        used[f] = true;
+                    }
+                }
+            }
+            assert!(used.iter().all(|&u| u), "missing features: {used:?}");
+        }
+    }
+
+    #[test]
+    fn candidates_are_diverse() {
+        let device = ibmq_kolkata();
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = generate_candidate(&device, &config(), &mut rng);
+        let b = generate_candidate(&device, &config(), &mut rng);
+        assert_ne!(a.circuit, b.circuit);
+    }
+}

@@ -1,0 +1,187 @@
+//! Classical circuit-quality metrics from the QML literature:
+//! expressibility and entangling capability (Sim, Johnson, Aspuru-Guzik
+//! 2019).
+//!
+//! The paper's related work (Section 10.1) notes that such metrics can
+//! estimate circuit performance but are "unsuitable for QCS due to their
+//! high cost". They are implemented here both as a library feature and so
+//! the ablation benches can quantify that cost/quality trade-off against
+//! RepCap directly.
+
+use elivagar_circuit::Circuit;
+use elivagar_sim::StateVector;
+use rand::Rng;
+
+/// Expressibility (Sim et al., Eq. 11): the KL divergence between the
+/// circuit's pair-fidelity distribution under random parameters and the
+/// Haar-random fidelity distribution. *Lower* is more expressive.
+///
+/// Estimated from `num_pairs` random parameter pairs using a histogram
+/// with `bins` buckets. Input features are fixed to the provided vector
+/// (expressibility is a property of the variational manifold).
+///
+/// # Panics
+///
+/// Panics if `num_pairs` or `bins` is zero.
+pub fn expressibility<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    features: &[f64],
+    num_pairs: usize,
+    bins: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(num_pairs > 0 && bins > 0, "degenerate estimator settings");
+    let num_params = circuit.num_trainable_params();
+    let dim = 1usize << circuit.num_qubits();
+    let mut histogram = vec![0.0f64; bins];
+    for _ in 0..num_pairs {
+        let draw = |rng: &mut R| -> Vec<f64> {
+            (0..num_params)
+                .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
+                .collect()
+        };
+        let a = StateVector::run(circuit, &draw(rng), features);
+        let b = StateVector::run(circuit, &draw(rng), features);
+        let f = a.overlap(&b).clamp(0.0, 1.0);
+        let bin = ((f * bins as f64) as usize).min(bins - 1);
+        histogram[bin] += 1.0;
+    }
+    for h in &mut histogram {
+        *h /= num_pairs as f64;
+    }
+    // Haar probability mass per bin: P(F <= f) = 1 - (1-f)^(d-1).
+    let haar_cdf = |f: f64| 1.0 - (1.0 - f).powi(dim as i32 - 1);
+    let mut kl = 0.0;
+    for (k, &p) in histogram.iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        let lo = k as f64 / bins as f64;
+        let hi = (k + 1) as f64 / bins as f64;
+        let q = (haar_cdf(hi) - haar_cdf(lo)).max(1e-12);
+        kl += p * (p / q).ln();
+    }
+    kl
+}
+
+/// Entangling capability (Sim et al.): the mean Meyer–Wallach entanglement
+/// `Q` of the output state over random parameters, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `num_samples` is zero.
+pub fn entangling_capability<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    features: &[f64],
+    num_samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(num_samples > 0, "need at least one sample");
+    let num_params = circuit.num_trainable_params();
+    let mut total = 0.0;
+    for _ in 0..num_samples {
+        let theta: Vec<f64> = (0..num_params)
+            .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
+            .collect();
+        let psi = StateVector::run(circuit, &theta, features);
+        total += meyer_wallach(&psi);
+    }
+    total / num_samples as f64
+}
+
+/// Meyer–Wallach entanglement of a pure state:
+/// `Q = 2 (1 - mean_k Tr(rho_k^2))` over single-qubit reduced states.
+pub fn meyer_wallach(psi: &StateVector) -> f64 {
+    let n = psi.num_qubits();
+    let amps = psi.amplitudes();
+    let mut purity_sum = 0.0;
+    for q in 0..n {
+        // rho_k entries: rho[ab] = sum_rest psi[a at q] conj(psi[b at q]).
+        let bit = 1usize << q;
+        let mut r00 = 0.0f64;
+        let mut r11 = 0.0f64;
+        let mut r01re = 0.0f64;
+        let mut r01im = 0.0f64;
+        for (i, a) in amps.iter().enumerate() {
+            if i & bit == 0 {
+                let partner = amps[i | bit];
+                r00 += a.norm_sqr();
+                r11 += partner.norm_sqr();
+                let cross = *a * partner.conj();
+                r01re += cross.re;
+                r01im += cross.im;
+            }
+        }
+        purity_sum += r00 * r00 + r11 * r11 + 2.0 * (r01re * r01re + r01im * r01im);
+    }
+    2.0 * (1.0 - purity_sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_circuit::{Gate, ParamExpr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn product_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Ry, &[1], &[ParamExpr::trainable(1)]);
+        c
+    }
+
+    fn entangling_circuit() -> Circuit {
+        let mut c = product_circuit();
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(2)]);
+        c.push_gate(Gate::Cx, &[1, 0], &[]);
+        c
+    }
+
+    #[test]
+    fn meyer_wallach_of_bell_state_is_one() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        let psi = StateVector::run(&c, &[], &[]);
+        assert!((meyer_wallach(&psi) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meyer_wallach_of_product_state_is_zero() {
+        let mut c = Circuit::new(3);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::constant(0.7)]);
+        c.push_gate(Gate::H, &[2], &[]);
+        let psi = StateVector::run(&c, &[], &[]);
+        assert!(meyer_wallach(&psi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entangling_circuits_score_higher() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let product = entangling_capability(&product_circuit(), &[], 40, &mut rng);
+        let entangling = entangling_capability(&entangling_circuit(), &[], 40, &mut rng);
+        assert!(product < 1e-9, "product capability {product}");
+        assert!(entangling > 0.2, "entangling capability {entangling}");
+    }
+
+    #[test]
+    fn expressive_circuits_have_lower_kl() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // An idle circuit explores nothing: its fidelity distribution is a
+        // spike at 1, far from Haar.
+        let mut idle = Circuit::new(2);
+        idle.push_gate(Gate::X, &[0], &[]);
+        let idle_kl = expressibility(&idle, &[], 150, 20, &mut rng);
+        let rich_kl = expressibility(&entangling_circuit(), &[], 150, 20, &mut rng);
+        assert!(rich_kl < idle_kl, "rich {rich_kl} vs idle {idle_kl}");
+    }
+
+    #[test]
+    fn expressibility_is_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kl = expressibility(&entangling_circuit(), &[], 80, 10, &mut rng);
+        assert!(kl >= 0.0);
+    }
+}

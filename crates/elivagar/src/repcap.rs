@@ -1,0 +1,244 @@
+//! Representational capacity (paper Section 6, Algorithm 2).
+//!
+//! RepCap predicts trained-circuit performance without any training: it
+//! measures how similar the circuit's output states are within a class and
+//! how separated they are across classes, using randomized-measurement
+//! classical approximations of the output states (Eq. 3-6).
+
+use crate::config::SearchConfig;
+use elivagar_circuit::{Circuit, Gate};
+use elivagar_sim::{tvd, StateVector};
+use rand::Rng;
+
+/// Result of one RepCap evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepCapResult {
+    /// The representational capacity (Eq. 3), in `(-inf, 1]`; higher
+    /// predicts better trained accuracy.
+    pub repcap: f64,
+    /// Circuit executions consumed (`d * n_p` as in Section 6.1 — one
+    /// execution per sample per parameter initialization; the random bases
+    /// reuse the same state in simulation but are counted as measurement
+    /// settings on hardware).
+    pub executions: u64,
+}
+
+/// The classical approximation of a representation: one outcome
+/// distribution per random measurement basis (Algorithm 2).
+type Representation = Vec<Vec<f64>>;
+
+/// Computes the randomized-measurement representation of `circuit(x, theta)`:
+/// for each basis, append random `U3` rotations to the measured qubits and
+/// record the outcome distribution.
+fn representation(
+    circuit: &Circuit,
+    params: &[f64],
+    features: &[f64],
+    bases: &[Vec<[f64; 3]>],
+) -> Representation {
+    let psi = StateVector::run(circuit, params, features);
+    bases
+        .iter()
+        .map(|basis| {
+            let mut rotated = psi.clone();
+            for (&q, angles) in circuit.measured().iter().zip(basis) {
+                rotated.apply_mat1(q, &Gate::U3.matrix1(angles));
+            }
+            rotated.marginal_probabilities(circuit.measured())
+        })
+        .collect()
+}
+
+/// Similarity of two representations: `1 - TVD` averaged over the random
+/// bases (Eq. 6).
+fn similarity(a: &Representation, b: &Representation) -> f64 {
+    let n = a.len();
+    a.iter()
+        .zip(b)
+        .map(|(da, db)| 1.0 - tvd(da, db))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Computes RepCap for a circuit on a class-balanced sample set
+/// (`features[i]` with `labels[i]`), per Eq. 3-6.
+///
+/// # Panics
+///
+/// Panics if the sample set is empty, lengths mismatch, or the circuit
+/// measures no qubits.
+pub fn repcap<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    features: &[Vec<f64>],
+    labels: &[usize],
+    config: &SearchConfig,
+    rng: &mut R,
+) -> RepCapResult {
+    assert!(!features.is_empty(), "repcap needs samples");
+    assert_eq!(features.len(), labels.len(), "feature/label mismatch");
+    assert!(!circuit.measured().is_empty(), "circuit must measure qubits");
+    let d = features.len();
+    let num_params = circuit.num_trainable_params();
+
+    // Induced similarity averaged over random parameter vectors (Eq. 5).
+    let mut r_c = vec![vec![0.0f64; d]; d];
+    for _ in 0..config.repcap_param_inits {
+        let theta: Vec<f64> = (0..num_params)
+            .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
+            .collect();
+        // Shared random bases for this parameter draw (Algorithm 2's alpha).
+        let bases: Vec<Vec<[f64; 3]>> = (0..config.repcap_bases)
+            .map(|_| {
+                circuit
+                    .measured()
+                    .iter()
+                    .map(|_| {
+                        [
+                            rng.random_range(0.0..std::f64::consts::PI),
+                            rng.random_range(0.0..std::f64::consts::TAU),
+                            rng.random_range(0.0..std::f64::consts::TAU),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        let reps: Vec<Representation> = features
+            .iter()
+            .map(|x| representation(circuit, &theta, x, &bases))
+            .collect();
+        for i in 0..d {
+            for j in i..d {
+                let s = similarity(&reps[i], &reps[j]);
+                r_c[i][j] += s;
+                r_c[j][i] += if i == j { 0.0 } else { s };
+            }
+        }
+    }
+    let np = config.repcap_param_inits as f64;
+    for row in &mut r_c {
+        for v in row.iter_mut() {
+            *v /= np;
+        }
+    }
+
+    // RepCap = 1 - ||R_C - R_ref||_F^2 / d^2 (Eq. 3).
+    let mut frob = 0.0;
+    for i in 0..d {
+        for j in 0..d {
+            let reference = if labels[i] == labels[j] { 1.0 } else { 0.0 };
+            frob += (r_c[i][j] - reference).powi(2);
+        }
+    }
+    RepCapResult {
+        repcap: 1.0 - frob / (d * d) as f64,
+        executions: (d * config.repcap_param_inits) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SearchConfig;
+    use elivagar_circuit::ParamExpr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fast_config() -> SearchConfig {
+        let mut c = SearchConfig::for_task(2, 4, 1, 2).fast();
+        c.repcap_param_inits = 8;
+        c.repcap_bases = 3;
+        c
+    }
+
+    /// A circuit that embeds the single feature strongly: representations
+    /// track the input, so well-separated inputs give high RepCap.
+    fn discriminative_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::feature(0)]);
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::feature(0)]);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.set_measured(vec![0, 1]);
+        c
+    }
+
+    /// A circuit that ignores the input entirely: all representations
+    /// coincide, so inter-class separation is impossible.
+    fn blind_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Ry, &[1], &[ParamExpr::trainable(1)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.set_measured(vec![0, 1]);
+        c
+    }
+
+    fn binary_samples() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Class 0 near x = 0, class 1 near x = pi: maximally separated
+        // angles.
+        let features = vec![
+            vec![0.0],
+            vec![0.15],
+            vec![std::f64::consts::PI],
+            vec![std::f64::consts::PI - 0.15],
+        ];
+        let labels = vec![0, 0, 1, 1];
+        (features, labels)
+    }
+
+    #[test]
+    fn discriminative_circuit_beats_blind_circuit() {
+        let cfg = fast_config();
+        let (x, y) = binary_samples();
+        let mut rng = StdRng::seed_from_u64(1);
+        let good = repcap(&discriminative_circuit(), &x, &y, &cfg, &mut rng).repcap;
+        let mut rng = StdRng::seed_from_u64(1);
+        let bad = repcap(&blind_circuit(), &x, &y, &cfg, &mut rng).repcap;
+        assert!(
+            good > bad + 0.05,
+            "discriminative {good} should beat blind {bad}"
+        );
+    }
+
+    #[test]
+    fn repcap_is_at_most_one() {
+        let cfg = fast_config();
+        let (x, y) = binary_samples();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = repcap(&discriminative_circuit(), &x, &y, &cfg, &mut rng);
+        assert!(r.repcap <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_same_class_score_perfectly_within_class() {
+        // One class, identical inputs: R_C == R_ref == all-ones.
+        let cfg = fast_config();
+        let x = vec![vec![0.5], vec![0.5]];
+        let y = vec![0, 0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = repcap(&discriminative_circuit(), &x, &y, &cfg, &mut rng);
+        assert!((r.repcap - 1.0).abs() < 1e-9, "repcap {}", r.repcap);
+    }
+
+    #[test]
+    fn execution_count_is_d_times_np() {
+        let cfg = fast_config();
+        let (x, y) = binary_samples();
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = repcap(&discriminative_circuit(), &x, &y, &cfg, &mut rng);
+        assert_eq!(r.executions, (x.len() * cfg.repcap_param_inits) as u64);
+    }
+
+    #[test]
+    fn blind_circuit_penalized_by_inter_class_similarity() {
+        // With two classes of identical representations, R_C(i,j) = 1
+        // everywhere but R_ref has zeros off-block: RepCap = 1 - (#cross
+        // pairs)/d^2 = 1 - 8/16 = 0.5.
+        let cfg = fast_config();
+        let x = vec![vec![0.1], vec![0.1], vec![0.1], vec![0.1]];
+        let y = vec![0, 0, 1, 1];
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = repcap(&blind_circuit(), &x, &y, &cfg, &mut rng);
+        assert!((r.repcap - 0.5).abs() < 1e-9, "repcap {}", r.repcap);
+    }
+}

@@ -1,0 +1,286 @@
+//! The five-step Elivagar search pipeline (paper Section 3, Fig. 4).
+
+use crate::cnr::{cnr, reject_low_fidelity};
+use crate::config::{SearchConfig, SelectionStrategy};
+use crate::generate::{generate_candidate, Candidate};
+use crate::repcap::repcap;
+use elivagar_datasets::Dataset;
+use elivagar_device::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Composite score combining both predictors (Eq. 7):
+/// `Score(C) = CNR(C)^alpha * RepCap(C)`.
+///
+/// A negative RepCap (possible, since RepCap is `1 - error`) is clamped at
+/// zero so the composite stays monotone in both predictors.
+pub fn composite_score(cnr: f64, repcap: f64, alpha_cnr: f64) -> f64 {
+    cnr.max(0.0).powf(alpha_cnr) * repcap.max(0.0)
+}
+
+/// Per-candidate evaluation record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoredCandidate {
+    /// The candidate circuit and placement.
+    pub candidate: Candidate,
+    /// Clifford noise resilience, if evaluated.
+    pub cnr: Option<f64>,
+    /// Representational capacity, if evaluated (rejected candidates skip
+    /// it — that is the point of early rejection).
+    pub repcap: Option<f64>,
+    /// Composite score, if both predictors ran.
+    pub score: Option<f64>,
+}
+
+/// Execution accounting for one search run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutionBreakdown {
+    /// Executions spent computing CNR.
+    pub cnr: u64,
+    /// Executions spent computing RepCap.
+    pub repcap: u64,
+}
+
+impl ExecutionBreakdown {
+    /// Total circuit executions.
+    pub fn total(&self) -> u64 {
+        self.cnr + self.repcap
+    }
+}
+
+/// Result of a search: the selected circuit plus the full evaluation
+/// trail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResult {
+    /// The selected candidate (local circuit + device placement).
+    pub best: Candidate,
+    /// Every generated candidate with its predictor values.
+    pub scored: Vec<ScoredCandidate>,
+    /// Circuit-execution accounting.
+    pub executions: ExecutionBreakdown,
+}
+
+/// Runs the Elivagar search for a dataset on a device.
+///
+/// Steps: (1) generate `num_candidates` device/noise-aware candidates, (2)
+/// compute CNR for each, (3) reject low-fidelity candidates, (4) compute
+/// RepCap for the survivors, (5) return the best composite score.
+///
+/// The [`SelectionStrategy`] in the config turns individual stages off for
+/// the Fig. 9 ablations.
+///
+/// # Panics
+///
+/// Panics if the config is inconsistent with the dataset (class count or
+/// feature dimension mismatch), or if a device-unaware candidate cannot be
+/// noise-modeled.
+pub fn search(device: &Device, dataset: &Dataset, config: &SearchConfig) -> SearchResult {
+    assert_eq!(config.num_classes, dataset.num_classes(), "class count mismatch");
+    assert!(
+        config.feature_dim <= dataset.feature_dim(),
+        "config expects more features than the dataset has"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut executions = ExecutionBreakdown::default();
+
+    // Step 1: candidate generation.
+    let candidates: Vec<Candidate> = (0..config.num_candidates)
+        .map(|_| generate_candidate(device, config, &mut rng))
+        .collect();
+
+    if config.selection == SelectionStrategy::Random {
+        let pick = rng.random_range(0..candidates.len());
+        let scored = candidates
+            .iter()
+            .map(|c| ScoredCandidate {
+                candidate: c.clone(),
+                cnr: None,
+                repcap: None,
+                score: None,
+            })
+            .collect();
+        return SearchResult {
+            best: candidates[pick].clone(),
+            scored,
+            executions,
+        };
+    }
+
+    // Steps 2-3: CNR + early rejection (skipped in RepCap-only ablation).
+    // Candidates are scored in parallel with per-candidate seeds derived
+    // from the search seed, so results are deterministic regardless of the
+    // thread count.
+    let per_candidate_seed =
+        |index: usize, salt: u64| config.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (index as u64) << 17;
+    let (survivors, cnrs): (Vec<usize>, Vec<Option<f64>>) =
+        if config.selection == SelectionStrategy::Full {
+            let indexed: Vec<usize> = (0..candidates.len()).collect();
+            let results = elivagar_sim::parallel::par_map(&indexed, |&i| {
+                let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0xC14));
+                cnr(&candidates[i], device, config, &mut rng)
+                    .expect("candidate does not fit the device; route it first")
+            });
+            let mut cnrs = Vec::with_capacity(candidates.len());
+            for r in results {
+                executions.cnr += r.executions;
+                cnrs.push(r.cnr);
+            }
+            let survivors =
+                reject_low_fidelity(&cnrs, config.cnr_threshold, config.cnr_keep_fraction);
+            (survivors, cnrs.into_iter().map(Some).collect())
+        } else {
+            ((0..candidates.len()).collect(), vec![None; candidates.len()])
+        };
+
+    // Step 4: RepCap on the survivors (also parallel, seed-stable).
+    let (samples, labels) = dataset.sample_per_class(config.repcap_samples_per_class, &mut rng);
+    let mut repcaps: Vec<Option<f64>> = vec![None; candidates.len()];
+    let repcap_results = elivagar_sim::parallel::par_map(&survivors, |&i| {
+        let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0x4E9));
+        (i, repcap(&candidates[i].circuit, &samples, &labels, config, &mut rng))
+    });
+    for (i, r) in repcap_results {
+        executions.repcap += r.executions;
+        repcaps[i] = Some(r.repcap);
+    }
+
+    // Step 5: composite scoring and selection.
+    let mut scored: Vec<ScoredCandidate> = candidates
+        .into_iter()
+        .enumerate()
+        .map(|(i, candidate)| {
+            let score = match (config.selection, cnrs[i], repcaps[i]) {
+                (SelectionStrategy::Full, Some(c), Some(r)) => {
+                    Some(composite_score(c, r, config.alpha_cnr))
+                }
+                (SelectionStrategy::RepCapOnly, _, Some(r)) => Some(r.max(0.0)),
+                _ => None,
+            };
+            ScoredCandidate {
+                candidate,
+                cnr: cnrs[i],
+                repcap: repcaps[i],
+                score,
+            }
+        })
+        .collect();
+
+    let best_index = scored
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.score.is_some())
+        .max_by(|(_, a), (_, b)| {
+            a.score
+                .partial_cmp(&b.score)
+                .expect("scores are finite")
+        })
+        .map(|(i, _)| i)
+        .expect("at least one candidate survives rejection");
+
+    let best = scored[best_index].candidate.clone();
+    // Order the trail by descending score for inspection convenience.
+    scored.sort_by(|a, b| {
+        b.score
+            .unwrap_or(f64::NEG_INFINITY)
+            .partial_cmp(&a.score.unwrap_or(f64::NEG_INFINITY))
+            .expect("scores are finite")
+    });
+    SearchResult {
+        best,
+        scored,
+        executions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SearchConfig, SelectionStrategy};
+    use elivagar_datasets::moons;
+    use elivagar_device::devices::ibm_lagos;
+
+    fn setup() -> (elivagar_device::Device, Dataset, SearchConfig) {
+        let device = ibm_lagos();
+        let dataset = moons(60, 20, 3).normalized(std::f64::consts::PI);
+        let mut config = SearchConfig::for_task(3, 8, 2, 2).fast();
+        config.num_candidates = 6;
+        (device, dataset, config)
+    }
+
+    #[test]
+    fn full_search_selects_best_composite_score() {
+        let (device, dataset, config) = setup();
+        let result = search(&device, &dataset, &config);
+        // Every candidate got a CNR; survivors got RepCap.
+        assert_eq!(result.scored.len(), 6);
+        assert!(result.scored.iter().all(|s| s.cnr.is_some()));
+        let with_repcap = result.scored.iter().filter(|s| s.repcap.is_some()).count();
+        assert!((1..=6).contains(&with_repcap));
+        // The selected candidate carries the maximum score.
+        let best_score = result.scored[0].score.expect("sorted by score");
+        assert!(result
+            .scored
+            .iter()
+            .filter_map(|s| s.score)
+            .all(|s| s <= best_score + 1e-12));
+        // Accounting is consistent.
+        assert_eq!(
+            result.executions.cnr,
+            (6 * config.clifford_replicas) as u64
+        );
+        assert!(result.executions.repcap > 0);
+    }
+
+    #[test]
+    fn early_rejection_reduces_repcap_cost() {
+        let (device, dataset, mut config) = setup();
+        config.cnr_keep_fraction = 0.3; // ceil(6 * 0.3) = 2 survivors
+        config.cnr_threshold = 0.0;
+        let result = search(&device, &dataset, &config);
+        let evaluated = result.scored.iter().filter(|s| s.repcap.is_some()).count();
+        assert_eq!(evaluated, 2);
+    }
+
+    #[test]
+    fn random_selection_runs_no_predictors() {
+        let (device, dataset, mut config) = setup();
+        config.selection = SelectionStrategy::Random;
+        let result = search(&device, &dataset, &config);
+        assert_eq!(result.executions.total(), 0);
+        assert!(result.scored.iter().all(|s| s.score.is_none()));
+    }
+
+    #[test]
+    fn repcap_only_skips_cnr() {
+        let (device, dataset, mut config) = setup();
+        config.selection = SelectionStrategy::RepCapOnly;
+        let result = search(&device, &dataset, &config);
+        assert_eq!(result.executions.cnr, 0);
+        assert!(result.scored.iter().all(|s| s.cnr.is_none()));
+        assert!(result.scored.iter().all(|s| s.repcap.is_some()));
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let (device, dataset, config) = setup();
+        let a = search(&device, &dataset, &config);
+        let b = search(&device, &dataset, &config);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn selected_circuit_is_trainable_shape() {
+        let (device, dataset, config) = setup();
+        let result = search(&device, &dataset, &config);
+        assert_eq!(result.best.circuit.num_trainable_params(), config.param_budget);
+        assert_eq!(result.best.circuit.measured().len(), config.num_measured);
+    }
+
+    #[test]
+    fn composite_score_weights_cnr_by_alpha() {
+        assert!((composite_score(0.81, 0.5, 0.5) - 0.45).abs() < 1e-12);
+        assert!((composite_score(0.81, 0.5, 1.0) - 0.405).abs() < 1e-12);
+        // Negative repcap clamps to zero.
+        assert_eq!(composite_score(0.9, -0.2, 0.5), 0.0);
+    }
+}

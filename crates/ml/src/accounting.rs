@@ -1,0 +1,138 @@
+//! Circuit-execution cost models for the paper's runtime comparisons
+//! (Table 4 and Section 9.4).
+//!
+//! On hardware, wall-clock time is dominated by the number of circuit
+//! executions, so the paper compares methods by execution counts. These
+//! formulas mirror Section 6.1's analysis.
+
+/// Cost parameters of a SuperCircuit-based method (QuantumNAS /
+/// QuantumSupernet).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuperCircuitCost {
+    /// Training epochs `t` for the SuperCircuit.
+    pub epochs: usize,
+    /// Training-set size.
+    pub train_samples: usize,
+    /// Average sampled-subcircuit parameter count `p`.
+    pub avg_params: usize,
+    /// Candidate circuits evaluated by the search `N`.
+    pub candidates: usize,
+    /// Validation-set size used to score each candidate.
+    pub valid_samples: usize,
+}
+
+impl SuperCircuitCost {
+    /// Total circuit executions: `2 t |D_train| p + N |D_valid|`
+    /// (Section 6.1). The `2 p` factor is the parameter-shift rule: two
+    /// executions per parameter per sample per epoch.
+    pub fn executions(&self) -> u64 {
+        2 * (self.epochs as u64)
+            * (self.train_samples as u64)
+            * (self.avg_params as u64)
+            + (self.candidates as u64) * (self.valid_samples as u64)
+    }
+}
+
+/// Cost parameters of an Elivagar search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ElivagarCost {
+    /// Candidate circuits generated `N_C`.
+    pub candidates: usize,
+    /// Clifford replicas per circuit `M` (paper default 32).
+    pub clifford_replicas: usize,
+    /// Fraction of candidates surviving CNR rejection (paper default 0.5).
+    pub survivor_fraction: f64,
+    /// Samples per class `d_c` (paper default 16).
+    pub samples_per_class: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Parameter initializations `n_p` (paper default 32).
+    pub param_inits: usize,
+}
+
+impl ElivagarCost {
+    /// CNR executions: every candidate runs `M` Clifford replicas.
+    pub fn cnr_executions(&self) -> u64 {
+        (self.candidates * self.clifford_replicas) as u64
+    }
+
+    /// RepCap executions for the survivors:
+    /// `survivors * d_c * n_classes * n_p` (Section 6.1's
+    /// `n_c * d_c * n_p` per circuit).
+    pub fn repcap_executions(&self) -> u64 {
+        let survivors = (self.candidates as f64 * self.survivor_fraction).ceil() as u64;
+        survivors
+            * (self.samples_per_class as u64)
+            * (self.classes as u64)
+            * (self.param_inits as u64)
+    }
+
+    /// Total search executions.
+    pub fn executions(&self) -> u64 {
+        self.cnr_executions() + self.repcap_executions()
+    }
+}
+
+/// The paper's default Elivagar hyperparameters for a benchmark with the
+/// given class count and candidate pool.
+pub fn elivagar_default_cost(candidates: usize, classes: usize) -> ElivagarCost {
+    ElivagarCost {
+        candidates,
+        clifford_replicas: 32,
+        survivor_fraction: 0.5,
+        samples_per_class: 16,
+        classes,
+        param_inits: 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supercircuit_formula_matches_section6() {
+        let c = SuperCircuitCost {
+            epochs: 10,
+            train_samples: 100,
+            avg_params: 20,
+            candidates: 50,
+            valid_samples: 30,
+        };
+        assert_eq!(c.executions(), 2 * 10 * 100 * 20 + 50 * 30);
+    }
+
+    #[test]
+    fn elivagar_cost_components() {
+        let c = elivagar_default_cost(100, 2);
+        assert_eq!(c.cnr_executions(), 3200);
+        // 50 survivors * 16 * 2 * 32 = 51200.
+        assert_eq!(c.repcap_executions(), 51_200);
+        assert_eq!(c.executions(), 54_400);
+    }
+
+    #[test]
+    fn speedup_grows_with_problem_size() {
+        // The core claim behind Table 4: SuperCircuit cost scales with
+        // train size and parameter count, Elivagar's does not.
+        let small = SuperCircuitCost {
+            epochs: 5,
+            train_samples: 600,
+            avg_params: 16,
+            candidates: 100,
+            valid_samples: 120,
+        };
+        let large = SuperCircuitCost {
+            epochs: 5,
+            train_samples: 60000,
+            avg_params: 72,
+            candidates: 100,
+            valid_samples: 10000,
+        };
+        let eliv_small = elivagar_default_cost(100, 2).executions();
+        let eliv_large = elivagar_default_cost(100, 10).executions();
+        let speedup_small = small.executions() as f64 / eliv_small as f64;
+        let speedup_large = large.executions() as f64 / eliv_large as f64;
+        assert!(speedup_large > 10.0 * speedup_small);
+    }
+}

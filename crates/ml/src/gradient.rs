@@ -1,0 +1,287 @@
+//! Loss gradients: adjoint (classical simulation) and parameter-shift
+//! (quantum hardware) paths.
+//!
+//! The distinction drives the paper's two runtime scenarios (Section 8.2):
+//! on classical simulators gradients are cheap (adjoint/backprop, O(1)
+//! sweeps), while on hardware every parameter costs extra circuit
+//! executions through the parameter-shift rule — which is exactly why
+//! training-based QCS methods scale so poorly.
+
+use crate::loss::cross_entropy;
+use crate::model::QuantumClassifier;
+use elivagar_circuit::{Gate, ParamSource};
+use elivagar_sim::{adjoint_gradient, StateVector, ZObservable};
+use std::f64::consts::{FRAC_PI_2, SQRT_2};
+
+/// How gradients are computed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GradientMethod {
+    /// Adjoint differentiation on the state-vector simulator (the paper's
+    /// "classical simulators" scenario).
+    #[default]
+    Adjoint,
+    /// Parameter-shift rules with per-execution accounting (the paper's
+    /// "quantum hardware" scenario).
+    ParameterShift,
+}
+
+/// Loss, gradient, and the number of circuit executions the computation
+/// would have cost on hardware.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchGradient {
+    /// Mean loss over the batch.
+    pub loss: f64,
+    /// Mean gradient over the batch.
+    pub gradient: Vec<f64>,
+    /// Circuit executions consumed (forward passes + shifted evaluations).
+    pub executions: u64,
+}
+
+/// The parameter-shift rule of a gate parameter: `(shift, coefficient)`
+/// terms such that `d<O>/dtheta = sum_j c_j <O>(theta + s_j)`.
+///
+/// Plain rotations have generator eigenvalues +-1/2 (two-term rule);
+/// controlled rotations have eigenvalues {0, +-1/2} and need the four-term
+/// two-frequency rule. Returns `None` for non-parametric gates.
+pub fn shift_rule(gate: Gate) -> Option<&'static [(f64, f64)]> {
+    const TWO_TERM: [(f64, f64); 2] = [(FRAC_PI_2, 0.5), (-FRAC_PI_2, -0.5)];
+    // c+- = (sqrt(2) +- 1) / (4 sqrt(2)).
+    const C_PLUS: f64 = (SQRT_2 + 1.0) / (4.0 * SQRT_2);
+    const C_MINUS: f64 = (SQRT_2 - 1.0) / (4.0 * SQRT_2);
+    const FOUR_TERM: [(f64, f64); 4] = [
+        (FRAC_PI_2, C_PLUS),
+        (-FRAC_PI_2, -C_PLUS),
+        (3.0 * FRAC_PI_2, -C_MINUS),
+        (-3.0 * FRAC_PI_2, C_MINUS),
+    ];
+    match gate {
+        Gate::Rx | Gate::Ry | Gate::Rz | Gate::P | Gate::U3 => Some(&TWO_TERM),
+        Gate::Rxx | Gate::Ryy | Gate::Rzz => Some(&TWO_TERM),
+        Gate::Crx | Gate::Cry | Gate::Crz | Gate::Cp => Some(&FOUR_TERM),
+        _ => None,
+    }
+}
+
+/// Weighted expectation `sum_q w_q <Z_q>` of a circuit output.
+fn weighted_expectation(
+    model: &QuantumClassifier,
+    params: &[f64],
+    features: &[f64],
+    weights: &[(usize, f64)],
+) -> f64 {
+    let psi = StateVector::run(model.circuit(), params, features);
+    weights.iter().map(|&(q, w)| w * psi.expectation_z(q)).sum()
+}
+
+/// Where a trainable parameter is used in the circuit.
+fn usage_sites(model: &QuantumClassifier, index: usize) -> Vec<(usize, f64)> {
+    let mut sites = Vec::new();
+    for (i, ins) in model.circuit().instructions().iter().enumerate() {
+        for p in &ins.params {
+            if let ParamSource::Trainable(t) = p.source {
+                if t == index {
+                    sites.push((i, p.scale));
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Computes loss and gradient for one sample.
+fn sample_gradient(
+    model: &QuantumClassifier,
+    params: &[f64],
+    features: &[f64],
+    label: usize,
+    method: GradientMethod,
+) -> (f64, Vec<f64>, u64) {
+    let logits = model.logits(params, features);
+    let (loss, dlogits) = cross_entropy(&logits, label);
+    let weights = model.observable_weights(&dlogits);
+    match method {
+        GradientMethod::Adjoint => {
+            let g = adjoint_gradient(
+                model.circuit(),
+                params,
+                features,
+                &ZObservable::new(weights),
+            );
+            // One logical forward execution; gradients are free classically.
+            (loss, g.params, 1)
+        }
+        GradientMethod::ParameterShift => {
+            let mut grad = vec![0.0; params.len()];
+            let mut executions = 1u64; // the forward pass
+            for (i, g) in grad.iter_mut().enumerate() {
+                let sites = usage_sites(model, i);
+                if sites.is_empty() {
+                    continue;
+                }
+                let single_plain_site = sites.len() == 1
+                    && (sites[0].1.abs() - 1.0).abs() < 1e-12
+                    && shift_rule(model.circuit().instructions()[sites[0].0].gate).is_some();
+                if single_plain_site {
+                    let gate = model.circuit().instructions()[sites[0].0].gate;
+                    let rule = shift_rule(gate).expect("checked above");
+                    let sign = sites[0].1; // +1 or -1
+                    for &(shift, coeff) in rule {
+                        let mut shifted = params.to_vec();
+                        shifted[i] += sign * shift;
+                        *g += sign * coeff
+                            * weighted_expectation(model, &shifted, features, &weights);
+                        executions += 1;
+                    }
+                } else {
+                    // Shared or scaled parameter: central difference (still
+                    // two executions, like a shift).
+                    let h = 1e-4;
+                    let mut plus = params.to_vec();
+                    let mut minus = params.to_vec();
+                    plus[i] += h;
+                    minus[i] -= h;
+                    let ep = weighted_expectation(model, &plus, features, &weights);
+                    let em = weighted_expectation(model, &minus, features, &weights);
+                    *g += (ep - em) / (2.0 * h);
+                    executions += 2;
+                }
+            }
+            (loss, grad, executions)
+        }
+    }
+}
+
+/// Mean loss and gradient over a batch of samples.
+///
+/// # Panics
+///
+/// Panics if the batch is empty or features/labels lengths differ.
+pub fn batch_gradient(
+    model: &QuantumClassifier,
+    params: &[f64],
+    features: &[Vec<f64>],
+    labels: &[usize],
+    method: GradientMethod,
+) -> BatchGradient {
+    assert!(!features.is_empty(), "empty batch");
+    assert_eq!(features.len(), labels.len(), "feature/label mismatch");
+    let mut loss = 0.0;
+    let mut gradient = vec![0.0; params.len()];
+    let mut executions = 0u64;
+    for (x, &y) in features.iter().zip(labels) {
+        let (l, g, e) = sample_gradient(model, params, x, y, method);
+        loss += l;
+        executions += e;
+        for (acc, gi) in gradient.iter_mut().zip(&g) {
+            *acc += gi;
+        }
+    }
+    let n = features.len() as f64;
+    loss /= n;
+    for g in &mut gradient {
+        *g /= n;
+    }
+    BatchGradient { loss, gradient, executions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_circuit::{Circuit, ParamExpr};
+
+    fn model() -> QuantumClassifier {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::feature(0)]);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Rz, &[1], &[ParamExpr::trainable(1)]);
+        c.push_gate(Gate::Crz, &[0, 1], &[ParamExpr::trainable(2)]);
+        c.push_gate(Gate::Ry, &[1], &[ParamExpr::trainable(3)]);
+        c.set_measured(vec![0, 1]);
+        QuantumClassifier::new(c, 2)
+    }
+
+    #[test]
+    fn parameter_shift_matches_adjoint() {
+        let m = model();
+        let params = [0.4, -0.9, 1.3, 0.2];
+        let x = vec![vec![0.8]];
+        let y = [1];
+        let adj = batch_gradient(&m, &params, &x, &y, GradientMethod::Adjoint);
+        let ps = batch_gradient(&m, &params, &x, &y, GradientMethod::ParameterShift);
+        assert!((adj.loss - ps.loss).abs() < 1e-10);
+        for (a, b) in adj.gradient.iter().zip(&ps.gradient) {
+            assert!((a - b).abs() < 1e-6, "adjoint {a} vs shift {b}");
+        }
+    }
+
+    #[test]
+    fn execution_counts_reflect_shift_rules() {
+        let m = model();
+        let params = [0.4, -0.9, 1.3, 0.2];
+        let ps = batch_gradient(
+            &m,
+            &params,
+            &[vec![0.8]],
+            &[0],
+            GradientMethod::ParameterShift,
+        );
+        // 1 forward + 2-term for t0, t1, t3 (3 * 2) + 4-term for the CRZ
+        // (t2) = 1 + 6 + 4 = 11.
+        assert_eq!(ps.executions, 11);
+        let adj = batch_gradient(&m, &params, &[vec![0.8]], &[0], GradientMethod::Adjoint);
+        assert_eq!(adj.executions, 1);
+    }
+
+    #[test]
+    fn shared_parameters_fall_back_to_finite_differences() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0).scaled(0.5)]);
+        c.set_measured(vec![0]);
+        let m = QuantumClassifier::new(c, 2);
+        let params = [0.7];
+        let adj = batch_gradient(&m, &params, &[vec![]], &[0], GradientMethod::Adjoint);
+        let ps = batch_gradient(&m, &params, &[vec![]], &[0], GradientMethod::ParameterShift);
+        assert!((adj.gradient[0] - ps.gradient[0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn batch_averaging_is_correct() {
+        let m = model();
+        let params = [0.1, 0.2, 0.3, 0.4];
+        let a = batch_gradient(&m, &params, &[vec![0.5]], &[0], GradientMethod::Adjoint);
+        let b = batch_gradient(&m, &params, &[vec![1.5]], &[1], GradientMethod::Adjoint);
+        let both = batch_gradient(
+            &m,
+            &params,
+            &[vec![0.5], vec![1.5]],
+            &[0, 1],
+            GradientMethod::Adjoint,
+        );
+        assert!((both.loss - 0.5 * (a.loss + b.loss)).abs() < 1e-12);
+        for k in 0..4 {
+            assert!((both.gradient[k] - 0.5 * (a.gradient[k] + b.gradient[k])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn four_term_rule_is_exact_for_controlled_rotations() {
+        // Isolate a CRY and compare the 4-term rule against adjoint.
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Cry, &[0, 1], &[ParamExpr::trainable(0)]);
+        c.set_measured(vec![1]);
+        let m = QuantumClassifier::new(c, 2);
+        for theta in [0.3, -1.2, 2.5] {
+            let adj = batch_gradient(&m, &[theta], &[vec![]], &[1], GradientMethod::Adjoint);
+            let ps =
+                batch_gradient(&m, &[theta], &[vec![]], &[1], GradientMethod::ParameterShift);
+            assert!(
+                (adj.gradient[0] - ps.gradient[0]).abs() < 1e-9,
+                "theta {theta}: {} vs {}",
+                adj.gradient[0],
+                ps.gradient[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Classification losses.
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy loss of softmax(logits) against an integer label, plus the
+/// gradient with respect to the logits (`softmax - onehot`).
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
+    assert!(label < logits.len(), "label {label} out of range");
+    let probs = softmax(logits);
+    let loss = -(probs[label].max(1e-12)).ln();
+    let grad = probs
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| p - if k == label { 1.0 } else { 0.0 })
+        .collect();
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        assert!((a[0] - b[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let (loss, _) = cross_entropy(&[10.0, -10.0], 0);
+        assert!(loss < 1e-6);
+        let (loss_wrong, _) = cross_entropy(&[10.0, -10.0], 1);
+        assert!(loss_wrong > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = [0.3, -0.7, 1.2];
+        let (_, grad) = cross_entropy(&logits, 2);
+        let h = 1e-6;
+        for k in 0..3 {
+            let mut plus = logits;
+            let mut minus = logits;
+            plus[k] += h;
+            minus[k] -= h;
+            let fd = (cross_entropy(&plus, 2).0 - cross_entropy(&minus, 2).0) / (2.0 * h);
+            assert!((grad[k] - fd).abs() < 1e-6, "slot {k}");
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = cross_entropy(&[0.1, 0.2, 0.3, 0.4], 1);
+        assert!(grad.iter().sum::<f64>().abs() < 1e-12);
+    }
+}

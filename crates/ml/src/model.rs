@@ -1,0 +1,231 @@
+//! The quantum classifier model: a circuit plus a measurement head mapping
+//! Pauli-Z expectations of the measured qubits to class logits.
+
+use elivagar_circuit::Circuit;
+use elivagar_sim::StateVector;
+
+/// A variational quantum classifier.
+///
+/// Binary tasks average `<Z>` over all measured qubits into one score `e`
+/// with logits `[e, -e]`; `k`-class tasks read one logit per measured qubit
+/// (the TorchQuantum convention the paper trains with).
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_circuit::{Circuit, Gate, ParamExpr};
+/// use elivagar_ml::QuantumClassifier;
+///
+/// let mut c = Circuit::new(2);
+/// c.push_gate(Gate::Rx, &[0], &[ParamExpr::feature(0)]);
+/// c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0)]);
+/// c.set_measured(vec![0]);
+/// let model = QuantumClassifier::new(c, 2);
+/// let logits = model.logits(&[0.3], &[1.2]);
+/// assert_eq!(logits.len(), 2);
+/// assert!((logits[0] + logits[1]).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantumClassifier {
+    circuit: Circuit,
+    num_classes: usize,
+}
+
+impl QuantumClassifier {
+    /// Wraps a circuit as a classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit measures no qubits, `num_classes < 2`, or a
+    /// multi-class task measures fewer qubits than classes.
+    pub fn new(circuit: Circuit, num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(!circuit.measured().is_empty(), "classifier circuit must measure qubits");
+        if num_classes > 2 {
+            assert!(
+                circuit.measured().len() >= num_classes,
+                "{num_classes}-class head needs >= {num_classes} measured qubits, got {}",
+                circuit.measured().len()
+            );
+        }
+        QuantumClassifier { circuit, num_classes }
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.circuit.num_trainable_params()
+    }
+
+    /// Per-measured-qubit `<Z>` expectations for one sample (noiseless).
+    pub fn expectations(&self, params: &[f64], features: &[f64]) -> Vec<f64> {
+        let psi = StateVector::run(&self.circuit, params, features);
+        self.circuit
+            .measured()
+            .iter()
+            .map(|&q| psi.expectation_z(q))
+            .collect()
+    }
+
+    /// Per-measured-qubit `<Z>` computed from an output *distribution* over
+    /// the measured qubits (e.g. a noisy-simulation or hardware histogram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution length is not `2^measured`.
+    pub fn expectations_from_distribution(&self, dist: &[f64]) -> Vec<f64> {
+        let m = self.circuit.measured().len();
+        assert_eq!(dist.len(), 1 << m, "distribution size mismatch");
+        (0..m)
+            .map(|k| {
+                dist.iter()
+                    .enumerate()
+                    .map(|(b, &p)| if b & (1 << k) == 0 { p } else { -p })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Maps expectations to class logits.
+    pub fn logits_from_expectations(&self, expectations: &[f64]) -> Vec<f64> {
+        if self.num_classes == 2 {
+            let e = expectations.iter().sum::<f64>() / expectations.len() as f64;
+            vec![e, -e]
+        } else {
+            expectations[..self.num_classes].to_vec()
+        }
+    }
+
+    /// Class logits for one sample (noiseless).
+    pub fn logits(&self, params: &[f64], features: &[f64]) -> Vec<f64> {
+        self.logits_from_expectations(&self.expectations(params, features))
+    }
+
+    /// Predicted class for one sample (noiseless).
+    pub fn predict(&self, params: &[f64], features: &[f64]) -> usize {
+        argmax(&self.logits(params, features))
+    }
+
+    /// Predicted class from an output distribution (noisy inference).
+    pub fn predict_from_distribution(&self, dist: &[f64]) -> usize {
+        argmax(&self.logits_from_expectations(&self.expectations_from_distribution(dist)))
+    }
+
+    /// Distributes a loss gradient with respect to logits back onto the
+    /// measured qubits, yielding `(qubit, weight)` terms for one adjoint
+    /// pass (`dL/dtheta = sum_q w_q * d<Z_q>/dtheta`).
+    pub fn observable_weights(&self, dloss_dlogits: &[f64]) -> Vec<(usize, f64)> {
+        let measured = self.circuit.measured();
+        if self.num_classes == 2 {
+            let de = (dloss_dlogits[0] - dloss_dlogits[1]) / measured.len() as f64;
+            measured.iter().map(|&q| (q, de)).collect()
+        } else {
+            measured
+                .iter()
+                .take(self.num_classes)
+                .enumerate()
+                .map(|(k, &q)| (q, dloss_dlogits[k]))
+                .collect()
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn argmax(values: &[f64]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_circuit::{Gate, ParamExpr};
+
+    fn binary_model() -> QuantumClassifier {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::feature(0)]);
+        c.push_gate(Gate::Ry, &[1], &[ParamExpr::trainable(0)]);
+        c.set_measured(vec![0, 1]);
+        QuantumClassifier::new(c, 2)
+    }
+
+    #[test]
+    fn binary_logits_are_antisymmetric() {
+        let m = binary_model();
+        let l = m.logits(&[0.7], &[0.4]);
+        assert!((l[0] + l[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectations_match_distribution_path() {
+        let m = binary_model();
+        let psi = StateVector::run(m.circuit(), &[0.7], &[0.4]);
+        let dist = psi.marginal_probabilities(m.circuit().measured());
+        let via_dist = m.expectations_from_distribution(&dist);
+        let direct = m.expectations(&[0.7], &[0.4]);
+        for (a, b) in via_dist.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiclass_reads_one_logit_per_qubit() {
+        let mut c = Circuit::new(4);
+        c.push_gate(Gate::X, &[2], &[]);
+        c.set_measured(vec![0, 1, 2, 3]);
+        let m = QuantumClassifier::new(c, 4);
+        // Qubit 2 is |1>: <Z> = -1, so class 2 has the lowest logit.
+        let l = m.logits(&[], &[]);
+        assert_eq!(l.len(), 4);
+        assert!((l[2] + 1.0).abs() < 1e-12);
+        assert_eq!(m.predict(&[], &[]), 0);
+    }
+
+    #[test]
+    fn observable_weights_binary_spread_evenly() {
+        let m = binary_model();
+        let w = m.observable_weights(&[1.0, 0.0]);
+        assert_eq!(w, vec![(0, 0.5), (1, 0.5)]);
+    }
+
+    #[test]
+    fn observable_weights_multiclass_align_with_qubits() {
+        let mut c = Circuit::new(3);
+        c.set_measured(vec![2, 0, 1]);
+        let m = QuantumClassifier::new(c, 3);
+        let w = m.observable_weights(&[0.1, -0.2, 0.3]);
+        assert_eq!(w, vec![(2, 0.1), (0, -0.2), (1, 0.3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs >= 4 measured qubits")]
+    fn multiclass_requires_enough_measured_qubits() {
+        let mut c = Circuit::new(2);
+        c.set_measured(vec![0, 1]);
+        QuantumClassifier::new(c, 4);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+}

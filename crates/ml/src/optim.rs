@@ -1,0 +1,92 @@
+//! Gradient-based optimizers.
+
+/// The Adam optimizer (Kingma & Ba), configured exactly as the paper's
+/// training methodology: learning rate 0.01, default betas, no weight
+/// decay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for `num_params` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(num_params: usize, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; num_params],
+            v: vec![0.0; num_params],
+            t: 0,
+        }
+    }
+
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the construction size.
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count changed");
+        assert_eq!(grad.len(), self.m.len(), "gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2, gradient 2(x - 3).
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_size_is_learning_rate() {
+        // Adam's bias correction makes the first step ~lr regardless of
+        // gradient magnitude.
+        for g0 in [0.001, 1.0, 1000.0] {
+            let mut x = vec![0.0];
+            let mut opt = Adam::new(1, 0.01);
+            opt.step(&mut x, &[g0]);
+            assert!((x[0] + 0.01).abs() < 1e-6, "g0 = {g0}, x = {}", x[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count mismatch")]
+    fn mismatched_gradient_rejected() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut x = vec![0.0, 0.0];
+        opt.step(&mut x, &[1.0]);
+    }
+}

@@ -1,0 +1,378 @@
+//! Exact density-matrix simulation of noisy circuits.
+//!
+//! Exponentially more expensive than trajectories (`4^n` entries) but exact:
+//! it is the ground truth the Monte-Carlo trajectory engine is validated
+//! against in the test suite, and is usable directly for small circuits.
+
+use crate::noise::{apply_readout_error, CircuitNoise, DampingError};
+use elivagar_circuit::math::{C64, Mat2, Mat4};
+use elivagar_circuit::{Circuit, Instruction};
+
+/// Maximum qubit count accepted by the density-matrix engine.
+pub const MAX_DENSITY_QUBITS: usize = 10;
+
+/// A mixed quantum state over `n` qubits, stored as a dense `2^n x 2^n`
+/// matrix in row-major order with little-endian basis indexing.
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_sim::density::DensityMatrix;
+/// use elivagar_circuit::Gate;
+///
+/// let mut rho = DensityMatrix::zero(1);
+/// rho.apply_mat1(0, &Gate::H.matrix1(&[]));
+/// let probs = rho.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    dim: usize,
+    /// Row-major entries: `rho[r * dim + c]`.
+    rho: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0...0><0...0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero or exceeds [`MAX_DENSITY_QUBITS`].
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "state needs at least one qubit");
+        assert!(
+            num_qubits <= MAX_DENSITY_QUBITS,
+            "density simulation limited to {MAX_DENSITY_QUBITS} qubits"
+        );
+        let dim = 1usize << num_qubits;
+        let mut rho = vec![C64::ZERO; dim * dim];
+        rho[0] = C64::ONE;
+        DensityMatrix { num_qubits, dim, rho }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Trace of the matrix (1 for physical states).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.rho[i * self.dim + i].re).sum()
+    }
+
+    /// Purity `Tr(rho^2)`.
+    pub fn purity(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                let a = self.rho[r * self.dim + c];
+                let b = self.rho[c * self.dim + r];
+                acc += (a * b).re;
+            }
+        }
+        acc
+    }
+
+    /// Applies `K . K^dagger` for a single Kraus/unitary operator on qubit
+    /// `q`, *without* renormalizing (callers sum channels).
+    fn conjugate_mat1(&mut self, q: usize, k: &Mat2) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let bit = 1usize << q;
+        // Left multiply rows: rho <- K rho.
+        for c in 0..self.dim {
+            for r in 0..self.dim {
+                if r & bit == 0 {
+                    let r0 = r;
+                    let r1 = r | bit;
+                    let a0 = self.rho[r0 * self.dim + c];
+                    let a1 = self.rho[r1 * self.dim + c];
+                    self.rho[r0 * self.dim + c] = k.0[0][0] * a0 + k.0[0][1] * a1;
+                    self.rho[r1 * self.dim + c] = k.0[1][0] * a0 + k.0[1][1] * a1;
+                }
+            }
+        }
+        // Right multiply columns: rho <- rho K^dagger.
+        let kd = k.dagger();
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if c & bit == 0 {
+                    let c0 = c;
+                    let c1 = c | bit;
+                    let a0 = self.rho[r * self.dim + c0];
+                    let a1 = self.rho[r * self.dim + c1];
+                    // (rho Kd)[r][c] = sum_k rho[r][k] Kd[k][c]
+                    self.rho[r * self.dim + c0] = a0 * kd.0[0][0] + a1 * kd.0[1][0];
+                    self.rho[r * self.dim + c1] = a0 * kd.0[0][1] + a1 * kd.0[1][1];
+                }
+            }
+        }
+    }
+
+    /// Applies a single-qubit unitary `U rho U^dagger`.
+    pub fn apply_mat1(&mut self, q: usize, u: &Mat2) {
+        self.conjugate_mat1(q, u);
+    }
+
+    /// Applies a two-qubit unitary on `(qa, qb)` (`qa` is the low bit of
+    /// the subspace index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubits coincide or are out of range.
+    pub fn apply_mat2(&mut self, qa: usize, qb: usize, u: &Mat4) {
+        assert!(qa != qb, "two-qubit gate needs distinct qubits");
+        assert!(qa < self.num_qubits && qb < self.num_qubits, "qubit out of range");
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        // Left multiply.
+        for c in 0..self.dim {
+            for r in 0..self.dim {
+                if r & ba == 0 && r & bb == 0 {
+                    let idx = [r, r | ba, r | bb, r | ba | bb];
+                    let a: Vec<C64> = idx.iter().map(|&i| self.rho[i * self.dim + c]).collect();
+                    for (row, &i) in idx.iter().enumerate() {
+                        let mut acc = C64::ZERO;
+                        for (col, &amp) in a.iter().enumerate() {
+                            acc += u.0[row][col] * amp;
+                        }
+                        self.rho[i * self.dim + c] = acc;
+                    }
+                }
+            }
+        }
+        // Right multiply by U^dagger.
+        let ud = u.dagger();
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if c & ba == 0 && c & bb == 0 {
+                    let idx = [c, c | ba, c | bb, c | ba | bb];
+                    let a: Vec<C64> = idx.iter().map(|&i| self.rho[r * self.dim + i]).collect();
+                    for (col, &i) in idx.iter().enumerate() {
+                        let mut acc = C64::ZERO;
+                        for (k, &amp) in a.iter().enumerate() {
+                            acc += amp * ud.0[k][col];
+                        }
+                        self.rho[r * self.dim + i] = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a single-qubit channel given by a list of Kraus operators:
+    /// `rho <- sum_k K_k rho K_k^dagger`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Kraus list is empty.
+    pub fn apply_kraus1(&mut self, q: usize, kraus: &[Mat2]) {
+        assert!(!kraus.is_empty(), "empty kraus list");
+        let mut acc = vec![C64::ZERO; self.rho.len()];
+        for k in kraus {
+            let mut branch = self.clone();
+            branch.conjugate_mat1(q, k);
+            for (a, b) in acc.iter_mut().zip(&branch.rho) {
+                *a += *b;
+            }
+        }
+        self.rho = acc;
+    }
+
+    /// Applies a Pauli error channel exactly.
+    pub fn apply_pauli_channel(&mut self, q: usize, e: &crate::noise::PauliError) {
+        use elivagar_circuit::Gate;
+        let pi = 1.0 - e.total();
+        let scale = |m: Mat2, w: f64| {
+            let s = C64::real(w.sqrt());
+            Mat2([
+                [m.0[0][0] * s, m.0[0][1] * s],
+                [m.0[1][0] * s, m.0[1][1] * s],
+            ])
+        };
+        let kraus = vec![
+            scale(Mat2::identity(), pi),
+            scale(Gate::X.matrix1(&[]), e.px),
+            scale(Gate::Y.matrix1(&[]), e.py),
+            scale(Gate::Z.matrix1(&[]), e.pz),
+        ];
+        self.apply_kraus1(q, &kraus);
+    }
+
+    /// Applies amplitude and phase damping exactly.
+    pub fn apply_damping(&mut self, q: usize, d: &DampingError) {
+        if d.gamma > 0.0 {
+            let kraus = vec![
+                Mat2([
+                    [C64::ONE, C64::ZERO],
+                    [C64::ZERO, C64::real((1.0 - d.gamma).sqrt())],
+                ]),
+                Mat2([
+                    [C64::ZERO, C64::real(d.gamma.sqrt())],
+                    [C64::ZERO, C64::ZERO],
+                ]),
+            ];
+            self.apply_kraus1(q, &kraus);
+        }
+        if d.lambda > 0.0 {
+            let kraus = vec![
+                Mat2([
+                    [C64::ONE, C64::ZERO],
+                    [C64::ZERO, C64::real((1.0 - d.lambda).sqrt())],
+                ]),
+                Mat2([
+                    [C64::ZERO, C64::ZERO],
+                    [C64::ZERO, C64::real(d.lambda.sqrt())],
+                ]),
+            ];
+            self.apply_kraus1(q, &kraus);
+        }
+    }
+
+    /// Applies one resolved instruction unitarily.
+    pub fn apply_instruction(&mut self, ins: &Instruction, values: &[f64]) {
+        if ins.gate.num_qubits() == 1 {
+            self.apply_mat1(ins.qubits[0], &ins.gate.matrix1(values));
+        } else {
+            self.apply_mat2(ins.qubits[0], ins.qubits[1], &ins.gate.matrix2(values));
+        }
+    }
+
+    /// Probability of each computational basis state (the diagonal).
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.rho[i * self.dim + i].re.max(0.0)).collect()
+    }
+
+    /// Marginal distribution over the listed qubits (bit `k` of the outcome
+    /// index is `qubits[k]`).
+    pub fn marginal_probabilities(&self, qubits: &[usize]) -> Vec<f64> {
+        let probs = self.probabilities();
+        let mut out = vec![0.0; 1 << qubits.len()];
+        for (i, p) in probs.iter().enumerate() {
+            let mut key = 0usize;
+            for (k, &q) in qubits.iter().enumerate() {
+                if i & (1 << q) != 0 {
+                    key |= 1 << k;
+                }
+            }
+            out[key] += p;
+        }
+        out
+    }
+
+    /// Runs a full noisy circuit exactly, returning the output distribution
+    /// over measured qubits including readout error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the noise description does not match the circuit shape.
+    pub fn run_noisy(
+        circuit: &Circuit,
+        params: &[f64],
+        features: &[f64],
+        noise: &CircuitNoise,
+    ) -> Vec<f64> {
+        assert_eq!(noise.per_instruction.len(), circuit.len(), "noise length mismatch");
+        assert_eq!(
+            noise.readout.len(),
+            circuit.measured().len(),
+            "readout length mismatch"
+        );
+        let mut rho = DensityMatrix::zero(circuit.num_qubits());
+        if circuit.amplitude_embedding() {
+            let psi = crate::statevector::StateVector::amplitude_embedded(
+                circuit.num_qubits(),
+                features,
+            );
+            let amps = psi.amplitudes();
+            for r in 0..rho.dim {
+                for c in 0..rho.dim {
+                    rho.rho[r * rho.dim + c] = amps[r] * amps[c].conj();
+                }
+            }
+        }
+        for (ins, n) in circuit.instructions().iter().zip(&noise.per_instruction) {
+            let values = ins.resolve_params(params, features);
+            rho.apply_instruction(ins, &values);
+            for (k, &q) in ins.qubits.iter().enumerate() {
+                rho.apply_pauli_channel(q, &n.pauli[k]);
+                rho.apply_damping(q, &n.damping[k]);
+            }
+        }
+        let dist = rho.marginal_probabilities(circuit.measured());
+        apply_readout_error(&dist, &noise.readout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::tvd;
+    use crate::statevector::StateVector;
+    use crate::trajectory::noisy_distribution;
+    use elivagar_circuit::{Circuit, Gate, ParamExpr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pure_evolution_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::constant(0.8)]);
+        c.push_gate(Gate::Cx, &[0, 2], &[]);
+        c.push_gate(Gate::Cry, &[1, 2], &[ParamExpr::constant(1.3)]);
+        c.set_measured(vec![0, 1, 2]);
+        let noise = CircuitNoise::noiseless(&[1, 1, 2, 2], 3);
+        let d_rho = DensityMatrix::run_noisy(&c, &[], &[], &noise);
+        let d_psi = StateVector::run(&c, &[], &[]).marginal_probabilities(c.measured());
+        assert!(tvd(&d_rho, &d_psi) < 1e-12);
+    }
+
+    #[test]
+    fn trace_and_purity_behave_under_noise() {
+        let mut rho = DensityMatrix::zero(1);
+        rho.apply_mat1(0, &Gate::H.matrix1(&[]));
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        rho.apply_pauli_channel(0, &crate::noise::PauliError::depolarizing(0.5));
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!(rho.purity() < 1.0);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state_exactly() {
+        let mut rho = DensityMatrix::zero(1);
+        rho.apply_mat1(0, &Gate::X.matrix1(&[]));
+        rho.apply_damping(0, &DampingError { gamma: 0.3, lambda: 0.0 });
+        let p = rho.probabilities();
+        assert!((p[0] - 0.3).abs() < 1e-12);
+        assert!((p[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_engine_converges_to_density_matrix() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::constant(0.9)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::constant(0.4)]);
+        c.set_measured(vec![0, 1]);
+        let mut noise = CircuitNoise::uniform(&[1, 1, 2, 1], 2, 0.02, 0.06, 0.03);
+        noise.per_instruction[2].damping[1] = DampingError { gamma: 0.05, lambda: 0.04 };
+        let exact = DensityMatrix::run_noisy(&c, &[], &[], &noise);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mc = noisy_distribution(&c, &[], &[], &noise, 20_000, &mut rng);
+        assert!(tvd(&exact, &mc) < 0.015, "exact {exact:?} vs mc {mc:?}");
+    }
+
+    #[test]
+    fn amplitude_embedding_initializes_density() {
+        let mut c = Circuit::new(2);
+        c.set_amplitude_embedding(true);
+        c.set_measured(vec![0, 1]);
+        let noise = CircuitNoise::noiseless(&[], 2);
+        let d = DensityMatrix::run_noisy(&c, &[], &[1.0, 0.0, 0.0, 1.0], &noise);
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[3] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quantum simulation engines for the Elivagar reproduction.
+//!
+//! The paper's experiments run on real devices and on noisy simulators; this
+//! crate provides everything those need, built from scratch:
+//!
+//! * [`StateVector`] — dense noiseless simulation (training, RepCap);
+//! * [`adjoint`] — O(1)-sweep gradients, the classical "backprop" analog;
+//! * [`stabilizer`] + [`clifford`] — Aaronson–Gottesman tableau simulation
+//!   of Clifford circuits (the engine behind the CNR predictor);
+//! * [`noise`] — Pauli / damping / readout channel descriptions;
+//! * [`trajectory`] — Monte-Carlo noisy execution for both engines;
+//! * [`density`] — exact density-matrix simulation, the ground truth the
+//!   trajectory engine is validated against.
+//!
+//! # Examples
+//!
+//! ```
+//! use elivagar_circuit::{Circuit, Gate};
+//! use elivagar_sim::StateVector;
+//!
+//! let mut c = Circuit::new(2);
+//! c.push_gate(Gate::H, &[0], &[]);
+//! c.push_gate(Gate::Cx, &[0, 1], &[]);
+//! c.set_measured(vec![0, 1]);
+//! let psi = StateVector::run(&c, &[], &[]);
+//! let dist = psi.marginal_probabilities(c.measured());
+//! assert!((dist[0] - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod adjoint;
+pub mod clifford;
+pub mod density;
+pub mod noise;
+pub mod parallel;
+pub mod sampling;
+pub mod stabilizer;
+pub mod statevector;
+pub mod trajectory;
+
+pub use adjoint::{adjoint_gradient, Gradients, ZObservable};
+pub use clifford::{lower_instruction, run_clifford, LowerCliffordError};
+pub use density::DensityMatrix;
+pub use noise::{CircuitNoise, DampingError, InstructionNoise, PauliError, ReadoutError};
+pub use sampling::{counts_to_distribution, fidelity, tvd};
+pub use stabilizer::{CliffordOp, Tableau};
+pub use statevector::StateVector;
+pub use trajectory::{noisy_clifford_distribution, noisy_distribution};

@@ -1,0 +1,293 @@
+//! Noise-channel descriptions shared by the trajectory, stabilizer, and
+//! density-matrix engines.
+//!
+//! A [`CircuitNoise`] attaches one [`InstructionNoise`] to every instruction
+//! of a concrete circuit (built by `elivagar-device` from calibration data)
+//! plus a per-measured-qubit [`ReadoutError`]. The same description is
+//! consumed three ways:
+//!
+//! * exactly, as Kraus channels, by the density-matrix engine (tests);
+//! * stochastically, by Monte-Carlo state-vector trajectories;
+//! * in Pauli-twirled form by the noisy stabilizer engine used for CNR.
+
+use serde::{Deserialize, Serialize};
+
+/// An independent single-qubit Pauli error channel: applies X, Y, Z with the
+/// given probabilities (identity otherwise).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PauliError {
+    /// Probability of an X error.
+    pub px: f64,
+    /// Probability of a Y error.
+    pub py: f64,
+    /// Probability of a Z error.
+    pub pz: f64,
+}
+
+impl PauliError {
+    /// A depolarizing channel with total error probability `p` (uniform over
+    /// X, Y, Z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn depolarizing(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        PauliError {
+            px: p / 3.0,
+            py: p / 3.0,
+            pz: p / 3.0,
+        }
+    }
+
+    /// Total error probability.
+    pub fn total(&self) -> f64 {
+        self.px + self.py + self.pz
+    }
+
+    /// Combines two independent Pauli channels (first-order composition:
+    /// probabilities add; adequate for the small per-gate rates of NISQ
+    /// calibration data).
+    pub fn compose(&self, other: &PauliError) -> PauliError {
+        PauliError {
+            px: self.px + other.px,
+            py: self.py + other.py,
+            pz: self.pz + other.pz,
+        }
+    }
+}
+
+/// Decoherence over one gate duration: amplitude damping (T1 relaxation)
+/// and pure phase damping (the T2 contribution beyond T1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DampingError {
+    /// Amplitude-damping probability `gamma = 1 - exp(-t/T1)`.
+    pub gamma: f64,
+    /// Phase-damping probability `lambda = 1 - exp(-t/Tphi)`.
+    pub lambda: f64,
+}
+
+impl DampingError {
+    /// Builds damping rates from coherence times and a gate duration (all in
+    /// the same time unit).
+    ///
+    /// Uses `1/Tphi = 1/T2 - 1/(2 T1)`, clamped at zero for calibration data
+    /// where `T2 > 2 T1` numerically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1` or `t2` is not positive.
+    pub fn from_coherence(t1: f64, t2: f64, duration: f64) -> Self {
+        assert!(t1 > 0.0 && t2 > 0.0, "coherence times must be positive");
+        let gamma = 1.0 - (-duration / t1).exp();
+        let inv_tphi = (1.0 / t2 - 1.0 / (2.0 * t1)).max(0.0);
+        let lambda = 1.0 - (-duration * inv_tphi).exp();
+        DampingError { gamma, lambda }
+    }
+
+    /// Pauli-twirled approximation of the combined damping channel, used by
+    /// the stabilizer engine (which can only inject Paulis).
+    pub fn twirled(&self) -> PauliError {
+        // Twirling amplitude damping gives px = py = gamma/4 and
+        // pz ~= gamma/4 to first order; pure dephasing lambda adds
+        // pz = (1 - sqrt(1-lambda))/2.
+        let pz_phase = 0.5 * (1.0 - (1.0 - self.lambda).sqrt());
+        PauliError {
+            px: self.gamma / 4.0,
+            py: self.gamma / 4.0,
+            pz: self.gamma / 4.0 + pz_phase,
+        }
+    }
+}
+
+/// Noise attached to one instruction: per-operand-qubit Pauli and damping
+/// channels applied after the (ideal) gate.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstructionNoise {
+    /// One entry per operand qubit, in operand order.
+    pub pauli: Vec<PauliError>,
+    /// One entry per operand qubit, in operand order.
+    pub damping: Vec<DampingError>,
+}
+
+impl InstructionNoise {
+    /// Noiseless placeholder for `arity` operands.
+    pub fn none(arity: usize) -> Self {
+        InstructionNoise {
+            pauli: vec![PauliError::default(); arity],
+            damping: vec![DampingError::default(); arity],
+        }
+    }
+
+    /// Collapses damping into its Pauli twirl, giving a Pauli-only channel
+    /// per operand (for the stabilizer engine).
+    pub fn as_pauli_only(&self) -> Vec<PauliError> {
+        self.pauli
+            .iter()
+            .zip(&self.damping)
+            .map(|(p, d)| p.compose(&d.twirled()))
+            .collect()
+    }
+}
+
+/// An asymmetric readout (measurement) error on one qubit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReadoutError {
+    /// Probability of reading 1 when the true state is 0.
+    pub p1_given_0: f64,
+    /// Probability of reading 0 when the true state is 1.
+    pub p0_given_1: f64,
+}
+
+impl ReadoutError {
+    /// A symmetric readout error with flip probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn symmetric(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        ReadoutError {
+            p1_given_0: p,
+            p0_given_1: p,
+        }
+    }
+}
+
+/// The complete noise description for one concrete circuit execution.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CircuitNoise {
+    /// One entry per circuit instruction, in program order.
+    pub per_instruction: Vec<InstructionNoise>,
+    /// One entry per *measured* qubit, in measurement order.
+    pub readout: Vec<ReadoutError>,
+}
+
+impl CircuitNoise {
+    /// A noiseless description matching a circuit with the given instruction
+    /// arities and measured-qubit count.
+    pub fn noiseless(arities: &[usize], num_measured: usize) -> Self {
+        CircuitNoise {
+            per_instruction: arities.iter().map(|&a| InstructionNoise::none(a)).collect(),
+            readout: vec![ReadoutError::default(); num_measured],
+        }
+    }
+
+    /// A uniform model: every gate gets depolarizing error `p1` (1-qubit) or
+    /// `p2` (2-qubit) per operand, and every measured qubit a symmetric
+    /// readout error `pr`. Useful for tests and synthetic sweeps.
+    pub fn uniform(arities: &[usize], num_measured: usize, p1: f64, p2: f64, pr: f64) -> Self {
+        let per_instruction = arities
+            .iter()
+            .map(|&a| {
+                let p = if a == 1 { p1 } else { p2 };
+                InstructionNoise {
+                    pauli: vec![PauliError::depolarizing(p); a],
+                    damping: vec![DampingError::default(); a],
+                }
+            })
+            .collect();
+        CircuitNoise {
+            per_instruction,
+            readout: vec![ReadoutError::symmetric(pr); num_measured],
+        }
+    }
+}
+
+/// Applies readout confusion matrices to an outcome distribution over
+/// measured qubits (bit `k` of the outcome index is measured qubit `k`).
+///
+/// # Panics
+///
+/// Panics if the distribution length is not `2^readout.len()`.
+pub fn apply_readout_error(dist: &[f64], readout: &[ReadoutError]) -> Vec<f64> {
+    assert_eq!(dist.len(), 1usize << readout.len(), "distribution size mismatch");
+    let mut cur = dist.to_vec();
+    for (k, r) in readout.iter().enumerate() {
+        let bit = 1usize << k;
+        let mut next = vec![0.0; cur.len()];
+        for (i, &p) in cur.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let (stay, flip) = if i & bit == 0 {
+                (1.0 - r.p1_given_0, r.p1_given_0)
+            } else {
+                (1.0 - r.p0_given_1, r.p0_given_1)
+            };
+            next[i] += p * stay;
+            next[i ^ bit] += p * flip;
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depolarizing_splits_evenly() {
+        let p = PauliError::depolarizing(0.3);
+        assert!((p.px - 0.1).abs() < 1e-12);
+        assert!((p.total() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_from_coherence_limits() {
+        let d = DampingError::from_coherence(100.0, 100.0, 0.0);
+        assert_eq!(d.gamma, 0.0);
+        assert_eq!(d.lambda, 0.0);
+        let d = DampingError::from_coherence(1.0, 2.0, 1e9);
+        assert!((d.gamma - 1.0).abs() < 1e-9);
+        // T2 = 2 T1: no pure dephasing.
+        assert!(d.lambda.abs() < 1e-9);
+    }
+
+    #[test]
+    fn twirl_is_small_for_small_damping() {
+        let d = DampingError { gamma: 0.01, lambda: 0.02 };
+        let t = d.twirled();
+        assert!((t.px - 0.0025).abs() < 1e-12);
+        assert!(t.pz > t.px, "dephasing adds z errors");
+        assert!(t.total() < 0.03);
+    }
+
+    #[test]
+    fn readout_error_mixes_distribution() {
+        // True distribution: always |0>; readout flips with prob 0.1.
+        let out = apply_readout_error(&[1.0, 0.0], &[ReadoutError::symmetric(0.1)]);
+        assert!((out[0] - 0.9).abs() < 1e-12);
+        assert!((out[1] - 0.1).abs() < 1e-12);
+        // Asymmetric on |1>.
+        let out = apply_readout_error(
+            &[0.0, 1.0],
+            &[ReadoutError { p1_given_0: 0.0, p0_given_1: 0.25 }],
+        );
+        assert!((out[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_error_preserves_total_probability() {
+        let dist = [0.1, 0.2, 0.3, 0.4];
+        let readout = [ReadoutError::symmetric(0.07), ReadoutError::symmetric(0.02)];
+        let out = apply_readout_error(&dist, &readout);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_model_shapes_match() {
+        let noise = CircuitNoise::uniform(&[1, 2, 1], 2, 0.001, 0.01, 0.02);
+        assert_eq!(noise.per_instruction.len(), 3);
+        assert_eq!(noise.per_instruction[1].pauli.len(), 2);
+        assert_eq!(noise.readout.len(), 2);
+        assert!((noise.per_instruction[1].pauli[0].total() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn depolarizing_rejects_bad_probability() {
+        PauliError::depolarizing(1.5);
+    }
+}

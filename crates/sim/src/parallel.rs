@@ -1,0 +1,54 @@
+//! Small data-parallel helper used by the search and benchmark layers.
+
+use std::num::NonZeroUsize;
+
+/// Maps `f` over `items` across all available cores, preserving order.
+///
+/// Falls back to a sequential map for small inputs where thread spawn
+/// overhead would dominate.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("worker filled slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Distribution utilities: total variation distance, fidelity, and shot
+//! histograms.
+
+/// Total Variation Distance between two distributions (Eq. 1 of the paper).
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+pub fn tvd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Output fidelity `1 - TVD` between an ideal and a noisy distribution,
+/// as used by the paper for both circuit fidelity and CNR (Eq. 1–2).
+pub fn fidelity(ideal: &[f64], noisy: &[f64]) -> f64 {
+    1.0 - tvd(ideal, noisy)
+}
+
+/// Converts a shot histogram into a normalized distribution.
+///
+/// # Panics
+///
+/// Panics if the histogram is empty or all-zero.
+pub fn counts_to_distribution(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "empty histogram");
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// Normalizes a non-negative vector in place to sum to one.
+///
+/// # Panics
+///
+/// Panics if the sum is (numerically) zero.
+pub fn normalize(dist: &mut [f64]) {
+    let total: f64 = dist.iter().sum();
+    assert!(total > 1e-300, "cannot normalize zero mass");
+    for d in dist.iter_mut() {
+        *d /= total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tvd_bounds() {
+        assert_eq!(tvd(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(tvd(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((tvd(&[0.5, 0.5], &[0.75, 0.25]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_is_one_minus_tvd() {
+        assert!((fidelity(&[0.5, 0.5], &[0.75, 0.25]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_normalize() {
+        let d = counts_to_distribution(&[3, 1]);
+        assert_eq!(d, vec![0.75, 0.25]);
+    }
+
+    #[test]
+    fn normalize_in_place() {
+        let mut d = vec![2.0, 6.0];
+        normalize(&mut d);
+        assert_eq!(d, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_histogram_panics() {
+        counts_to_distribution(&[0, 0]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Aaronson–Gottesman stabilizer tableau simulation of Clifford circuits.
+//!
+//! Clifford circuits are efficiently classically simulable, which is what
+//! makes the paper's Clifford Noise Resilience predictor cheap: Clifford
+//! replicas of a candidate circuit can be simulated noiselessly at
+//! negligible cost and compared against noisy executions (Section 5).
+//!
+//! The tableau follows the CHP convention: rows `0..n` are destabilizers,
+//! rows `n..2n` are stabilizers, each row is a Pauli string with a sign
+//! bit. Rows are bit-packed into `u64` words, with the phase bookkeeping of
+//! `rowsum` done via masked popcounts — CNR evaluates thousands of noisy
+//! replica trajectories per candidate, so this path is hot.
+
+use rand::Rng;
+
+/// A primitive Clifford operation. Every Clifford gate in the circuit IR is
+/// lowered to a sequence of these (see [`crate::clifford`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CliffordOp {
+    /// Hadamard on a qubit.
+    H(usize),
+    /// Phase gate `S` on a qubit.
+    S(usize),
+    /// CNOT with `(control, target)`.
+    Cx(usize, usize),
+}
+
+/// A stabilizer tableau over `n` qubits, initialized to `|0...0>`.
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_sim::stabilizer::{CliffordOp, Tableau};
+/// let mut t = Tableau::new(2);
+/// t.apply(CliffordOp::H(0));
+/// t.apply(CliffordOp::Cx(0, 1));
+/// // Bell state: outcomes 00 and 11 each with probability 1/2.
+/// let dist = t.measurement_distribution(&[0, 1]);
+/// assert!((dist[0] - 0.5).abs() < 1e-12);
+/// assert!((dist[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    words: usize,
+    /// Flattened bit rows: `x[row * words + w]`. Rows `0..n` destabilizers,
+    /// `n..2n` stabilizers, row `2n` scratch.
+    x: Vec<u64>,
+    z: Vec<u64>,
+    /// Sign bit per row (true = -1).
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// Creates the tableau for `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let words = n.div_ceil(64);
+        let rows = 2 * n + 1;
+        let mut t = Tableau {
+            n,
+            words,
+            x: vec![0; rows * words],
+            z: vec![0; rows * words],
+            r: vec![false; rows],
+        };
+        for i in 0..n {
+            let (w, b) = (i / 64, 1u64 << (i % 64));
+            t.x[i * words + w] |= b; // destabilizer i = X_i
+            t.z[(n + i) * words + w] |= b; // stabilizer i = Z_i
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, q: usize) -> (usize, u64) {
+        (row * self.words + q / 64, 1u64 << (q % 64))
+    }
+
+    /// Applies one primitive Clifford operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range, or if a CNOT's control and
+    /// target coincide.
+    pub fn apply(&mut self, op: CliffordOp) {
+        match op {
+            CliffordOp::H(q) => {
+                assert!(q < self.n, "qubit {q} out of range");
+                for row in 0..2 * self.n {
+                    let (i, b) = self.idx(row, q);
+                    let xb = self.x[i] & b != 0;
+                    let zb = self.z[i] & b != 0;
+                    self.r[row] ^= xb && zb;
+                    if xb != zb {
+                        self.x[i] ^= b;
+                        self.z[i] ^= b;
+                    }
+                }
+            }
+            CliffordOp::S(q) => {
+                assert!(q < self.n, "qubit {q} out of range");
+                for row in 0..2 * self.n {
+                    let (i, b) = self.idx(row, q);
+                    let xb = self.x[i] & b != 0;
+                    let zb = self.z[i] & b != 0;
+                    self.r[row] ^= xb && zb;
+                    if xb {
+                        self.z[i] ^= b;
+                    }
+                }
+            }
+            CliffordOp::Cx(a, t) => {
+                assert!(a != t, "cx control equals target");
+                assert!(a < self.n && t < self.n, "qubit out of range");
+                for row in 0..2 * self.n {
+                    let (ia, ba) = self.idx(row, a);
+                    let (it, bt) = self.idx(row, t);
+                    let xa = self.x[ia] & ba != 0;
+                    let za = self.z[ia] & ba != 0;
+                    let xt = self.x[it] & bt != 0;
+                    let zt = self.z[it] & bt != 0;
+                    self.r[row] ^= xa && zt && (xt == za);
+                    if xa {
+                        self.x[it] ^= bt;
+                    }
+                    if zt {
+                        self.z[ia] ^= ba;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a sequence of primitive operations.
+    pub fn apply_all(&mut self, ops: &[CliffordOp]) {
+        for &op in ops {
+            self.apply(op);
+        }
+    }
+
+    /// Sets row `h` to the Pauli product (row `h`) * (row `i`), updating
+    /// the sign via masked popcounts of the Aaronson–Gottesman `g`
+    /// function.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i64 = 2 * (self.r[h] as i64) + 2 * (self.r[i] as i64);
+        let (hb, ib) = (h * self.words, i * self.words);
+        for w in 0..self.words {
+            let x1 = self.x[ib + w];
+            let z1 = self.z[ib + w];
+            let x2 = self.x[hb + w];
+            let z2 = self.z[hb + w];
+            // Positive / negative unit contributions of g(x1,z1,x2,z2):
+            //   (1,1): +1 iff z2 & !x2, -1 iff x2 & !z2
+            //   (1,0): +1 iff z2 &  x2, -1 iff z2 & !x2
+            //   (0,1): +1 iff x2 & !z2, -1 iff x2 &  z2
+            let plus = (x1 & z1 & z2 & !x2) | (x1 & !z1 & z2 & x2) | (!x1 & z1 & x2 & !z2);
+            let minus = (x1 & z1 & x2 & !z2) | (x1 & !z1 & z2 & !x2) | (!x1 & z1 & x2 & z2);
+            phase += plus.count_ones() as i64 - minus.count_ones() as i64;
+            self.x[hb + w] = x2 ^ x1;
+            self.z[hb + w] = z2 ^ z1;
+        }
+        // Stabilizer-row products always have even phase; destabilizer rows
+        // (whose phases are irrelevant to measurement outcomes) may pick up
+        // odd (+-i) phases, which we truncate to a sign.
+        let phase = phase.rem_euclid(4);
+        self.r[h] = phase == 2 || phase == 3;
+    }
+
+    /// Copies row `src` over row `dst`.
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        let (db, sb) = (dst * self.words, src * self.words);
+        for w in 0..self.words {
+            self.x[db + w] = self.x[sb + w];
+            self.z[db + w] = self.z[sb + w];
+        }
+        self.r[dst] = self.r[src];
+    }
+
+    /// Clears a row to the identity Pauli with positive sign.
+    fn clear_row(&mut self, row: usize) {
+        let base = row * self.words;
+        for w in 0..self.words {
+            self.x[base + w] = 0;
+            self.z[base + w] = 0;
+        }
+        self.r[row] = false;
+    }
+
+    /// Measures qubit `q` in the computational basis, collapsing the state.
+    /// Returns the outcome bit. Random outcomes are resolved with `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        match self.deterministic_outcome(q) {
+            Some(bit) => bit,
+            None => {
+                let bit = rng.random::<bool>();
+                self.collapse(q, bit);
+                bit
+            }
+        }
+    }
+
+    /// If measuring qubit `q` would give a deterministic outcome, returns
+    /// it without modifying the state; otherwise returns `None`.
+    pub fn deterministic_outcome(&mut self, q: usize) -> Option<bool> {
+        assert!(q < self.n, "qubit {q} out of range");
+        let (w, b) = (q / 64, 1u64 << (q % 64));
+        let random = (0..self.n).any(|i| self.x[(self.n + i) * self.words + w] & b != 0);
+        if random {
+            return None;
+        }
+        // Deterministic: accumulate into the scratch row.
+        let scratch = 2 * self.n;
+        self.clear_row(scratch);
+        for i in 0..self.n {
+            if self.x[i * self.words + w] & b != 0 {
+                self.rowsum(scratch, self.n + i);
+            }
+        }
+        Some(self.r[scratch])
+    }
+
+    /// Collapses qubit `q` to the given outcome, assuming the measurement
+    /// is random (some stabilizer anticommutes with `Z_q`).
+    fn collapse(&mut self, q: usize, outcome: bool) {
+        let (w, b) = (q / 64, 1u64 << (q % 64));
+        let p = (0..self.n)
+            .find(|&i| self.x[(self.n + i) * self.words + w] & b != 0)
+            .expect("collapse called on deterministic qubit");
+        let pr = self.n + p;
+        for row in 0..2 * self.n {
+            if row != pr && self.x[row * self.words + w] & b != 0 {
+                self.rowsum(row, pr);
+            }
+        }
+        // Destabilizer p gets the old stabilizer row; the new stabilizer is
+        // +/- Z_q.
+        self.copy_row(p, pr);
+        self.clear_row(pr);
+        self.z[pr * self.words + w] |= b;
+        self.r[pr] = outcome;
+    }
+
+    /// Exact probability distribution over the measurement outcomes of the
+    /// listed qubits (bit `k` of the outcome index is `qubits[k]`).
+    ///
+    /// Enumerates the branch tree: each random measurement spawns two
+    /// equally likely branches, so the cost is at most `2^qubits.len()`
+    /// tableau clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit repeats or is out of range.
+    pub fn measurement_distribution(&self, qubits: &[usize]) -> Vec<f64> {
+        let mut seen = vec![false; self.n];
+        for &q in qubits {
+            assert!(q < self.n, "qubit {q} out of range");
+            assert!(!seen[q], "qubit {q} repeated");
+            seen[q] = true;
+        }
+        let mut dist = vec![0.0; 1 << qubits.len()];
+        // Depth-first enumeration of measurement branches.
+        let mut stack: Vec<(Tableau, usize, usize, f64)> = vec![(self.clone(), 0, 0, 1.0)];
+        while let Some((mut t, k, key, weight)) = stack.pop() {
+            if k == qubits.len() {
+                dist[key] += weight;
+                continue;
+            }
+            let q = qubits[k];
+            match t.deterministic_outcome(q) {
+                Some(bit) => {
+                    let key = key | ((bit as usize) << k);
+                    stack.push((t, k + 1, key, weight));
+                }
+                None => {
+                    let mut t1 = t.clone();
+                    t.collapse(q, false);
+                    t1.collapse(q, true);
+                    stack.push((t, k + 1, key, weight / 2.0));
+                    stack.push((t1, k + 1, key | (1 << k), weight / 2.0));
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_tableau_measures_all_zero() {
+        let mut t = Tableau::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in 0..3 {
+            assert!(!t.measure(q, &mut rng));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        // X = H S S H.
+        let mut t = Tableau::new(1);
+        t.apply_all(&[CliffordOp::H(0), CliffordOp::S(0), CliffordOp::S(0), CliffordOp::H(0)]);
+        assert_eq!(t.deterministic_outcome(0), Some(true));
+    }
+
+    #[test]
+    fn hadamard_gives_random_outcome() {
+        let mut t = Tableau::new(1);
+        t.apply(CliffordOp::H(0));
+        assert_eq!(t.deterministic_outcome(0), None);
+        let dist = t.measurement_distribution(&[0]);
+        assert!((dist[0] - 0.5).abs() < 1e-12);
+        assert!((dist[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut t = Tableau::new(2);
+        t.apply_all(&[CliffordOp::H(0), CliffordOp::Cx(0, 1)]);
+        let dist = t.measurement_distribution(&[0, 1]);
+        assert!((dist[0] - 0.5).abs() < 1e-12);
+        assert!(dist[1].abs() < 1e-12);
+        assert!(dist[2].abs() < 1e-12);
+        assert!((dist[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_collapse_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut t = Tableau::new(2);
+            t.apply_all(&[CliffordOp::H(0), CliffordOp::Cx(0, 1)]);
+            let a = t.measure(0, &mut rng);
+            let b = t.measure(1, &mut rng);
+            assert_eq!(a, b, "bell measurement must correlate");
+            // Re-measurement is stable.
+            assert_eq!(t.measure(0, &mut rng), a);
+        }
+    }
+
+    #[test]
+    fn ghz_distribution() {
+        let mut t = Tableau::new(3);
+        t.apply_all(&[
+            CliffordOp::H(0),
+            CliffordOp::Cx(0, 1),
+            CliffordOp::Cx(1, 2),
+        ]);
+        let dist = t.measurement_distribution(&[0, 1, 2]);
+        assert!((dist[0] - 0.5).abs() < 1e-12);
+        assert!((dist[7] - 0.5).abs() < 1e-12);
+        assert!(dist[1..7].iter().all(|&p| p.abs() < 1e-12));
+    }
+
+    #[test]
+    fn s_gate_changes_basis_phase() {
+        // S|+> stays uniform in the Z basis.
+        let mut t = Tableau::new(1);
+        t.apply_all(&[CliffordOp::H(0), CliffordOp::S(0)]);
+        let dist = t.measurement_distribution(&[0]);
+        assert!((dist[0] - 0.5).abs() < 1e-12);
+        // But H S S H |0> = X|0> = |1> (deterministic).
+        let mut t2 = Tableau::new(1);
+        t2.apply_all(&[
+            CliffordOp::H(0),
+            CliffordOp::S(0),
+            CliffordOp::S(0),
+            CliffordOp::H(0),
+        ]);
+        assert_eq!(t2.deterministic_outcome(0), Some(true));
+    }
+
+    #[test]
+    fn partial_measurement_distribution() {
+        // Bell pair + untouched third qubit: measuring [1] alone is uniform,
+        // measuring [2] alone is deterministic zero.
+        let mut t = Tableau::new(3);
+        t.apply_all(&[CliffordOp::H(0), CliffordOp::Cx(0, 1)]);
+        let d1 = t.measurement_distribution(&[1]);
+        assert!((d1[0] - 0.5).abs() < 1e-12);
+        let d2 = t.measurement_distribution(&[2]);
+        assert!((d2[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_tableau_crosses_word_boundaries() {
+        // 70 qubits spans two u64 words; a GHZ chain across the boundary
+        // must stay perfectly correlated.
+        let n = 70;
+        let mut t = Tableau::new(n);
+        t.apply(CliffordOp::H(0));
+        for q in 0..n - 1 {
+            t.apply(CliffordOp::Cx(q, q + 1));
+        }
+        let dist = t.measurement_distribution(&[0, 63, 64, 69]);
+        assert!((dist[0] - 0.5).abs() < 1e-12);
+        assert!((dist[0b1111] - 0.5).abs() < 1e-12);
+        assert!(dist[1..0b1111].iter().all(|&p| p.abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn distribution_rejects_repeated_qubits() {
+        Tableau::new(2).measurement_distribution(&[0, 0]);
+    }
+}

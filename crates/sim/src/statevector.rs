@@ -1,0 +1,446 @@
+//! Dense state-vector simulation.
+//!
+//! The state of `n` qubits is a vector of `2^n` complex amplitudes in
+//! little-endian order: bit `q` of the basis index is the value of qubit
+//! `q`. This engine is the noiseless reference used for training, RepCap
+//! computation, and as the base for Monte-Carlo noisy trajectories.
+
+use elivagar_circuit::math::{C64, Mat2, Mat4};
+use elivagar_circuit::{Circuit, Instruction};
+use rand::Rng;
+
+/// Maximum qubit count accepted by the dense engines (2^24 amplitudes).
+pub const MAX_DENSE_QUBITS: usize = 24;
+
+/// A pure quantum state over `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use elivagar_sim::StateVector;
+/// use elivagar_circuit::{Gate, math::Mat2};
+///
+/// let mut psi = StateVector::zero(2);
+/// psi.apply_mat1(0, &Gate::H.matrix1(&[]));
+/// psi.apply_mat2(0, 1, &Gate::Cx.matrix2(&[]));
+/// let probs = psi.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12); // |00>
+/// assert!((probs[3] - 0.5).abs() < 1e-12); // |11>
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero or exceeds [`MAX_DENSE_QUBITS`].
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "state needs at least one qubit");
+        assert!(
+            num_qubits <= MAX_DENSE_QUBITS,
+            "dense simulation limited to {MAX_DENSE_QUBITS} qubits"
+        );
+        let mut amps = vec![C64::ZERO; 1 << num_qubits];
+        amps[0] = C64::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Builds a state from raw amplitudes, normalizing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the vector has zero
+    /// norm.
+    pub fn from_amplitudes(mut amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len >= 2, "length must be a power of two >= 2");
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm > 1e-12, "cannot normalize a zero vector");
+        for a in &mut amps {
+            *a = a.scale(1.0 / norm);
+        }
+        StateVector {
+            num_qubits: len.trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Amplitude-embeds a real feature vector: features are L2-normalized,
+    /// zero-padded to `2^num_qubits`, and loaded as amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty, all-zero, or longer than
+    /// `2^num_qubits`.
+    pub fn amplitude_embedded(num_qubits: usize, features: &[f64]) -> Self {
+        assert!(!features.is_empty(), "amplitude embedding needs features");
+        let dim = 1usize << num_qubits;
+        assert!(features.len() <= dim, "too many features for {num_qubits} qubits");
+        let mut amps = vec![C64::ZERO; dim];
+        for (a, &f) in amps.iter_mut().zip(features) {
+            *a = C64::real(f);
+        }
+        // Guard the all-zero case before normalizing.
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(norm > 1e-24, "amplitude embedding of a zero vector");
+        StateVector::from_amplitudes(amps)
+    }
+
+    /// Builds a state from raw amplitudes *without* normalizing. Used for
+    /// intermediate non-unit vectors such as `O|psi>` in the adjoint engine.
+    pub(crate) fn raw(num_qubits: usize, amps: Vec<C64>) -> Self {
+        debug_assert_eq!(amps.len(), 1 << num_qubits);
+        StateVector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes in little-endian basis order.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies a single-qubit unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_mat1(&mut self, q: usize, m: &Mat2) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let stride = 1usize << q;
+        let n = self.amps.len();
+        let mut base = 0;
+        while base < n {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m.0[0][0] * a0 + m.0[0][1] * a1;
+                self.amps[i1] = m.0[1][0] * a0 + m.0[1][1] * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies a two-qubit unitary to qubits `(qa, qb)` where `qa` is the
+    /// low bit of the 4-dimensional subspace index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub fn apply_mat2(&mut self, qa: usize, qb: usize, m: &Mat4) {
+        assert!(qa != qb, "two-qubit gate needs distinct qubits");
+        assert!(qa < self.num_qubits && qb < self.num_qubits, "qubit out of range");
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        let n = self.amps.len();
+        for i in 0..n {
+            if i & ba == 0 && i & bb == 0 {
+                let i00 = i;
+                let i01 = i | ba;
+                let i10 = i | bb;
+                let i11 = i | ba | bb;
+                let a = [self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]];
+                for (row, &idx) in [i00, i01, i10, i11].iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (col, &amp) in a.iter().enumerate() {
+                        acc += m.0[row][col] * amp;
+                    }
+                    self.amps[idx] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies one resolved instruction (angles already evaluated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the gate's parameter count.
+    pub fn apply_instruction(&mut self, ins: &Instruction, values: &[f64]) {
+        if ins.gate.num_qubits() == 1 {
+            self.apply_mat1(ins.qubits[0], &ins.gate.matrix1(values));
+        } else {
+            self.apply_mat2(ins.qubits[0], ins.qubits[1], &ins.gate.matrix2(values));
+        }
+    }
+
+    /// Probability of each computational basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Marginal probability distribution over the given qubits, indexed by
+    /// the bitstring `b` where bit `k` of `b` is the outcome of
+    /// `qubits[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit repeats or is out of range.
+    pub fn marginal_probabilities(&self, qubits: &[usize]) -> Vec<f64> {
+        let mut seen = 0usize;
+        for &q in qubits {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+            assert!(seen & (1 << q) == 0, "qubit {q} repeated");
+            seen |= 1 << q;
+        }
+        let mut out = vec![0.0; 1 << qubits.len()];
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p == 0.0 {
+                continue;
+            }
+            let mut key = 0usize;
+            for (k, &q) in qubits.iter().enumerate() {
+                if i & (1 << q) != 0 {
+                    key |= 1 << k;
+                }
+            }
+            out[key] += p;
+        }
+        out
+    }
+
+    /// Expectation value of Pauli-Z on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn expectation_z(&self, q: usize) -> f64 {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let bit = 1usize << q;
+        let mut e = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            e += if i & bit == 0 { p } else { -p };
+        }
+        e
+    }
+
+    /// Inner product `<self|other>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn inner_product(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "dimension mismatch");
+        let mut acc = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// Squared overlap `|<self|other>|^2` (state fidelity for pure states).
+    pub fn overlap(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// L2 norm of the state (should be 1 for physical states).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Renormalizes the state to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has (numerically) zero norm.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        assert!(n > 1e-12, "cannot normalize zero state");
+        for a in &mut self.amps {
+            *a = a.scale(1.0 / n);
+        }
+    }
+
+    /// Samples `shots` measurement outcomes of the given qubits, returning
+    /// a histogram over `2^qubits.len()` outcomes.
+    pub fn sample_counts<R: Rng + ?Sized>(
+        &self,
+        qubits: &[usize],
+        shots: usize,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let probs = self.marginal_probabilities(qubits);
+        sample_from_distribution(&probs, shots, rng)
+    }
+
+    /// Runs `circuit` on `|0...0>` (or the amplitude-embedded input) with
+    /// the given trainable parameters and input features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references parameters or features that are out
+    /// of bounds of the provided slices.
+    pub fn run(circuit: &Circuit, params: &[f64], features: &[f64]) -> StateVector {
+        let mut psi = if circuit.amplitude_embedding() {
+            StateVector::amplitude_embedded(circuit.num_qubits(), features)
+        } else {
+            StateVector::zero(circuit.num_qubits())
+        };
+        for ins in circuit.instructions() {
+            let values = ins.resolve_params(params, features);
+            psi.apply_instruction(ins, &values);
+        }
+        psi
+    }
+}
+
+/// Draws `shots` samples from a discrete distribution, returning counts.
+///
+/// The distribution is normalized defensively so that trajectory-averaged
+/// inputs with small numerical drift still sample correctly.
+pub fn sample_from_distribution<R: Rng + ?Sized>(
+    probs: &[f64],
+    shots: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    let total: f64 = probs.iter().sum();
+    let mut counts = vec![0u64; probs.len()];
+    for _ in 0..shots {
+        let mut u: f64 = rng.random::<f64>() * total;
+        let mut chosen = probs.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if u < p {
+                chosen = i;
+                break;
+            }
+            u -= p;
+        }
+        counts[chosen] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_circuit::{Gate, ParamExpr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let psi = StateVector::zero(3);
+        assert_eq!(psi.amplitudes()[0], C64::ONE);
+        assert!((psi.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut psi = StateVector::zero(2);
+        psi.apply_mat1(1, &Gate::X.matrix1(&[]));
+        assert!(psi.amplitudes()[2].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut psi = StateVector::zero(2);
+        psi.apply_mat1(0, &Gate::H.matrix1(&[]));
+        psi.apply_mat2(0, 1, &Gate::Cx.matrix2(&[]));
+        let p = psi.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12 && p[2].abs() < 1e-12);
+        assert!((psi.expectation_z(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_respects_control_direction() {
+        // Control = qubit 1, target = qubit 0; starting from |q1=1>.
+        let mut psi = StateVector::zero(2);
+        psi.apply_mat1(1, &Gate::X.matrix1(&[]));
+        psi.apply_mat2(1, 0, &Gate::Cx.matrix2(&[]));
+        // Expect |11> = index 3.
+        assert!(psi.amplitudes()[3].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn marginals_sum_to_one_and_respect_order() {
+        let mut psi = StateVector::zero(3);
+        psi.apply_mat1(2, &Gate::X.matrix1(&[]));
+        // Measure [2, 0]: qubit 2 (=1) is bit 0 of the key.
+        let m = psi.marginal_probabilities(&[2, 0]);
+        assert!((m[1] - 1.0).abs() < 1e-12);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotations_preserve_norm() {
+        let mut psi = StateVector::zero(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let q = rng.random_range(0..4);
+            let theta: f64 = rng.random_range(-PI..PI);
+            psi.apply_mat1(q, &Gate::Rx.matrix1(&[theta]));
+            let q2 = (q + 1) % 4;
+            psi.apply_mat2(q, q2, &Gate::Crz.matrix2(&[theta]));
+        }
+        assert!((psi.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_resolves_embedding_features() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::feature(0)]);
+        let psi = StateVector::run(&c, &[], &[PI]);
+        // RX(pi)|0> = -i|1>
+        assert!((psi.probabilities()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_embedding_normalizes_and_pads() {
+        let psi = StateVector::amplitude_embedded(2, &[3.0, 4.0]);
+        let p = psi.probabilities();
+        assert!((p[0] - 0.36).abs() < 1e-12);
+        assert!((p[1] - 0.64).abs() < 1e-12);
+        assert!(p[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_of_orthogonal_states_is_zero() {
+        let a = StateVector::zero(2);
+        let mut b = StateVector::zero(2);
+        b.apply_mat1(0, &Gate::X.matrix1(&[]));
+        assert!(a.overlap(&b) < 1e-12);
+        assert!((a.overlap(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut psi = StateVector::zero(1);
+        psi.apply_mat1(0, &Gate::Ry.matrix1(&[2.0 * (0.3f64.sqrt()).asin()]));
+        // P(1) = 0.3.
+        let mut rng = StdRng::seed_from_u64(42);
+        let counts = psi.sample_counts(&[0], 20_000, &mut rng);
+        let p1 = counts[1] as f64 / 20_000.0;
+        assert!((p1 - 0.3).abs() < 0.02, "p1 = {p1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_out_of_range_panics() {
+        let mut psi = StateVector::zero(2);
+        psi.apply_mat1(2, &Gate::X.matrix1(&[]));
+    }
+
+    #[test]
+    fn expectation_z_of_plus_state_is_zero() {
+        let mut psi = StateVector::zero(1);
+        psi.apply_mat1(0, &Gate::H.matrix1(&[]));
+        assert!(psi.expectation_z(0).abs() < 1e-12);
+        psi.apply_mat1(0, &Gate::H.matrix1(&[]));
+        assert!((psi.expectation_z(0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,338 @@
+//! Monte-Carlo trajectory simulation of noisy circuits.
+//!
+//! Each trajectory runs the circuit on the state-vector engine, inserting
+//! stochastic Pauli errors and damping Kraus branches after each gate; the
+//! exact output marginal of each trajectory is averaged and the readout
+//! confusion matrix applied once at the end. A stabilizer variant does the
+//! same for Clifford circuits with Pauli-twirled noise, which is what the
+//! CNR predictor executes.
+
+use crate::clifford::{lower_instruction, LowerCliffordError};
+use crate::noise::{apply_readout_error, CircuitNoise, DampingError, PauliError};
+use crate::stabilizer::{CliffordOp, Tableau};
+use crate::statevector::StateVector;
+use elivagar_circuit::math::{C64, Mat2};
+use elivagar_circuit::{Circuit, Gate};
+use rand::Rng;
+
+/// Applies one stochastically selected Pauli error to a state-vector qubit.
+fn apply_pauli_sample<R: Rng + ?Sized>(
+    psi: &mut StateVector,
+    q: usize,
+    e: &PauliError,
+    rng: &mut R,
+) {
+    let u: f64 = rng.random();
+    if u < e.px {
+        psi.apply_mat1(q, &Gate::X.matrix1(&[]));
+    } else if u < e.px + e.py {
+        psi.apply_mat1(q, &Gate::Y.matrix1(&[]));
+    } else if u < e.px + e.py + e.pz {
+        psi.apply_mat1(q, &Gate::Z.matrix1(&[]));
+    }
+}
+
+/// Applies amplitude and phase damping via stochastic Kraus unravelling.
+///
+/// Both channels' decay branches (`K1`) fire with Born probability
+/// `rate * P(qubit = 1)`, which is computed in closed form from one
+/// excited-population pass — no state clone is needed, which matters for
+/// the wide circuits of the larger benchmarks.
+fn apply_damping_sample<R: Rng + ?Sized>(
+    psi: &mut StateVector,
+    q: usize,
+    d: &DampingError,
+    rng: &mut R,
+) {
+    if d.gamma > 0.0 {
+        let p1 = excited_population(psi, q);
+        if rng.random::<f64>() < d.gamma * p1 {
+            // Decay branch: |1> -> |0>.
+            psi.apply_mat1(
+                q,
+                &Mat2([
+                    [C64::ZERO, C64::real(d.gamma.sqrt())],
+                    [C64::ZERO, C64::ZERO],
+                ]),
+            );
+        } else {
+            psi.apply_mat1(
+                q,
+                &Mat2([
+                    [C64::ONE, C64::ZERO],
+                    [C64::ZERO, C64::real((1.0 - d.gamma).sqrt())],
+                ]),
+            );
+        }
+        psi.normalize();
+    }
+    if d.lambda > 0.0 {
+        let p1 = excited_population(psi, q);
+        if rng.random::<f64>() < d.lambda * p1 {
+            // Phase-damping projection onto |1>.
+            psi.apply_mat1(
+                q,
+                &Mat2([
+                    [C64::ZERO, C64::ZERO],
+                    [C64::ZERO, C64::real(d.lambda.sqrt())],
+                ]),
+            );
+        } else {
+            psi.apply_mat1(
+                q,
+                &Mat2([
+                    [C64::ONE, C64::ZERO],
+                    [C64::ZERO, C64::real((1.0 - d.lambda).sqrt())],
+                ]),
+            );
+        }
+        psi.normalize();
+    }
+}
+
+/// Population of the `|1>` level of qubit `q`, i.e. `(1 - <Z_q>) / 2`.
+fn excited_population(psi: &StateVector, q: usize) -> f64 {
+    (1.0 - psi.expectation_z(q)) / 2.0
+}
+
+/// Runs one noisy trajectory, returning the exact output marginal over the
+/// circuit's measured qubits (before readout error).
+fn run_trajectory<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    params: &[f64],
+    features: &[f64],
+    noise: &CircuitNoise,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut psi = if circuit.amplitude_embedding() {
+        StateVector::amplitude_embedded(circuit.num_qubits(), features)
+    } else {
+        StateVector::zero(circuit.num_qubits())
+    };
+    for (ins, n) in circuit.instructions().iter().zip(&noise.per_instruction) {
+        let values = ins.resolve_params(params, features);
+        psi.apply_instruction(ins, &values);
+        for (k, &q) in ins.qubits.iter().enumerate() {
+            apply_pauli_sample(&mut psi, q, &n.pauli[k], rng);
+            apply_damping_sample(&mut psi, q, &n.damping[k], rng);
+        }
+    }
+    psi.marginal_probabilities(circuit.measured())
+}
+
+/// Average output distribution of a noisy circuit over `num_trajectories`
+/// Monte-Carlo trajectories, including readout error.
+///
+/// # Panics
+///
+/// Panics if `noise.per_instruction` does not match the circuit length,
+/// `noise.readout` does not match the measured-qubit count, the circuit
+/// measures no qubits, or `num_trajectories` is zero.
+pub fn noisy_distribution<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    params: &[f64],
+    features: &[f64],
+    noise: &CircuitNoise,
+    num_trajectories: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(!circuit.measured().is_empty(), "circuit measures no qubits");
+    assert!(num_trajectories > 0, "need at least one trajectory");
+    assert_eq!(
+        noise.per_instruction.len(),
+        circuit.len(),
+        "noise description does not match circuit length"
+    );
+    assert_eq!(
+        noise.readout.len(),
+        circuit.measured().len(),
+        "readout description does not match measured qubits"
+    );
+    let mut acc = vec![0.0; 1 << circuit.measured().len()];
+    for _ in 0..num_trajectories {
+        let dist = run_trajectory(circuit, params, features, noise, rng);
+        for (a, d) in acc.iter_mut().zip(&dist) {
+            *a += d;
+        }
+    }
+    for a in &mut acc {
+        *a /= num_trajectories as f64;
+    }
+    apply_readout_error(&acc, &noise.readout)
+}
+
+/// Injects a sampled Pauli error into a tableau (X = H Z H, Z = S S).
+fn inject_pauli_tableau<R: Rng + ?Sized>(
+    t: &mut Tableau,
+    q: usize,
+    e: &PauliError,
+    rng: &mut R,
+) {
+    let u: f64 = rng.random();
+    let (x, z) = if u < e.px {
+        (true, false)
+    } else if u < e.px + e.py {
+        (true, true)
+    } else if u < e.px + e.py + e.pz {
+        (false, true)
+    } else {
+        return;
+    };
+    if x {
+        t.apply(CliffordOp::H(q));
+        t.apply(CliffordOp::S(q));
+        t.apply(CliffordOp::S(q));
+        t.apply(CliffordOp::H(q));
+    }
+    if z {
+        t.apply(CliffordOp::S(q));
+        t.apply(CliffordOp::S(q));
+    }
+}
+
+/// Average output distribution of a noisy *Clifford* circuit over
+/// stabilizer trajectories with Pauli-twirled noise, including readout
+/// error. This is the execution engine behind CNR.
+///
+/// # Errors
+///
+/// Returns [`LowerCliffordError`] if the circuit (with the given parameter
+/// values) is not Clifford.
+///
+/// # Panics
+///
+/// Panics under the same shape mismatches as [`noisy_distribution`].
+pub fn noisy_clifford_distribution<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    params: &[f64],
+    features: &[f64],
+    noise: &CircuitNoise,
+    num_trajectories: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, LowerCliffordError> {
+    assert!(!circuit.measured().is_empty(), "circuit measures no qubits");
+    assert!(num_trajectories > 0, "need at least one trajectory");
+    assert_eq!(noise.per_instruction.len(), circuit.len(), "noise length mismatch");
+    assert_eq!(noise.readout.len(), circuit.measured().len(), "readout length mismatch");
+
+    // Lower every instruction once up front.
+    let mut lowered = Vec::with_capacity(circuit.len());
+    for ins in circuit.instructions() {
+        let values = ins.resolve_params(params, features);
+        lowered.push(lower_instruction(ins, &values)?);
+    }
+    let pauli_only: Vec<Vec<PauliError>> = noise
+        .per_instruction
+        .iter()
+        .map(|n| n.as_pauli_only())
+        .collect();
+
+    let mut acc = vec![0.0; 1 << circuit.measured().len()];
+    for _ in 0..num_trajectories {
+        let mut t = Tableau::new(circuit.num_qubits());
+        for ((ins, ops), errs) in circuit.instructions().iter().zip(&lowered).zip(&pauli_only) {
+            t.apply_all(ops);
+            for (k, &q) in ins.qubits.iter().enumerate() {
+                inject_pauli_tableau(&mut t, q, &errs[k], rng);
+            }
+        }
+        let dist = t.measurement_distribution(circuit.measured());
+        for (a, d) in acc.iter_mut().zip(&dist) {
+            *a += d;
+        }
+    }
+    for a in &mut acc {
+        *a /= num_trajectories as f64;
+    }
+    Ok(apply_readout_error(&acc, &noise.readout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::tvd;
+    use elivagar_circuit::ParamExpr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn bell_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.set_measured(vec![0, 1]);
+        c
+    }
+
+    #[test]
+    fn noiseless_trajectories_match_statevector() {
+        let c = bell_circuit();
+        let noise = CircuitNoise::noiseless(&[1, 2], 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = noisy_distribution(&c, &[], &[], &noise, 3, &mut rng);
+        let exact = StateVector::run(&c, &[], &[]).marginal_probabilities(c.measured());
+        assert!(tvd(&dist, &exact) < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_noise_spreads_distribution() {
+        let c = bell_circuit();
+        let noise = CircuitNoise::uniform(&[1, 2], 2, 0.05, 0.10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = noisy_distribution(&c, &[], &[], &noise, 4000, &mut rng);
+        // Noise must populate the odd-parity outcomes.
+        assert!(dist[1] > 0.01 && dist[2] > 0.01, "{dist:?}");
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // But the even-parity outcomes still dominate.
+        assert!(dist[0] + dist[3] > 0.8);
+    }
+
+    #[test]
+    fn amplitude_damping_biases_toward_zero() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::X, &[0], &[]);
+        c.set_measured(vec![0]);
+        let mut noise = CircuitNoise::noiseless(&[1], 1);
+        noise.per_instruction[0].damping[0] = DampingError { gamma: 0.4, lambda: 0.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = noisy_distribution(&c, &[], &[], &noise, 8000, &mut rng);
+        assert!((dist[0] - 0.4).abs() < 0.03, "p0 = {}", dist[0]);
+    }
+
+    #[test]
+    fn stabilizer_trajectories_match_statevector_for_clifford() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::constant(PI / 2.0)]);
+        c.push_gate(Gate::Cz, &[0, 1], &[]);
+        c.set_measured(vec![0, 1]);
+        let noise = CircuitNoise::uniform(&[1, 1, 2], 2, 0.02, 0.05, 0.01);
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let d_cliff =
+            noisy_clifford_distribution(&c, &[], &[], &noise, 6000, &mut rng1).unwrap();
+        let d_sv = noisy_distribution(&c, &[], &[], &noise, 6000, &mut rng2);
+        assert!(tvd(&d_cliff, &d_sv) < 0.03, "{d_cliff:?} vs {d_sv:?}");
+    }
+
+    #[test]
+    fn non_clifford_circuit_is_rejected_by_stabilizer_engine() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::constant(0.3)]);
+        c.set_measured(vec![0]);
+        let noise = CircuitNoise::noiseless(&[1], 1);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(noisy_clifford_distribution(&c, &[], &[], &noise, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn readout_error_is_applied_once_at_the_end() {
+        let mut c = Circuit::new(1);
+        c.set_measured(vec![0]);
+        let mut noise = CircuitNoise::noiseless(&[], 1);
+        noise.readout[0] = crate::noise::ReadoutError::symmetric(0.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = noisy_distribution(&c, &[], &[], &noise, 1, &mut rng);
+        assert!((dist[1] - 0.2).abs() < 1e-12);
+    }
+}

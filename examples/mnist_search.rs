@@ -1,0 +1,105 @@
+//! Full pipeline on the MNIST-4 surrogate: Elivagar search vs the
+//! human-designed baseline, evaluated under the IBM Lagos noise model.
+//!
+//! Run with `cargo run --release --example mnist_search`.
+
+use elivagar::{search, SearchConfig};
+use elivagar_circuit::templates::EmbeddingKind;
+use elivagar_baselines::human_baseline_circuits;
+use elivagar_compiler::{compile, CompileOptions, OptimizationLevel, TwoQubitBasis};
+use elivagar_datasets::load_sized;
+use elivagar_device::devices::ibm_lagos;
+use elivagar_device::circuit_noise;
+use elivagar_ml::{accuracy, noisy_accuracy, train, QuantumClassifier, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let device = ibm_lagos();
+    let data = load_sized("mnist-4", 9, 400, 120);
+    println!(
+        "dataset: {} — {} classes, {} features (4x4 mean-pooled images)",
+        data.name(),
+        data.num_classes(),
+        data.feature_dim()
+    );
+
+    // Elivagar search (40-parameter budget, Table 2).
+    let mut config = SearchConfig::for_task(4, 40, data.feature_dim(), data.num_classes());
+    config.num_candidates = 20;
+    config.clifford_replicas = 16;
+    config.repcap_param_inits = 8;
+    config.repcap_samples_per_class = 8;
+    let result = search(&device, &data, &config);
+    let model = QuantumClassifier::new(result.best.circuit.clone(), data.num_classes());
+    let outcome = train(
+        &model,
+        data.train(),
+        &TrainConfig { epochs: 40, batch_size: 32, ..Default::default() },
+    );
+    let physical = result.best.physical_circuit(&device);
+    let noise = circuit_noise(&device, &physical).expect("device-aware circuit");
+    let mut rng = StdRng::seed_from_u64(2);
+    println!(
+        "\nelivagar: {} gates (depth {}), noiseless acc {:.3}, lagos-noise acc {:.3}",
+        result.best.circuit.len(),
+        result.best.circuit.depth(),
+        accuracy(&model, &outcome.params, data.test()),
+        noisy_accuracy(&model, &outcome.params, data.test(), &noise, 60, &mut rng),
+    );
+
+    // Human-designed baseline: angle embedding + BasicEntanglerLayers.
+    let (_, human) = human_baseline_circuits(4, data.feature_dim(), 40, 4)
+        .into_iter()
+        .find(|(k, _)| *k == EmbeddingKind::Angle)
+        .expect("angle variant exists");
+    let compiled = compile(
+        &human,
+        &device,
+        CompileOptions { level: OptimizationLevel::O3, basis: TwoQubitBasis::Cx, seed: 1 },
+    );
+    // Train the logical circuit; evaluate the compiled one under noise.
+    let human_model = QuantumClassifier::new(human.clone(), data.num_classes());
+    let human_out = train(
+        &human_model,
+        data.train(),
+        &TrainConfig { epochs: 40, batch_size: 32, ..Default::default() },
+    );
+    let human_noise = circuit_noise(&device, &compiled.circuit).expect("compiled circuit");
+    // The compiled circuit spans the full device; evaluate on its compact
+    // twin so simulation stays small.
+    let compact = {
+        let mut used: Vec<usize> = compiled
+            .circuit
+            .instructions()
+            .iter()
+            .flat_map(|i| i.qubits.iter().copied())
+            .chain(compiled.circuit.measured().iter().copied())
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let pos = |q: usize| used.binary_search(&q).expect("collected");
+        let mut c = elivagar_circuit::Circuit::new(used.len());
+        for ins in compiled.circuit.instructions() {
+            let qubits: Vec<usize> = ins.qubits.iter().map(|&q| pos(q)).collect();
+            c.push(elivagar_circuit::Instruction::new(ins.gate, qubits, ins.params.clone()));
+        }
+        c.set_measured(compiled.circuit.measured().iter().map(|&q| pos(q)).collect());
+        c
+    };
+    let compact_model = QuantumClassifier::new(compact, data.num_classes());
+    println!(
+        "human (angle): {} gates (depth {} after O3), noiseless acc {:.3}, lagos-noise acc {:.3}",
+        compiled.circuit.len(),
+        compiled.circuit.depth(),
+        accuracy(&human_model, &human_out.params, data.test()),
+        noisy_accuracy(
+            &compact_model,
+            &human_out.params,
+            data.test(),
+            &human_noise,
+            60,
+            &mut rng
+        ),
+    );
+}

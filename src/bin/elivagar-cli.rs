@@ -1,0 +1,137 @@
+//! Command-line front end for the Elivagar reproduction.
+//!
+//! ```text
+//! elivagar-cli search --benchmark moons --device ibm-lagos [--candidates 24] [--seed 0]
+//! elivagar-cli devices
+//! elivagar-cli benchmarks
+//! ```
+//!
+//! `search` runs the full pipeline (search, train, noisy evaluation) and
+//! prints the selected circuit as OpenQASM with the trained angles bound
+//! to the first test sample.
+
+use elivagar::{search, SearchConfig};
+use elivagar_circuit::to_qasm;
+use elivagar_datasets::{load_sized, spec, BENCHMARKS};
+use elivagar_device::{all_devices, circuit_noise, device_by_name};
+use elivagar_ml::{accuracy, noisy_accuracy, train, QuantumClassifier, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  elivagar-cli search --benchmark <name> --device <name> \
+         [--candidates N] [--params N] [--epochs N] [--seed N]\n  \
+         elivagar-cli devices\n  elivagar-cli benchmarks"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("devices") => {
+            for d in all_devices() {
+                println!(
+                    "{:<20} {:>4} qubits  median 2Q err {:.1e}",
+                    d.name(),
+                    d.num_qubits(),
+                    d.calibration().median_gate2q_error()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("benchmarks") => {
+            for b in BENCHMARKS {
+                println!(
+                    "{:<10} {} classes, {} features, {} params, {} qubits",
+                    b.name, b.classes, b.feature_dim, b.params, b.qubits
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("search") => {
+            let Some(bench_name) = flag_value(&args, "--benchmark") else {
+                return usage();
+            };
+            let Some(device_name) = flag_value(&args, "--device") else {
+                return usage();
+            };
+            let Some(bench) = spec(&bench_name) else {
+                eprintln!("unknown benchmark {bench_name}; try `elivagar-cli benchmarks`");
+                return ExitCode::FAILURE;
+            };
+            let Some(device) = device_by_name(&device_name) else {
+                eprintln!("unknown device {device_name}; try `elivagar-cli devices`");
+                return ExitCode::FAILURE;
+            };
+            let parse = |name: &str, default: usize| {
+                flag_value(&args, name)
+                    .map(|v| v.parse().unwrap_or(default))
+                    .unwrap_or(default)
+            };
+            let candidates = parse("--candidates", 24);
+            let params = parse("--params", bench.params);
+            let epochs = parse("--epochs", 60);
+            let seed = parse("--seed", 0) as u64;
+
+            let dataset = load_sized(&bench_name, seed, 400.min(bench.train), 120.min(bench.test));
+            let mut config =
+                SearchConfig::for_task(bench.qubits, params, bench.feature_dim, bench.classes);
+            config.num_candidates = candidates;
+            config.clifford_replicas = 16;
+            config.repcap_param_inits = 8;
+            config.repcap_samples_per_class = 8;
+            config.seed = seed;
+
+            eprintln!("searching {candidates} candidates on {} ...", device.name());
+            let result = search(&device, &dataset, &config);
+            let best = &result.best;
+            eprintln!(
+                "selected: {} gates, depth {}, placed on {:?} ({} CNR + {} RepCap executions)",
+                best.circuit.len(),
+                best.circuit.depth(),
+                best.placement,
+                result.executions.cnr,
+                result.executions.repcap,
+            );
+
+            eprintln!("training for {epochs} epochs ...");
+            let model = QuantumClassifier::new(best.circuit.clone(), bench.classes);
+            let outcome = train(
+                &model,
+                dataset.train(),
+                &TrainConfig { epochs, batch_size: 32, seed, ..Default::default() },
+            );
+            let clean = accuracy(&model, &outcome.params, dataset.test());
+            let physical = best.physical_circuit(&device);
+            let noise = circuit_noise(&device, &physical).expect("device-aware circuit");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let noisy =
+                noisy_accuracy(&model, &outcome.params, dataset.test(), &noise, 60, &mut rng);
+            eprintln!("test accuracy: {clean:.3} noiseless, {noisy:.3} under {} noise", device.name());
+
+            println!(
+                "// {} on {}: accuracy {:.3} (noiseless) / {:.3} (noisy)",
+                bench_name,
+                device.name(),
+                clean,
+                noisy
+            );
+            println!(
+                "{}",
+                to_qasm(&best.circuit, &outcome.params, &dataset.test().features[0])
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

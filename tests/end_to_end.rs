@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the full search -> train -> noisy
+//! inference pipeline, exercising every crate together.
+
+use elivagar::{search, EmbeddingPolicy, SearchConfig, SelectionStrategy};
+use elivagar_datasets::{load_sized, moons};
+use elivagar_device::devices::{ibm_lagos, ibmq_kolkata, oqc_lucy};
+use elivagar_device::circuit_noise;
+use elivagar_ml::{accuracy, noisy_accuracy, train, QuantumClassifier, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_search_config(qubits: usize, params: usize, features: usize, classes: usize) -> SearchConfig {
+    let mut c = SearchConfig::for_task(qubits, params, features, classes).fast();
+    c.num_candidates = 8;
+    c
+}
+
+#[test]
+fn elivagar_pipeline_learns_moons_end_to_end() {
+    let device = ibm_lagos();
+    let data = moons(160, 60, 42).normalized(std::f64::consts::PI);
+    let config = fast_search_config(3, 12, 2, 2);
+    let result = search(&device, &data, &config);
+
+    // Selected circuit is hardware-efficient on the device.
+    let physical = result.best.physical_circuit(&device);
+    for ins in physical.instructions() {
+        if ins.qubits.len() == 2 {
+            assert!(device.topology().are_coupled(ins.qubits[0], ins.qubits[1]));
+        }
+    }
+
+    // Train and evaluate.
+    let model = QuantumClassifier::new(result.best.circuit.clone(), 2);
+    let outcome = train(
+        &model,
+        data.train(),
+        &TrainConfig { epochs: 40, batch_size: 32, ..Default::default() },
+    );
+    let clean = accuracy(&model, &outcome.params, data.test());
+    assert!(clean > 0.6, "noiseless accuracy {clean}");
+
+    // Noisy inference cannot beat chance by a miracle nor crash.
+    let noise = circuit_noise(&device, &physical).expect("device-aware circuit");
+    let mut rng = StdRng::seed_from_u64(1);
+    let noisy = noisy_accuracy(&model, &outcome.params, data.test(), &noise, 40, &mut rng);
+    assert!((0.0..=1.0).contains(&noisy));
+    // A quiet IBM device should preserve most of the accuracy.
+    assert!(noisy > clean - 0.25, "noisy {noisy} vs clean {clean}");
+}
+
+#[test]
+fn search_works_on_multiclass_image_benchmark() {
+    let device = ibmq_kolkata();
+    let data = load_sized("mnist-4", 5, 80, 24);
+    let config = fast_search_config(4, 16, 16, 4);
+    let result = search(&device, &data, &config);
+    assert_eq!(result.best.circuit.measured().len(), 4);
+    let model = QuantumClassifier::new(result.best.circuit.clone(), 4);
+    let outcome = train(
+        &model,
+        data.train(),
+        &TrainConfig { epochs: 15, batch_size: 16, ..Default::default() },
+    );
+    let acc = accuracy(&model, &outcome.params, data.test());
+    // 4 classes: chance is 0.25; even a quick run should be at or above it.
+    assert!(acc >= 0.25, "accuracy {acc}");
+}
+
+#[test]
+fn cnr_rejection_prefers_quieter_placements_on_noisy_devices() {
+    // On OQC Lucy (very noisy readout), full Elivagar must still produce a
+    // working pipeline and every survivor must carry predictor values.
+    let device = oqc_lucy();
+    let data = moons(60, 20, 17).normalized(std::f64::consts::PI);
+    let mut config = fast_search_config(3, 8, 2, 2);
+    config.selection = SelectionStrategy::Full;
+    let result = search(&device, &data, &config);
+    let survivors: Vec<_> = result.scored.iter().filter(|s| s.repcap.is_some()).collect();
+    assert!(!survivors.is_empty());
+    // Survivors have CNR at least as high as the non-survivors.
+    let min_survivor_cnr = survivors
+        .iter()
+        .filter_map(|s| s.cnr)
+        .fold(f64::INFINITY, f64::min);
+    let max_rejected_cnr = result
+        .scored
+        .iter()
+        .filter(|s| s.repcap.is_none())
+        .filter_map(|s| s.cnr)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if max_rejected_cnr.is_finite() {
+        assert!(min_survivor_cnr >= max_rejected_cnr - 1e-12);
+    }
+}
+
+#[test]
+fn embedding_policies_produce_distinct_circuits() {
+    let device = ibm_lagos();
+    let data = moons(60, 20, 23).normalized(std::f64::consts::PI);
+    let mut angle_cfg = fast_search_config(3, 8, 2, 2);
+    angle_cfg.embedding = EmbeddingPolicy::FixedAngle;
+    let mut iqp_cfg = angle_cfg.clone();
+    iqp_cfg.embedding = EmbeddingPolicy::FixedIqp;
+    let a = search(&device, &data, &angle_cfg);
+    let b = search(&device, &data, &iqp_cfg);
+    // IQP embeddings contain RZZ feature products; angle embeddings don't.
+    let has_rzz = |c: &elivagar_circuit::Circuit| {
+        c.instructions()
+            .iter()
+            .any(|i| i.gate == elivagar_circuit::Gate::Rzz && i.is_embedding())
+    };
+    assert!(!has_rzz(&a.best.circuit));
+    assert!(has_rzz(&b.best.circuit));
+}

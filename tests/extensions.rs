@@ -1,0 +1,104 @@
+//! Integration tests for the beyond-the-paper extensions: the VQE
+//! pipeline, QASM export of searched circuits, and amplitude-embedding
+//! synthesis feeding the compiler.
+
+use elivagar::{search, SearchConfig, TransverseFieldIsing};
+use elivagar_circuit::to_qasm;
+use elivagar_compiler::{compile, synthesize_state_prep, CompileOptions, OptimizationLevel, TwoQubitBasis};
+use elivagar_datasets::moons;
+use elivagar_device::devices::ibm_lagos;
+use elivagar_sim::{tvd, StateVector};
+
+#[test]
+fn searched_circuits_export_to_valid_looking_qasm() {
+    let device = ibm_lagos();
+    let data = moons(48, 16, 2).normalized(std::f64::consts::PI);
+    let mut config = SearchConfig::for_task(3, 8, 2, 2).fast();
+    config.num_candidates = 4;
+    let result = search(&device, &data, &config);
+    let params = vec![0.3; result.best.circuit.num_trainable_params()];
+    let qasm = to_qasm(&result.best.circuit, &params, &data.test().features[0]);
+    assert!(qasm.starts_with("OPENQASM 2.0;"));
+    assert!(qasm.contains("qreg q[3];"));
+    // One measurement per measured qubit.
+    assert_eq!(
+        qasm.matches("measure ").count(),
+        result.best.circuit.measured().len()
+    );
+    // No unresolved symbols: every non-header line ends with ';'.
+    for line in qasm.lines().skip(2).filter(|l| !l.is_empty()) {
+        assert!(line.ends_with(';'), "unterminated line: {line}");
+    }
+}
+
+#[test]
+fn vqe_search_composes_with_device_models() {
+    let device = ibm_lagos();
+    let h = TransverseFieldIsing::new(3, 1.0, 0.6);
+    let mut config = SearchConfig::for_task(3, 10, 1, 2).fast();
+    config.num_candidates = 5;
+    let result = elivagar::search_vqe_ansatz(&device, &h, &config, 20, 120);
+    // The selected ansatz lives on a connected device subgraph.
+    assert!(device.topology().is_connected_subset(&result.best.placement));
+    // Optimized energy is bounded by the exact ground energy.
+    let exact = h.exact_ground_energy();
+    assert!(result.outcome.energy >= exact - 1e-6);
+    assert!(result.outcome.energy < 0.0, "descent made progress");
+}
+
+#[test]
+fn synthesized_state_prep_survives_compilation() {
+    // Synthesize an amplitude embedding, route it for a device, and check
+    // the prepared state is untouched.
+    let amplitudes = [0.5, -0.5, 0.25, 0.75, -0.1, 0.3, 0.0, 0.2];
+    let prep = synthesize_state_prep(&amplitudes, 3);
+    let device = ibm_lagos();
+    let compiled = compile(
+        &prep,
+        &device,
+        CompileOptions { level: OptimizationLevel::O2, basis: TwoQubitBasis::Cx, seed: 3 },
+    );
+    let expected = StateVector::amplitude_embedded(3, &amplitudes);
+    // Compare distributions over the qubits the circuit was mapped to: use
+    // the full register marginal of the original prep versus the compiled
+    // circuit restricted to its image qubits.
+    let original = StateVector::run(&prep, &[], &[]).probabilities();
+    // Find the compiled circuit's image of logical qubits by running and
+    // marginalizing over all device qubits, then comparing non-zero
+    // support sizes.
+    let compiled_probs = StateVector::run(
+        &{
+            // Compact to used qubits to keep the register small.
+            let mut used: Vec<usize> = compiled
+                .circuit
+                .instructions()
+                .iter()
+                .flat_map(|i| i.qubits.iter().copied())
+                .collect();
+            used.sort_unstable();
+            used.dedup();
+            let pos = |q: usize| used.binary_search(&q).expect("used");
+            let mut c = elivagar_circuit::Circuit::new(used.len().max(1));
+            for ins in compiled.circuit.instructions() {
+                let qubits: Vec<usize> = ins.qubits.iter().map(|&q| pos(q)).collect();
+                c.push(elivagar_circuit::Instruction::new(ins.gate, qubits, ins.params.clone()));
+            }
+            c
+        },
+        &[],
+        &[],
+    )
+    .probabilities();
+    // The sorted probability multiset is invariant under qubit relabeling.
+    let mut a: Vec<f64> = original.into_iter().filter(|p| *p > 1e-12).collect();
+    let mut b: Vec<f64> = compiled_probs.into_iter().filter(|p| *p > 1e-12).collect();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+    }
+    // And the original prep state matches the requested amplitudes.
+    let psi = StateVector::run(&prep, &[], &[]);
+    assert!(tvd(&psi.probabilities(), &expected.probabilities()) < 1e-9);
+}

@@ -1,0 +1,61 @@
+//! Serde round-trips for the data-structure types: circuits (with their
+//! symbolic parameters), devices, and noise descriptions survive
+//! serialization unchanged, so search results can be persisted and
+//! reloaded.
+
+use elivagar_circuit::{Circuit, Gate, ParamExpr};
+use elivagar_device::devices::{ibm_lagos, ibmq_kolkata};
+use elivagar_device::circuit_noise;
+use elivagar_sim::StateVector;
+
+fn sample_circuit() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.push_gate(Gate::H, &[0], &[]);
+    c.push_gate(Gate::Rx, &[1], &[ParamExpr::feature(0)]);
+    c.push_gate(Gate::Crz, &[0, 2], &[ParamExpr::trainable(0).scaled(0.5)]);
+    c.push_gate(Gate::Rzz, &[1, 2], &[ParamExpr::feature_product(0, 1)]);
+    c.set_measured(vec![2, 0]);
+    c
+}
+
+#[test]
+fn circuit_roundtrips_through_json() {
+    let c = sample_circuit();
+    let json = serde_json::to_string(&c).expect("serialize");
+    let back: Circuit = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, c);
+    // Behavioral identity, not just structural.
+    let a = StateVector::run(&c, &[0.7], &[0.3, 0.9]).marginal_probabilities(c.measured());
+    let b = StateVector::run(&back, &[0.7], &[0.3, 0.9]).marginal_probabilities(back.measured());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn device_roundtrips_through_json() {
+    let d = ibmq_kolkata();
+    let json = serde_json::to_string(&d).expect("serialize");
+    let back: elivagar_device::Device = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, d);
+    assert_eq!(back.topology().edges(), d.topology().edges());
+}
+
+#[test]
+fn noise_description_roundtrips_through_json() {
+    let device = ibm_lagos();
+    let mut c = Circuit::new(2);
+    c.push_gate(Gate::H, &[0], &[]);
+    c.push_gate(Gate::Cx, &[0, 1], &[]);
+    c.set_measured(vec![0, 1]);
+    let noise = circuit_noise(&device, &c).expect("executable");
+    let json = serde_json::to_string(&noise).expect("serialize");
+    let back: elivagar_sim::CircuitNoise = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, noise);
+}
+
+#[test]
+fn datasets_roundtrip_through_json() {
+    let data = elivagar_datasets::moons(20, 10, 1);
+    let json = serde_json::to_string(&data).expect("serialize");
+    let back: elivagar_datasets::Dataset = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, data);
+}
