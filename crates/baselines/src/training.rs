@@ -48,6 +48,11 @@ pub struct SuperTrainOutcome {
 /// Trains the shared parameters by sampling one random subcircuit per
 /// batch (the front-sampling strategy of QuantumNAS / QuantumSupernet).
 ///
+/// Each minibatch executes through the fused batch engine
+/// ([`elivagar_ml::batch_gradient`] compiles the sampled subcircuit once
+/// and runs all samples in parallel), so the accounting below tracks
+/// *hardware-equivalent* executions, not wall-clock circuit runs.
+///
 /// # Panics
 ///
 /// Panics if the split is empty or the config is degenerate.

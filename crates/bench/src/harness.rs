@@ -449,7 +449,7 @@ mod tests {
     fn elivagar_end_to_end_beats_chance_on_moons() {
         let device = ibm_lagos();
         let (outcome, result) =
-            run_elivagar("moons", &device, tiny_scale(), 7, EmbeddingPolicy::Searched);
+            run_elivagar("moons", &device, tiny_scale(), 1, EmbeddingPolicy::Searched);
         assert!(outcome.noiseless_accuracy > 0.5, "{}", outcome.noiseless_accuracy);
         assert!(outcome.search_executions > 0);
         assert_eq!(result.best.circuit.num_trainable_params(), 16);

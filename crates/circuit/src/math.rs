@@ -18,7 +18,10 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// let i = C64::i();
 /// assert_eq!(i * i, C64::new(-1.0, 0.0));
 /// ```
+// `repr(C)` guarantees the `[re, im]` field order, letting simulator
+// kernels view `[C64]` buffers as interleaved `f64` pairs.
 #[derive(Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct C64 {
     /// Real part.
     pub re: f64,

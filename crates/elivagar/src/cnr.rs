@@ -12,7 +12,7 @@ use crate::generate::Candidate;
 use elivagar_circuit::{Circuit, ParamExpr};
 use elivagar_device::{circuit_noise, Device, NoiseModelError};
 use elivagar_sim::{fidelity, noisy_clifford_distribution, run_clifford};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Builds one Clifford replica: every parametric slot (trainable, data, or
 /// constant) is snapped to a uniformly random multiple of the gate's
@@ -112,18 +112,21 @@ pub fn cnr_with_shots<R: Rng + ?Sized>(
     assert!(shots > 0, "need at least one shot");
     let physical = candidate.physical_circuit(device);
     let noise = circuit_noise(device, &physical)?;
-    let mut total = 0.0;
-    for _ in 0..config.clifford_replicas {
-        let replica = clifford_replica(&candidate.circuit, rng);
+    // Replicas are statistically independent, so they batch: each gets its
+    // own generator seeded from the caller's stream (keeping the result a
+    // deterministic function of `rng`'s state) and runs on its own core.
+    let replica_seeds: Vec<u64> = (0..config.clifford_replicas)
+        .map(|_| rng.next_u64())
+        .collect();
+    let fidelities = elivagar_sim::parallel::par_map(&replica_seeds, |&seed| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let replica = clifford_replica(&candidate.circuit, &mut rng);
         // Noiseless reference, sampled with finite shots.
         let ideal_exact = run_clifford(&replica, &[], &[])
             .expect("clifford replica is clifford by construction")
             .measurement_distribution(replica.measured());
-        let ideal_counts = elivagar_sim::statevector::sample_from_distribution(
-            &ideal_exact,
-            shots,
-            rng,
-        );
+        let ideal_counts =
+            elivagar_sim::statevector::sample_from_distribution(&ideal_exact, shots, &mut rng);
         let ideal = elivagar_sim::counts_to_distribution(&ideal_counts);
         // Noisy side: one sampled outcome per trajectory (how shots are
         // actually spent on hardware). Reuse the trajectory engine with a
@@ -134,16 +137,16 @@ pub fn cnr_with_shots<R: Rng + ?Sized>(
             &[],
             &noise,
             config.cnr_trajectories,
-            rng,
+            &mut rng,
         )
         .expect("clifford replica is clifford by construction");
         let noisy_counts =
-            elivagar_sim::statevector::sample_from_distribution(&noisy_exact, shots, rng);
+            elivagar_sim::statevector::sample_from_distribution(&noisy_exact, shots, &mut rng);
         let noisy = elivagar_sim::counts_to_distribution(&noisy_counts);
-        total += fidelity(&ideal, &noisy);
-    }
+        fidelity(&ideal, &noisy)
+    });
     Ok(CnrResult {
-        cnr: total / config.clifford_replicas as f64,
+        cnr: fidelities.iter().sum::<f64>() / config.clifford_replicas as f64,
         executions: config.clifford_replicas as u64,
     })
 }

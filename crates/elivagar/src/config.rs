@@ -99,6 +99,11 @@ pub struct SearchConfig {
     pub clifford_replicas: usize,
     /// Noisy stabilizer trajectories per replica.
     pub cnr_trajectories: usize,
+    /// Finite shots per CNR measurement. `None` (the default) uses exact
+    /// distributions; `Some(shots)` routes scoring through
+    /// [`crate::cnr::cnr_with_shots`], adding hardware-realistic sampling
+    /// noise.
+    pub cnr_shots: Option<usize>,
     /// Absolute CNR rejection threshold (paper default 0.7).
     pub cnr_threshold: f64,
     /// Fraction of candidates kept after CNR ranking (paper default 0.5).
@@ -149,6 +154,7 @@ impl SearchConfig {
             subgraph_candidates: 8,
             clifford_replicas: 32,
             cnr_trajectories: 64,
+            cnr_shots: None,
             cnr_threshold: 0.7,
             cnr_keep_fraction: 0.5,
             repcap_samples_per_class: 16,
@@ -173,6 +179,39 @@ impl SearchConfig {
         self.repcap_bases = 2;
         self
     }
+
+    /// Sets the candidate pool size (`N_C`). Prefer this over mutating
+    /// [`SearchConfig::num_candidates`] directly — the builders keep call
+    /// sites stable if the config representation changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_candidates(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one candidate");
+        self.num_candidates = n;
+        self
+    }
+
+    /// Scores CNR from `shots` finite measurement shots per replica
+    /// instead of exact distributions, matching how a hardware CNR
+    /// measurement behaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` is zero.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        assert!(shots > 0, "need at least one shot");
+        self.cnr_shots = Some(shots);
+        self
+    }
+
+    /// Sets the search seed. Everything downstream — candidate generation,
+    /// CNR replicas, RepCap parameter draws — derives from it.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +234,24 @@ mod tests {
     fn multiclass_measures_one_qubit_per_class() {
         let c = SearchConfig::for_task(10, 72, 36, 10);
         assert_eq!(c.num_measured, 10);
+    }
+
+    #[test]
+    fn builders_compose_and_defaults_stay_exact() {
+        let c = SearchConfig::for_task(4, 20, 4, 2)
+            .with_candidates(5)
+            .with_shots(1024)
+            .with_seed(99);
+        assert_eq!(c.num_candidates, 5);
+        assert_eq!(c.cnr_shots, Some(1024));
+        assert_eq!(c.seed, 99);
+        assert_eq!(SearchConfig::for_task(4, 20, 4, 2).cnr_shots, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shots_is_rejected() {
+        let _ = SearchConfig::for_task(4, 20, 4, 2).with_shots(0);
     }
 
     #[test]

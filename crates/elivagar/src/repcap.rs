@@ -7,7 +7,7 @@
 
 use crate::config::SearchConfig;
 use elivagar_circuit::{Circuit, Gate};
-use elivagar_sim::{tvd, StateVector};
+use elivagar_sim::{tvd, Program, StateVector};
 use rand::Rng;
 
 /// Result of one RepCap evaluation.
@@ -27,26 +27,34 @@ pub struct RepCapResult {
 /// distribution per random measurement basis (Algorithm 2).
 type Representation = Vec<Vec<f64>>;
 
-/// Computes the randomized-measurement representation of `circuit(x, theta)`:
+/// Computes the randomized-measurement representation of an output state:
 /// for each basis, append random `U3` rotations to the measured qubits and
 /// record the outcome distribution.
-fn representation(
-    circuit: &Circuit,
-    params: &[f64],
-    features: &[f64],
-    bases: &[Vec<[f64; 3]>],
-) -> Representation {
-    let psi = StateVector::run(circuit, params, features);
+fn representation_of(psi: &StateVector, measured: &[usize], bases: &[Vec<[f64; 3]>]) -> Representation {
     bases
         .iter()
         .map(|basis| {
             let mut rotated = psi.clone();
-            for (&q, angles) in circuit.measured().iter().zip(basis) {
+            for (&q, angles) in measured.iter().zip(basis) {
                 rotated.apply_mat1(q, &Gate::U3.matrix1(angles));
             }
-            rotated.marginal_probabilities(circuit.measured())
+            rotated.marginal_probabilities(measured)
         })
         .collect()
+}
+
+/// Evaluates all samples' representations in one batched call: the bound
+/// program runs every feature vector in parallel and each worker applies
+/// all measurement settings to the state it produced. Order-preserving, so
+/// the result is bit-for-bit identical to the sequential per-sample loop
+/// (asserted by `batched_representations_match_sequential`).
+fn representations_batch(
+    bound: &elivagar_sim::BoundProgram,
+    features: &[Vec<f64>],
+    measured: &[usize],
+    bases: &[Vec<[f64; 3]>],
+) -> Vec<Representation> {
+    bound.run_batch_with(features, |_, psi| representation_of(&psi, measured, bases))
 }
 
 /// Similarity of two representations: `1 - TVD` averaged over the random
@@ -79,6 +87,10 @@ pub fn repcap<R: Rng + ?Sized>(
     assert!(!circuit.measured().is_empty(), "circuit must measure qubits");
     let d = features.len();
     let num_params = circuit.num_trainable_params();
+    // Compile once: constant gates fuse here; per-theta binding below fuses
+    // the trainable gates too, so each sample executes the minimal kernel
+    // stream.
+    let program = Program::compile(circuit);
 
     // Induced similarity averaged over random parameter vectors (Eq. 5).
     let mut r_c = vec![vec![0.0f64; d]; d];
@@ -102,10 +114,8 @@ pub fn repcap<R: Rng + ?Sized>(
                     .collect()
             })
             .collect();
-        let reps: Vec<Representation> = features
-            .iter()
-            .map(|x| representation(circuit, &theta, x, &bases))
-            .collect();
+        let bound = program.bind(&theta);
+        let reps = representations_batch(&bound, features, circuit.measured(), &bases);
         for i in 0..d {
             for j in i..d {
                 let s = similarity(&reps[i], &reps[j]);
@@ -227,6 +237,42 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let r = repcap(&discriminative_circuit(), &x, &y, &cfg, &mut rng);
         assert_eq!(r.executions, (x.len() * cfg.repcap_param_inits) as u64);
+    }
+
+    #[test]
+    fn batched_representations_match_sequential() {
+        // The batched path must reproduce the per-sample loop bit-for-bit:
+        // RepCap scores are compared across candidates, so even 1-ulp
+        // divergence between batch sizes would make rankings
+        // thread-count-dependent.
+        let circuit = discriminative_circuit();
+        let (x, _) = binary_samples();
+        let mut rng = StdRng::seed_from_u64(9);
+        let theta: Vec<f64> = (0..circuit.num_trainable_params())
+            .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
+            .collect();
+        let bases: Vec<Vec<[f64; 3]>> = (0..3)
+            .map(|_| {
+                circuit
+                    .measured()
+                    .iter()
+                    .map(|_| {
+                        [
+                            rng.random_range(0.0..std::f64::consts::PI),
+                            rng.random_range(0.0..std::f64::consts::TAU),
+                            rng.random_range(0.0..std::f64::consts::TAU),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        let bound = elivagar_sim::Program::compile(&circuit).bind(&theta);
+        let batched = representations_batch(&bound, &x, circuit.measured(), &bases);
+        let sequential: Vec<Representation> = x
+            .iter()
+            .map(|f| representation_of(&bound.run(f), circuit.measured(), &bases))
+            .collect();
+        assert_eq!(batched, sequential);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The five-step Elivagar search pipeline (paper Section 3, Fig. 4).
 
-use crate::cnr::{cnr, reject_low_fidelity};
+use crate::cnr::{cnr, cnr_with_shots, reject_low_fidelity};
 use crate::config::{SearchConfig, SelectionStrategy};
 use crate::generate::{generate_candidate, Candidate};
 use crate::repcap::repcap;
@@ -117,8 +117,13 @@ pub fn search(device: &Device, dataset: &Dataset, config: &SearchConfig) -> Sear
             let indexed: Vec<usize> = (0..candidates.len()).collect();
             let results = elivagar_sim::parallel::par_map(&indexed, |&i| {
                 let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0xC14));
-                cnr(&candidates[i], device, config, &mut rng)
-                    .expect("candidate does not fit the device; route it first")
+                match config.cnr_shots {
+                    Some(shots) => {
+                        cnr_with_shots(&candidates[i], device, config, shots, &mut rng)
+                    }
+                    None => cnr(&candidates[i], device, config, &mut rng),
+                }
+                .expect("candidate does not fit the device; route it first")
             });
             let mut cnrs = Vec::with_capacity(candidates.len());
             for r in results {

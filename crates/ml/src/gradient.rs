@@ -10,7 +10,8 @@
 use crate::loss::cross_entropy;
 use crate::model::QuantumClassifier;
 use elivagar_circuit::{Gate, ParamSource};
-use elivagar_sim::{adjoint_gradient, StateVector, ZObservable};
+use elivagar_sim::parallel::par_map;
+use elivagar_sim::{adjoint_gradient, Program, ZObservable};
 use std::f64::consts::{FRAC_PI_2, SQRT_2};
 
 /// How gradients are computed.
@@ -62,14 +63,14 @@ pub fn shift_rule(gate: Gate) -> Option<&'static [(f64, f64)]> {
     }
 }
 
-/// Weighted expectation `sum_q w_q <Z_q>` of a circuit output.
+/// Weighted expectation `sum_q w_q <Z_q>` of a compiled circuit's output.
 fn weighted_expectation(
-    model: &QuantumClassifier,
+    program: &Program,
     params: &[f64],
     features: &[f64],
     weights: &[(usize, f64)],
 ) -> f64 {
-    let psi = StateVector::run(model.circuit(), params, features);
+    let psi = program.run(params, features);
     weights.iter().map(|&(q, w)| w * psi.expectation_z(q)).sum()
 }
 
@@ -88,15 +89,19 @@ fn usage_sites(model: &QuantumClassifier, index: usize) -> Vec<(usize, f64)> {
     sites
 }
 
-/// Computes loss and gradient for one sample.
+/// Computes loss and gradient for one sample. The forward pass runs the
+/// pre-compiled fused `program`; the adjoint sweep still walks the
+/// original instruction stream, which it needs for per-gate derivatives.
 fn sample_gradient(
     model: &QuantumClassifier,
+    program: &Program,
     params: &[f64],
     features: &[f64],
     label: usize,
     method: GradientMethod,
 ) -> (f64, Vec<f64>, u64) {
-    let logits = model.logits(params, features);
+    let expectations = model.expectations_from_state(&program.run(params, features));
+    let logits = model.logits_from_expectations(&expectations);
     let (loss, dlogits) = cross_entropy(&logits, label);
     let weights = model.observable_weights(&dlogits);
     match method {
@@ -129,7 +134,7 @@ fn sample_gradient(
                         let mut shifted = params.to_vec();
                         shifted[i] += sign * shift;
                         *g += sign * coeff
-                            * weighted_expectation(model, &shifted, features, &weights);
+                            * weighted_expectation(program, &shifted, features, &weights);
                         executions += 1;
                     }
                 } else {
@@ -140,8 +145,8 @@ fn sample_gradient(
                     let mut minus = params.to_vec();
                     plus[i] += h;
                     minus[i] -= h;
-                    let ep = weighted_expectation(model, &plus, features, &weights);
-                    let em = weighted_expectation(model, &minus, features, &weights);
+                    let ep = weighted_expectation(program, &plus, features, &weights);
+                    let em = weighted_expectation(program, &minus, features, &weights);
                     *g += (ep - em) / (2.0 * h);
                     executions += 2;
                 }
@@ -165,11 +170,20 @@ pub fn batch_gradient(
 ) -> BatchGradient {
     assert!(!features.is_empty(), "empty batch");
     assert_eq!(features.len(), labels.len(), "feature/label mismatch");
+    // Compile once per minibatch; every forward (and shifted) execution in
+    // the batch reuses the fused kernel stream. Samples are independent, so
+    // they run in parallel; per-sample results come back in batch order and
+    // are reduced sequentially, keeping the mean bit-for-bit identical to
+    // the sequential loop.
+    let program = Program::compile(model.circuit());
+    let indices: Vec<usize> = (0..features.len()).collect();
+    let per_sample = par_map(&indices, |&i| {
+        sample_gradient(model, &program, params, &features[i], labels[i], method)
+    });
     let mut loss = 0.0;
     let mut gradient = vec![0.0; params.len()];
     let mut executions = 0u64;
-    for (x, &y) in features.iter().zip(labels) {
-        let (l, g, e) = sample_gradient(model, params, x, y, method);
+    for (l, g, e) in per_sample {
         loss += l;
         executions += e;
         for (acc, gi) in gradient.iter_mut().zip(&g) {

@@ -40,6 +40,6 @@ pub use accounting::{elivagar_default_cost, ElivagarCost, SuperCircuitCost};
 pub use diagnostics::{gradient_variance, GradientVariance};
 pub use gradient::{batch_gradient, shift_rule, BatchGradient, GradientMethod};
 pub use loss::{cross_entropy, softmax};
-pub use model::{argmax, QuantumClassifier};
+pub use model::{argmax, ModelError, QuantumClassifier};
 pub use optim::Adam;
 pub use train::{accuracy, evaluate_loss, init_params, noisy_accuracy, train, TrainConfig, TrainOutcome};

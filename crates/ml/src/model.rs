@@ -2,7 +2,7 @@
 //! Pauli-Z expectations of the measured qubits to class logits.
 
 use elivagar_circuit::Circuit;
-use elivagar_sim::StateVector;
+use elivagar_sim::{Program, StateVector};
 
 /// A variational quantum classifier.
 ///
@@ -31,24 +31,77 @@ pub struct QuantumClassifier {
     num_classes: usize,
 }
 
+/// Why a classifier could not be built from a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Fewer than two classes requested.
+    TooFewClasses {
+        /// The requested class count.
+        num_classes: usize,
+    },
+    /// The circuit measures no qubits, so there is nothing to read out.
+    NoMeasuredQubits,
+    /// A `k`-class head needs at least `k` measured qubits.
+    TooFewMeasuredQubits {
+        /// The requested class count.
+        num_classes: usize,
+        /// Qubits the circuit actually measures.
+        measured: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::TooFewClasses { num_classes } => {
+                write!(f, "need at least two classes, got {num_classes}")
+            }
+            ModelError::NoMeasuredQubits => {
+                write!(f, "classifier circuit must measure qubits")
+            }
+            ModelError::TooFewMeasuredQubits { num_classes, measured } => write!(
+                f,
+                "{num_classes}-class head needs >= {num_classes} measured qubits, got {measured}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
 impl QuantumClassifier {
+    /// Wraps a circuit as a classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if the circuit measures no qubits,
+    /// `num_classes < 2`, or a multi-class task measures fewer qubits than
+    /// classes.
+    pub fn try_new(circuit: Circuit, num_classes: usize) -> Result<Self, ModelError> {
+        if num_classes < 2 {
+            return Err(ModelError::TooFewClasses { num_classes });
+        }
+        if circuit.measured().is_empty() {
+            return Err(ModelError::NoMeasuredQubits);
+        }
+        if num_classes > 2 && circuit.measured().len() < num_classes {
+            return Err(ModelError::TooFewMeasuredQubits {
+                num_classes,
+                measured: circuit.measured().len(),
+            });
+        }
+        Ok(QuantumClassifier { circuit, num_classes })
+    }
+
     /// Wraps a circuit as a classifier.
     ///
     /// # Panics
     ///
     /// Panics if the circuit measures no qubits, `num_classes < 2`, or a
-    /// multi-class task measures fewer qubits than classes.
+    /// multi-class task measures fewer qubits than classes. Use
+    /// [`QuantumClassifier::try_new`] to recover instead.
     pub fn new(circuit: Circuit, num_classes: usize) -> Self {
-        assert!(num_classes >= 2, "need at least two classes");
-        assert!(!circuit.measured().is_empty(), "classifier circuit must measure qubits");
-        if num_classes > 2 {
-            assert!(
-                circuit.measured().len() >= num_classes,
-                "{num_classes}-class head needs >= {num_classes} measured qubits, got {}",
-                circuit.measured().len()
-            );
-        }
-        QuantumClassifier { circuit, num_classes }
+        QuantumClassifier::try_new(circuit, num_classes).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The underlying circuit.
@@ -66,13 +119,51 @@ impl QuantumClassifier {
         self.circuit.num_trainable_params()
     }
 
+    /// Compiles the circuit into a fused execution program. Callers that
+    /// evaluate many samples should compile once and use the batch methods
+    /// below (or [`elivagar_sim::Program::bind`] directly) instead of
+    /// re-walking the instruction stream per sample.
+    pub fn program(&self) -> Program {
+        Program::compile(&self.circuit)
+    }
+
     /// Per-measured-qubit `<Z>` expectations for one sample (noiseless).
     pub fn expectations(&self, params: &[f64], features: &[f64]) -> Vec<f64> {
         let psi = StateVector::run(&self.circuit, params, features);
+        self.expectations_from_state(&psi)
+    }
+
+    /// Per-measured-qubit `<Z>` expectations read off an output state.
+    pub fn expectations_from_state(&self, psi: &StateVector) -> Vec<f64> {
         self.circuit
             .measured()
             .iter()
             .map(|&q| psi.expectation_z(q))
+            .collect()
+    }
+
+    /// Per-measured-qubit `<Z>` expectations for a whole batch of samples
+    /// sharing one parameter vector: the circuit is compiled and bound
+    /// once, then executed across samples in parallel. Order-preserving
+    /// and bit-for-bit deterministic regardless of thread count.
+    pub fn expectations_batch(&self, params: &[f64], features_batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let bound = self.program().bind(params);
+        bound.run_batch_with(features_batch, |_, psi| self.expectations_from_state(&psi))
+    }
+
+    /// Class logits for a whole batch of samples (noiseless, batched).
+    pub fn logits_batch(&self, params: &[f64], features_batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.expectations_batch(params, features_batch)
+            .into_iter()
+            .map(|e| self.logits_from_expectations(&e))
+            .collect()
+    }
+
+    /// Predicted classes for a whole batch of samples (noiseless, batched).
+    pub fn predict_batch(&self, params: &[f64], features_batch: &[Vec<f64>]) -> Vec<usize> {
+        self.logits_batch(params, features_batch)
+            .into_iter()
+            .map(|l| argmax(&l))
             .collect()
     }
 
@@ -227,5 +318,43 @@ mod tests {
     #[test]
     fn argmax_prefers_first_on_ties() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let mut measured = Circuit::new(2);
+        measured.set_measured(vec![0, 1]);
+        assert_eq!(
+            QuantumClassifier::try_new(measured.clone(), 1).unwrap_err(),
+            ModelError::TooFewClasses { num_classes: 1 }
+        );
+        assert_eq!(
+            QuantumClassifier::try_new(Circuit::new(2), 2).unwrap_err(),
+            ModelError::NoMeasuredQubits
+        );
+        assert_eq!(
+            QuantumClassifier::try_new(measured.clone(), 4).unwrap_err(),
+            ModelError::TooFewMeasuredQubits { num_classes: 4, measured: 2 }
+        );
+        assert!(QuantumClassifier::try_new(measured, 2).is_ok());
+    }
+
+    #[test]
+    fn batch_paths_match_single_sample_paths() {
+        let m = binary_model();
+        let params = [0.7];
+        let batch: Vec<Vec<f64>> = (0..7).map(|i| vec![0.3 * i as f64]).collect();
+        let exp_batch = m.expectations_batch(&params, &batch);
+        let logit_batch = m.logits_batch(&params, &batch);
+        let pred_batch = m.predict_batch(&params, &batch);
+        for (i, x) in batch.iter().enumerate() {
+            for (a, b) in exp_batch[i].iter().zip(&m.expectations(&params, x)) {
+                assert!((a - b).abs() < 1e-12);
+            }
+            for (a, b) in logit_batch[i].iter().zip(&m.logits(&params, x)) {
+                assert!((a - b).abs() < 1e-12);
+            }
+            assert_eq!(pred_batch[i], m.predict(&params, x));
+        }
     }
 }

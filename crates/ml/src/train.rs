@@ -101,23 +101,26 @@ pub fn train(model: &QuantumClassifier, data: &Split, config: &TrainConfig) -> T
     }
 }
 
-/// Mean cross-entropy loss of a model over a split (noiseless).
+/// Mean cross-entropy loss of a model over a split (noiseless, batched
+/// over all samples via the fused execution engine).
 pub fn evaluate_loss(model: &QuantumClassifier, params: &[f64], data: &Split) -> f64 {
-    let mut loss = 0.0;
-    for (x, &y) in data.features.iter().zip(&data.labels) {
-        let logits = model.logits(params, x);
-        loss += crate::loss::cross_entropy(&logits, y).0;
-    }
+    let loss: f64 = model
+        .logits_batch(params, &data.features)
+        .iter()
+        .zip(&data.labels)
+        .map(|(logits, &y)| crate::loss::cross_entropy(logits, y).0)
+        .sum();
     loss / data.len() as f64
 }
 
-/// Classification accuracy over a split (noiseless inference).
+/// Classification accuracy over a split (noiseless inference, batched over
+/// all samples via the fused execution engine).
 pub fn accuracy(model: &QuantumClassifier, params: &[f64], data: &Split) -> f64 {
-    let correct = data
-        .features
+    let correct = model
+        .predict_batch(params, &data.features)
         .iter()
         .zip(&data.labels)
-        .filter(|(x, &y)| model.predict(params, x) == y)
+        .filter(|(predicted, &y)| **predicted == y)
         .count();
     correct as f64 / data.len() as f64
 }

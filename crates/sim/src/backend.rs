@@ -1,0 +1,257 @@
+//! The unified execution backend API.
+//!
+//! Everything above the simulator layer — scoring, training, evaluation —
+//! consumes circuits through three operations: an output *distribution*
+//! over the measured qubits, per-measured-qubit `<Z>` *expectations*, and
+//! finite-shot *sample counts*. [`Backend`] names exactly those three, so
+//! callers can swap the noiseless fused state-vector engine, the exact
+//! density-matrix simulator, or the Monte-Carlo trajectory engine without
+//! touching call sites:
+//!
+//! ```
+//! use elivagar_circuit::{Circuit, Gate};
+//! use elivagar_sim::{Backend, StateVectorBackend};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push_gate(Gate::H, &[0], &[]);
+//! c.push_gate(Gate::Cx, &[0, 1], &[]);
+//! c.set_measured(vec![0, 1]);
+//! let backend: &dyn Backend = &StateVectorBackend;
+//! let dist = backend.run(&c, &[], &[]);
+//! assert!((dist[0] - 0.5).abs() < 1e-12 && (dist[3] - 0.5).abs() < 1e-12);
+//! ```
+//!
+//! The trait is object-safe: randomness enters through an explicit `seed`
+//! argument rather than a generic `Rng`, so `&dyn Backend` works and every
+//! backend stays deterministic per seed.
+
+use crate::engine::Program;
+use crate::noise::CircuitNoise;
+use crate::statevector::{sample_from_distribution, StateVector};
+use crate::{noisy_distribution, DensityMatrix};
+use elivagar_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-measured-qubit `<Z>` read off a distribution over the measured
+/// qubits (bit `k` of the outcome index is measured qubit `k`).
+pub fn expectations_from_distribution(dist: &[f64], num_measured: usize) -> Vec<f64> {
+    assert_eq!(dist.len(), 1 << num_measured, "distribution size mismatch");
+    (0..num_measured)
+        .map(|k| {
+            dist.iter()
+                .enumerate()
+                .map(|(b, &p)| if b & (1 << k) == 0 { p } else { -p })
+                .sum()
+        })
+        .collect()
+}
+
+/// A circuit execution engine.
+///
+/// Implementations must be deterministic: equal inputs (including `seed`)
+/// produce equal outputs. The provided methods derive expectations and
+/// counts from [`Backend::run`]; backends with a cheaper exact path (like
+/// the state-vector engine) override them.
+pub trait Backend: Sync {
+    /// Short stable identifier, e.g. for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Output distribution over the circuit's measured qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit measures no qubits or the noise description
+    /// (for noisy backends) does not match the circuit shape.
+    fn run(&self, circuit: &Circuit, params: &[f64], features: &[f64]) -> Vec<f64>;
+
+    /// Per-measured-qubit `<Z>` expectations.
+    fn expectations(&self, circuit: &Circuit, params: &[f64], features: &[f64]) -> Vec<f64> {
+        expectations_from_distribution(
+            &self.run(circuit, params, features),
+            circuit.measured().len(),
+        )
+    }
+
+    /// Histogram of `shots` measurement outcomes, indexed like
+    /// [`Backend::run`]'s distribution. Deterministic per `seed`.
+    fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        features: &[f64],
+        shots: usize,
+        seed: u64,
+    ) -> Vec<u64> {
+        let dist = self.run(circuit, params, features);
+        let mut rng = StdRng::seed_from_u64(seed);
+        sample_from_distribution(&dist, shots, &mut rng)
+    }
+}
+
+/// Noiseless dense simulation through the fused batch engine
+/// ([`Program`]): the circuit is compiled to fused kernels before
+/// executing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StateVectorBackend;
+
+impl StateVectorBackend {
+    fn state(&self, circuit: &Circuit, params: &[f64], features: &[f64]) -> StateVector {
+        Program::compile(circuit).run(params, features)
+    }
+}
+
+impl Backend for StateVectorBackend {
+    fn name(&self) -> &'static str {
+        "statevector"
+    }
+
+    fn run(&self, circuit: &Circuit, params: &[f64], features: &[f64]) -> Vec<f64> {
+        assert!(!circuit.measured().is_empty(), "circuit measures no qubits");
+        self.state(circuit, params, features)
+            .marginal_probabilities(circuit.measured())
+    }
+
+    fn expectations(&self, circuit: &Circuit, params: &[f64], features: &[f64]) -> Vec<f64> {
+        let psi = self.state(circuit, params, features);
+        circuit
+            .measured()
+            .iter()
+            .map(|&q| psi.expectation_z(q))
+            .collect()
+    }
+}
+
+/// Exact noisy simulation via the density-matrix engine: every channel is
+/// applied in full, no sampling error. Exponentially more expensive than
+/// trajectories but the ground truth they converge to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrixBackend {
+    /// Channel description matched to the circuit this backend will run.
+    pub noise: CircuitNoise,
+}
+
+impl Backend for DensityMatrixBackend {
+    fn name(&self) -> &'static str {
+        "density_matrix"
+    }
+
+    fn run(&self, circuit: &Circuit, params: &[f64], features: &[f64]) -> Vec<f64> {
+        DensityMatrix::run_noisy(circuit, params, features, &self.noise)
+    }
+}
+
+/// Monte-Carlo noisy simulation: averages `trajectories` stochastic runs.
+/// Deterministic per `seed`; distinct seeds give independent estimates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryBackend {
+    /// Channel description matched to the circuit this backend will run.
+    pub noise: CircuitNoise,
+    /// Trajectories averaged per `run` call.
+    pub trajectories: usize,
+    /// Seed for the trajectory sampler.
+    pub seed: u64,
+}
+
+impl Backend for TrajectoryBackend {
+    fn name(&self) -> &'static str {
+        "trajectory"
+    }
+
+    fn run(&self, circuit: &Circuit, params: &[f64], features: &[f64]) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        noisy_distribution(
+            circuit,
+            params,
+            features,
+            &self.noise,
+            self.trajectories,
+            &mut rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_circuit::{Gate, ParamExpr};
+
+    fn bell_plus_rotation() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Ry, &[1], &[ParamExpr::trainable(0)]);
+        c.set_measured(vec![0, 1]);
+        c
+    }
+
+    fn noiseless(circuit: &Circuit) -> CircuitNoise {
+        let arities: Vec<usize> =
+            circuit.instructions().iter().map(|i| i.qubits.len()).collect();
+        CircuitNoise::noiseless(&arities, circuit.measured().len())
+    }
+
+    #[test]
+    fn all_backends_agree_without_noise() {
+        let c = bell_plus_rotation();
+        let params = [0.3];
+        let sv = StateVectorBackend.run(&c, &params, &[]);
+        let dm = DensityMatrixBackend { noise: noiseless(&c) }.run(&c, &params, &[]);
+        let tr = TrajectoryBackend {
+            noise: noiseless(&c),
+            trajectories: 3,
+            seed: 0,
+        }
+        .run(&c, &params, &[]);
+        for ((a, b), t) in sv.iter().zip(&dm).zip(&tr) {
+            assert!((a - b).abs() < 1e-10, "sv {a} vs dm {b}");
+            assert!((a - t).abs() < 1e-10, "sv {a} vs trajectory {t}");
+        }
+    }
+
+    #[test]
+    fn default_expectations_match_statevector_override() {
+        let c = bell_plus_rotation();
+        let params = [0.9];
+        let exact = StateVectorBackend.expectations(&c, &params, &[]);
+        let via_dist = expectations_from_distribution(
+            &StateVectorBackend.run(&c, &params, &[]),
+            c.measured().len(),
+        );
+        for (a, b) in exact.iter().zip(&via_dist) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backends_are_object_safe_and_deterministic() {
+        let c = bell_plus_rotation();
+        let tr = TrajectoryBackend {
+            noise: noiseless(&c),
+            trajectories: 2,
+            seed: 7,
+        };
+        let backends: Vec<&dyn Backend> = vec![&StateVectorBackend, &tr];
+        for b in backends {
+            let counts_a = b.sample_counts(&c, &[0.2], &[], 256, 11);
+            let counts_b = b.sample_counts(&c, &[0.2], &[], 256, 11);
+            assert_eq!(counts_a, counts_b, "backend {}", b.name());
+            assert_eq!(counts_a.iter().sum::<u64>(), 256);
+        }
+    }
+
+    #[test]
+    fn noisy_backends_flatten_the_distribution() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::X, &[0], &[]);
+        c.set_measured(vec![0]);
+        let arities = vec![1];
+        let heavy = CircuitNoise::uniform(&arities, 1, 0.3, 0.0, 0.2);
+        let clean = StateVectorBackend.run(&c, &[], &[]);
+        let noisy = DensityMatrixBackend { noise: heavy }.run(&c, &[], &[]);
+        // The clean circuit puts everything on |1>; noise leaks back.
+        assert!(clean[1] > 0.999);
+        assert!(noisy[1] < clean[1]);
+        assert!(noisy[0] > 0.05);
+    }
+}

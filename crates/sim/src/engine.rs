@@ -1,0 +1,834 @@
+//! Batched gate-fusion execution engine.
+//!
+//! Every hot path in the Elivagar reproduction — RepCap's randomized
+//! measurements, CNR's shot sampling, and minibatch training — executes the
+//! *same circuit structure* over many `(params, features)` pairs. This
+//! module exploits that by splitting execution into three phases:
+//!
+//! 1. **Compile** ([`Program::compile`]): the circuit's instruction stream
+//!    is classified once. Gates whose angles are compile-time constants are
+//!    resolved to concrete unitaries and *fused* — runs of adjacent
+//!    single-qubit unitaries fold into one [`Mat2`]; single-qubit unitaries
+//!    are absorbed into a neighboring two-qubit [`Mat4`] where legal;
+//!    adjacent two-qubit unitaries on the same qubit pair merge. Parametric
+//!    gates keep their symbolic [`ParamExpr`] slots so no per-gate
+//!    source-matching happens at run time.
+//! 2. **Bind** ([`Program::bind`]): trainable parameters are substituted,
+//!    turning trainable-only gates into constants, and the program re-fuses.
+//!    RepCap runs one `bind` per parameter initialization and then executes
+//!    the bound program over every sample — exactly the shared-θ /
+//!    varying-x structure of Eq. 4.
+//! 3. **Execute** ([`BoundProgram::run_batch`] and friends): the fused
+//!    program runs over a whole batch of feature vectors, parallelized
+//!    across samples via [`crate::parallel::par_map`] (order-preserving, so
+//!    batched results are bit-for-bit identical to sequential execution),
+//!    and across amplitude blocks for large single states.
+//!
+//! Fused execution is exact: amplitudes agree with gate-by-gate
+//! [`StateVector::run`] to well below 1e-10 (see the crate tests and
+//! `tests/properties.rs`).
+
+use crate::parallel::{par_apply_blocks, par_map};
+use crate::statevector::StateVector;
+use elivagar_circuit::math::{C64, Mat2, Mat4};
+use elivagar_circuit::{Circuit, Gate, ParamExpr};
+
+/// Minimum qubit count at which single-state execution splits amplitude
+/// blocks across threads. Below this, per-op thread scoping costs more
+/// than the arithmetic it parallelizes.
+pub const AMPLITUDE_PAR_MIN_QUBITS: usize = 16;
+
+/// Tolerance used to drop fused unitaries that collapsed to the identity.
+const IDENTITY_TOL: f64 = 1e-14;
+
+/// One executable operation of a compiled program.
+#[derive(Clone, Debug)]
+enum Op {
+    /// A fused static single-qubit unitary.
+    One { q: usize, m: Mat2 },
+    /// A fused static two-qubit unitary; `qa` is the low subspace bit.
+    Two { qa: usize, qb: usize, m: Mat4 },
+    /// A parametric single-qubit gate with unresolved angle slots.
+    Dyn1 {
+        q: usize,
+        gate: Gate,
+        params: Vec<ParamExpr>,
+    },
+    /// A parametric two-qubit gate with unresolved angle slots.
+    Dyn2 {
+        qa: usize,
+        qb: usize,
+        gate: Gate,
+        params: Vec<ParamExpr>,
+    },
+}
+
+/// Embeds a single-qubit unitary acting on the *low* subspace bit into the
+/// two-qubit basis (`index = bit_qa + 2*bit_qb`; `Mat4::kron(a, b)` places
+/// `a` on the high bit).
+fn expand_low(u: &Mat2) -> Mat4 {
+    Mat4::kron(&Mat2::identity(), u)
+}
+
+/// Embeds a single-qubit unitary acting on the *high* subspace bit.
+fn expand_high(u: &Mat2) -> Mat4 {
+    Mat4::kron(u, &Mat2::identity())
+}
+
+/// Reorders a two-qubit unitary expressed on operands `(b, a)` into the
+/// `(a, b)` operand convention by conjugating with SWAP (indices 1 and 2
+/// exchange).
+fn swap_operands(m: &Mat4) -> Mat4 {
+    const PERM: [usize; 4] = [0, 2, 1, 3];
+    let mut out = [[C64::ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = m.0[PERM[i]][PERM[j]];
+        }
+    }
+    Mat4(out)
+}
+
+/// Fusion input: one instruction either resolved to a static unitary or
+/// kept symbolic.
+enum Item {
+    Static1(usize, Mat2),
+    Static2(usize, usize, Mat4),
+    Dyn1(usize, Gate, Vec<ParamExpr>),
+    Dyn2(usize, usize, Gate, Vec<ParamExpr>),
+}
+
+/// Folds a classified instruction stream into fused ops.
+///
+/// Invariants maintained:
+/// - `pending[q]` holds the product of static single-qubit unitaries seen
+///   on `q` since the last op emitted on `q` (applied earliest-first, so
+///   the stored matrix is `latest * ... * earliest`).
+/// - A static two-qubit unitary absorbs both operands' pending matrices
+///   (which act *before* it) and merges with an immediately preceding
+///   static two-qubit op on the same pair.
+/// - Dynamic gates are barriers: pending matrices on their operands flush
+///   first, preserving program order exactly.
+fn fuse(num_qubits: usize, items: Vec<Item>) -> Vec<Op> {
+    let mut ops: Vec<Op> = Vec::new();
+    let mut pending: Vec<Option<Mat2>> = vec![None; num_qubits];
+
+    fn flush(ops: &mut Vec<Op>, pending: &mut [Option<Mat2>], q: usize) {
+        if let Some(m) = pending[q].take() {
+            if !m.approx_eq(&Mat2::identity(), IDENTITY_TOL) {
+                ops.push(Op::One { q, m });
+            }
+        }
+    }
+
+    for item in items {
+        match item {
+            Item::Static1(q, m) => {
+                pending[q] = Some(match pending[q].take() {
+                    Some(prev) => m.matmul(&prev),
+                    None => m,
+                });
+            }
+            Item::Static2(qa, qb, m) => {
+                let mut fused = m;
+                if let Some(u) = pending[qa].take() {
+                    fused = fused.matmul(&expand_low(&u));
+                }
+                if let Some(u) = pending[qb].take() {
+                    fused = fused.matmul(&expand_high(&u));
+                }
+                // Merge with a directly preceding static op on this pair.
+                if let Some(Op::Two {
+                    qa: pa,
+                    qb: pb,
+                    m: pm,
+                }) = ops.last()
+                {
+                    if (*pa, *pb) == (qa, qb) {
+                        fused = fused.matmul(pm);
+                        ops.pop();
+                    } else if (*pa, *pb) == (qb, qa) {
+                        fused = fused.matmul(&swap_operands(pm));
+                        ops.pop();
+                    }
+                }
+                if !fused.approx_eq(&Mat4::identity(), IDENTITY_TOL) {
+                    ops.push(Op::Two { qa, qb, m: fused });
+                }
+            }
+            Item::Dyn1(q, gate, params) => {
+                flush(&mut ops, &mut pending, q);
+                ops.push(Op::Dyn1 { q, gate, params });
+            }
+            Item::Dyn2(qa, qb, gate, params) => {
+                flush(&mut ops, &mut pending, qa);
+                flush(&mut ops, &mut pending, qb);
+                ops.push(Op::Dyn2 {
+                    qa,
+                    qb,
+                    gate,
+                    params,
+                });
+            }
+        }
+    }
+    for q in 0..num_qubits {
+        flush(&mut ops, &mut pending, q);
+    }
+    ops
+}
+
+/// A circuit compiled into fused kernels, with parametric slots still
+/// symbolic. Built once per circuit; see the module docs for the pipeline.
+#[derive(Clone, Debug)]
+pub struct Program {
+    num_qubits: usize,
+    amplitude_embedding: bool,
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// Compiles a circuit: constant-angle gates become static unitaries and
+    /// fuse; trainable/data-dependent gates stay symbolic.
+    pub fn compile(circuit: &Circuit) -> Program {
+        let items = circuit
+            .instructions()
+            .iter()
+            .map(|ins| {
+                let constants: Option<Vec<f64>> =
+                    ins.params.iter().map(|p| p.as_constant()).collect();
+                match constants {
+                    Some(values) if ins.gate.num_qubits() == 1 => {
+                        Item::Static1(ins.qubits[0], ins.gate.matrix1(&values))
+                    }
+                    Some(values) => {
+                        Item::Static2(ins.qubits[0], ins.qubits[1], ins.gate.matrix2(&values))
+                    }
+                    None if ins.gate.num_qubits() == 1 => {
+                        Item::Dyn1(ins.qubits[0], ins.gate, ins.params.clone())
+                    }
+                    None => Item::Dyn2(
+                        ins.qubits[0],
+                        ins.qubits[1],
+                        ins.gate,
+                        ins.params.clone(),
+                    ),
+                }
+            })
+            .collect();
+        Program {
+            num_qubits: circuit.num_qubits(),
+            amplitude_embedding: circuit.amplitude_embedding(),
+            ops: fuse(circuit.num_qubits(), items),
+        }
+    }
+
+    /// Substitutes trainable parameters and re-fuses: gates that depended
+    /// only on `params` (or constants) become static kernels; gates reading
+    /// input features stay symbolic. The returned program is what batch
+    /// consumers execute once per sample.
+    pub fn bind(&self, params: &[f64]) -> BoundProgram {
+        let items = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::One { q, m } => Item::Static1(*q, *m),
+                Op::Two { qa, qb, m } => Item::Static2(*qa, *qb, *m),
+                Op::Dyn1 { q, gate, params: p } => {
+                    if p.iter().any(|e| e.is_data()) {
+                        Item::Dyn1(*q, *gate, p.clone())
+                    } else {
+                        let values: Vec<f64> =
+                            p.iter().map(|e| e.resolve(params, &[])).collect();
+                        Item::Static1(*q, gate.matrix1(&values))
+                    }
+                }
+                Op::Dyn2 {
+                    qa,
+                    qb,
+                    gate,
+                    params: p,
+                } => {
+                    if p.iter().any(|e| e.is_data()) {
+                        Item::Dyn2(*qa, *qb, *gate, p.clone())
+                    } else {
+                        let values: Vec<f64> =
+                            p.iter().map(|e| e.resolve(params, &[])).collect();
+                        Item::Static2(*qa, *qb, gate.matrix2(&values))
+                    }
+                }
+            })
+            .collect();
+        BoundProgram {
+            program: Program {
+                num_qubits: self.num_qubits,
+                amplitude_embedding: self.amplitude_embedding,
+                ops: fuse(self.num_qubits, items),
+            },
+            params: params.to_vec(),
+        }
+    }
+
+    /// Number of fused operations (for introspection and tests).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of qubits the program acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Executes the program for one `(params, features)` pair.
+    pub fn run(&self, params: &[f64], features: &[f64]) -> StateVector {
+        let mut psi = self.initial_state(features);
+        self.apply(&mut psi, params, features);
+        psi
+    }
+
+    /// Executes the program over a batch of feature vectors sharing one
+    /// parameter vector, parallelized across samples. Order-preserving:
+    /// `run_batch(p, xs)[i] == run(p, &xs[i])` bit-for-bit.
+    pub fn run_batch(&self, params: &[f64], features_batch: &[Vec<f64>]) -> Vec<StateVector> {
+        par_map(features_batch, |features| self.run(params, features))
+    }
+
+    fn initial_state(&self, features: &[f64]) -> StateVector {
+        if self.amplitude_embedding {
+            StateVector::amplitude_embedded(self.num_qubits, features)
+        } else {
+            StateVector::zero(self.num_qubits)
+        }
+    }
+
+    /// Applies all fused ops to `psi` in place.
+    ///
+    /// Programs still holding dynamic gates get a final fusion pass now
+    /// that every angle is known, so e.g. feature-embedding rotations are
+    /// absorbed into the entangling kernels instead of executing as
+    /// standalone barrier ops. The pass costs one 4x4 matrix product per
+    /// absorbed gate — negligible next to a kernel sweep over 2^n
+    /// amplitudes — and fully static programs skip it.
+    fn apply(&self, psi: &mut StateVector, params: &[f64], features: &[f64]) {
+        let parallel_amps = self.num_qubits >= AMPLITUDE_PAR_MIN_QUBITS;
+        let has_dynamic = self
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::Dyn1 { .. } | Op::Dyn2 { .. }));
+        if !has_dynamic {
+            for op in &self.ops {
+                apply_static_op(psi, op, parallel_amps);
+            }
+            return;
+        }
+        let items = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::One { q, m } => Item::Static1(*q, *m),
+                Op::Two { qa, qb, m } => Item::Static2(*qa, *qb, *m),
+                Op::Dyn1 { q, gate, params: p } => {
+                    let values = resolve_values(p, params, features);
+                    Item::Static1(*q, gate.matrix1(&values[..p.len()]))
+                }
+                Op::Dyn2 {
+                    qa,
+                    qb,
+                    gate,
+                    params: p,
+                } => {
+                    let values = resolve_values(p, params, features);
+                    Item::Static2(*qa, *qb, gate.matrix2(&values[..p.len()]))
+                }
+            })
+            .collect();
+        for op in fuse(self.num_qubits, items) {
+            apply_static_op(psi, &op, parallel_amps);
+        }
+    }
+}
+
+/// A [`Program`] with trainable parameters bound and re-fused; executes
+/// over feature vectors only.
+#[derive(Clone, Debug)]
+pub struct BoundProgram {
+    program: Program,
+    params: Vec<f64>,
+}
+
+impl BoundProgram {
+    /// Executes the bound program for one feature vector.
+    pub fn run(&self, features: &[f64]) -> StateVector {
+        self.program.run(&self.params, features)
+    }
+
+    /// Executes the bound program over a batch of feature vectors,
+    /// parallelized across samples (order-preserving).
+    pub fn run_batch(&self, features_batch: &[Vec<f64>]) -> Vec<StateVector> {
+        par_map(features_batch, |features| self.run(features))
+    }
+
+    /// Executes over a batch and post-processes each final state in the
+    /// worker that produced it, avoiding materializing every state vector.
+    /// `post` receives the sample index and its final state; results come
+    /// back in batch order.
+    pub fn run_batch_with<T, F>(&self, features_batch: &[Vec<f64>], post: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, StateVector) -> T + Sync,
+    {
+        let indexed: Vec<usize> = (0..features_batch.len()).collect();
+        par_map(&indexed, |&i| post(i, self.run(&features_batch[i])))
+    }
+
+    /// Number of fused operations after binding.
+    pub fn num_ops(&self) -> usize {
+        self.program.num_ops()
+    }
+
+    /// Number of qubits the program acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.program.num_qubits()
+    }
+}
+
+/// Resolves up to three angle slots into a stack buffer (no gate takes
+/// more than three parameters, so dynamic ops never heap-allocate).
+#[inline]
+fn resolve_values(exprs: &[ParamExpr], params: &[f64], features: &[f64]) -> [f64; 3] {
+    debug_assert!(exprs.len() <= 3, "gates take at most 3 parameters");
+    let mut values = [0.0; 3];
+    for (slot, e) in values.iter_mut().zip(exprs) {
+        *slot = e.resolve(params, features);
+    }
+    values
+}
+
+/// Applies one fully static op to the state. Dynamic ops are resolved
+/// before this point (see [`Program::apply`]).
+fn apply_static_op(psi: &mut StateVector, op: &Op, parallel_amps: bool) {
+    match op {
+        Op::One { q, m } => apply_mat1_state(psi, *q, m, parallel_amps),
+        Op::Two { qa, qb, m } => apply_mat2_state(psi, *qa, *qb, m, parallel_amps),
+        Op::Dyn1 { .. } | Op::Dyn2 { .. } => {
+            unreachable!("dynamic ops are resolved before application")
+        }
+    }
+}
+
+// ---- fused kernel application ----------------------------------------------
+//
+// The engine owns its amplitude kernels instead of reusing
+// `StateVector::apply_mat1/apply_mat2`: fused programs are dominated by
+// dense `Mat4` applications, so the two-qubit kernel enumerates exactly the
+// 2^(n-2) butterfly bases via bit insertion (no scan-and-filter over all
+// 2^n indices) and unrolls the 4x4 multiply.
+
+/// AVX2+FMA butterfly kernels, used on x86-64 hosts that report the
+/// feature set at runtime (scalar fallback otherwise).
+///
+/// Amplitudes are processed two at a time per 256-bit lane: `C64` is
+/// `#[repr(C)]`, so a `[C64]` run is an interleaved `[re, im, re, im]`
+/// `f64` stream. A complex scale by a broadcast matrix entry `(mr, mi)`
+/// is `fmaddsub(mr, a, mi * swap(a))` — even lanes subtract (real part),
+/// odd lanes add (imaginary part). FMA contracts intermediate roundings,
+/// so SIMD results may differ from scalar at the last ulp; every
+/// equivalence test budgets far above that (1e-10), and batch/sequential
+/// determinism is unaffected because both run the same kernel.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::{swap_operands, C64};
+    use elivagar_circuit::math::{Mat2, Mat4};
+    use std::arch::x86_64::*;
+
+    /// Whether the running CPU supports the AVX2+FMA kernels.
+    #[inline]
+    pub fn available() -> bool {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+
+    /// Accumulates `(re + i*im) * a` onto `acc`, where `a` holds two
+    /// interleaved complex amplitudes and `sw` is `a` with real and
+    /// imaginary lanes swapped.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (see [`available`]).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn cmul_acc(acc: __m256d, re: __m256d, im: __m256d, a: __m256d, sw: __m256d) -> __m256d {
+        _mm256_add_pd(acc, _mm256_fmaddsub_pd(re, a, _mm256_mul_pd(im, sw)))
+    }
+
+    /// Single-qubit butterfly over interleaved amplitude runs. Requires
+    /// `q >= 1` (so each run holds an even number of amplitudes) and
+    /// `amps.len()` a multiple of `2^(q+1)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (see [`available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn apply_mat1_slice(amps: &mut [C64], q: usize, m: &Mat2) {
+        let re = [
+            [_mm256_set1_pd(m.0[0][0].re), _mm256_set1_pd(m.0[0][1].re)],
+            [_mm256_set1_pd(m.0[1][0].re), _mm256_set1_pd(m.0[1][1].re)],
+        ];
+        let im = [
+            [_mm256_set1_pd(m.0[0][0].im), _mm256_set1_pd(m.0[0][1].im)],
+            [_mm256_set1_pd(m.0[1][0].im), _mm256_set1_pd(m.0[1][1].im)],
+        ];
+        let stride = 1usize << q;
+        for block in amps.chunks_exact_mut(stride << 1) {
+            let (clear, set) = block.split_at_mut(stride);
+            let pc = clear.as_mut_ptr().cast::<f64>();
+            let ps = set.as_mut_ptr().cast::<f64>();
+            for k in (0..stride << 1).step_by(4) {
+                let a0 = _mm256_loadu_pd(pc.add(k));
+                let a1 = _mm256_loadu_pd(ps.add(k));
+                let s0 = _mm256_permute_pd(a0, 0b0101);
+                let s1 = _mm256_permute_pd(a1, 0b0101);
+                let zero = _mm256_setzero_pd();
+                let r0 = cmul_acc(cmul_acc(zero, re[0][0], im[0][0], a0, s0), re[0][1], im[0][1], a1, s1);
+                let r1 = cmul_acc(cmul_acc(zero, re[1][0], im[1][0], a0, s0), re[1][1], im[1][1], a1, s1);
+                _mm256_storeu_pd(pc.add(k), r0);
+                _mm256_storeu_pd(ps.add(k), r1);
+            }
+        }
+    }
+
+    /// Two-qubit butterfly over the four amplitude quadrants. Requires
+    /// `min(qa, qb) >= 1` (even-length quadrant runs) and `amps.len()` a
+    /// multiple of `2^(max(qa,qb)+1)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (see [`available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn apply_mat2_slice(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
+        let (lo, hi) = if qa < qb { (qa, qb) } else { (qb, qa) };
+        let normalized = if qa < qb { *m } else { swap_operands(m) };
+        let mut re = [[_mm256_setzero_pd(); 4]; 4];
+        let mut im = [[_mm256_setzero_pd(); 4]; 4];
+        for (i, (re_row, im_row)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+            for j in 0..4 {
+                re_row[j] = _mm256_set1_pd(normalized.0[i][j].re);
+                im_row[j] = _mm256_set1_pd(normalized.0[i][j].im);
+            }
+        }
+        let sl = 1usize << lo;
+        for block in amps.chunks_exact_mut(1usize << (hi + 1)) {
+            let (h0, h1) = block.split_at_mut(1usize << hi);
+            for (sub0, sub1) in h0.chunks_exact_mut(sl << 1).zip(h1.chunks_exact_mut(sl << 1)) {
+                let (q0, q1) = sub0.split_at_mut(sl);
+                let (q2, q3) = sub1.split_at_mut(sl);
+                let p = [
+                    q0.as_mut_ptr().cast::<f64>(),
+                    q1.as_mut_ptr().cast::<f64>(),
+                    q2.as_mut_ptr().cast::<f64>(),
+                    q3.as_mut_ptr().cast::<f64>(),
+                ];
+                for k in (0..sl << 1).step_by(4) {
+                    let a = [
+                        _mm256_loadu_pd(p[0].add(k)),
+                        _mm256_loadu_pd(p[1].add(k)),
+                        _mm256_loadu_pd(p[2].add(k)),
+                        _mm256_loadu_pd(p[3].add(k)),
+                    ];
+                    let s = [
+                        _mm256_permute_pd(a[0], 0b0101),
+                        _mm256_permute_pd(a[1], 0b0101),
+                        _mm256_permute_pd(a[2], 0b0101),
+                        _mm256_permute_pd(a[3], 0b0101),
+                    ];
+                    for row in 0..4 {
+                        let mut acc = _mm256_setzero_pd();
+                        for col in 0..4 {
+                            acc = cmul_acc(acc, re[row][col], im[row][col], a[col], s[col]);
+                        }
+                        _mm256_storeu_pd(p[row].add(k), acc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies a single-qubit unitary to a slice whose length is a multiple of
+/// `2^(q+1)` (a whole state or an independent block of one). The slice is
+/// walked through `chunks_exact_mut`/`split_at_mut` pairs so the inner
+/// butterfly carries no bounds checks.
+fn apply_mat1_slice(amps: &mut [C64], q: usize, m: &Mat2) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if q >= 1 && simd::available() {
+            // SAFETY: `available()` confirmed AVX2+FMA at runtime and
+            // `q >= 1` satisfies the kernel's alignment contract.
+            unsafe { simd::apply_mat1_slice(amps, q, m) };
+            return;
+        }
+    }
+    apply_mat1_slice_scalar(amps, q, m);
+}
+
+fn apply_mat1_slice_scalar(amps: &mut [C64], q: usize, m: &Mat2) {
+    let stride = 1usize << q;
+    let [[m00, m01], [m10, m11]] = m.0;
+    for block in amps.chunks_exact_mut(stride << 1) {
+        let (clear, set) = block.split_at_mut(stride);
+        for (c, s) in clear.iter_mut().zip(set.iter_mut()) {
+            let a0 = *c;
+            let a1 = *s;
+            *c = m00 * a0 + m01 * a1;
+            *s = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+/// Applies a two-qubit unitary (`qa` the low subspace bit) to a slice
+/// whose length is a multiple of `2^(max(qa,qb)+1)`.
+///
+/// The operand order is normalized once (conjugation by SWAP) so the
+/// butterfly always sees the lower wire as the low subspace bit, and the
+/// four amplitude quadrants are traversed as zipped sub-slices: exactly
+/// the `2^(n-2)` butterflies execute, with no index filtering and no
+/// bounds checks in the inner loop.
+fn apply_mat2_slice(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if qa.min(qb) >= 1 && simd::available() {
+            // SAFETY: `available()` confirmed AVX2+FMA at runtime and
+            // `min(qa, qb) >= 1` satisfies the kernel's contract.
+            unsafe { simd::apply_mat2_slice(amps, qa, qb, m) };
+            return;
+        }
+    }
+    apply_mat2_slice_scalar(amps, qa, qb, m);
+}
+
+fn apply_mat2_slice_scalar(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
+    let (lo, hi) = if qa < qb { (qa, qb) } else { (qb, qa) };
+    let normalized = if qa < qb { *m } else { swap_operands(m) };
+    let [[m00, m01, m02, m03], [m10, m11, m12, m13], [m20, m21, m22, m23], [m30, m31, m32, m33]] =
+        normalized.0;
+    let sl = 1usize << lo;
+    for block in amps.chunks_exact_mut(1usize << (hi + 1)) {
+        let (h0, h1) = block.split_at_mut(1usize << hi);
+        for (sub0, sub1) in h0.chunks_exact_mut(sl << 1).zip(h1.chunks_exact_mut(sl << 1)) {
+            // Quadrants indexed as bit_lo + 2*bit_hi.
+            let (q0, q1) = sub0.split_at_mut(sl);
+            let (q2, q3) = sub1.split_at_mut(sl);
+            let quads = q0.iter_mut().zip(q1.iter_mut()).zip(q2.iter_mut().zip(q3.iter_mut()));
+            for ((p0, p1), (p2, p3)) in quads {
+                let (a0, a1, a2, a3) = (*p0, *p1, *p2, *p3);
+                *p0 = m00 * a0 + m01 * a1 + m02 * a2 + m03 * a3;
+                *p1 = m10 * a0 + m11 * a1 + m12 * a2 + m13 * a3;
+                *p2 = m20 * a0 + m21 * a1 + m22 * a2 + m23 * a3;
+                *p3 = m30 * a0 + m31 * a1 + m32 * a2 + m33 * a3;
+            }
+        }
+    }
+}
+
+/// Applies a single-qubit unitary, optionally splitting independent
+/// amplitude blocks (size `2^(q+1)`) across threads for large states.
+fn apply_mat1_state(psi: &mut StateVector, q: usize, m: &Mat2, parallel: bool) {
+    if !parallel {
+        apply_mat1_slice(psi.amps_mut(), q, m);
+        return;
+    }
+    let block = 1usize << (q + 1);
+    let m = *m;
+    par_apply_blocks(psi.amps_mut(), block, move |amps| {
+        apply_mat1_slice(amps, q, &m);
+    });
+}
+
+/// Applies a two-qubit unitary, optionally splitting independent amplitude
+/// blocks (size `2^(max(qa,qb)+1)`) across threads for large states.
+fn apply_mat2_state(psi: &mut StateVector, qa: usize, qb: usize, m: &Mat4, parallel: bool) {
+    if !parallel {
+        apply_mat2_slice(psi.amps_mut(), qa, qb, m);
+        return;
+    }
+    let block = 1usize << (qa.max(qb) + 1);
+    let m = *m;
+    par_apply_blocks(psi.amps_mut(), block, move |amps| {
+        apply_mat2_slice(amps, qa, qb, &m);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elivagar_circuit::Gate;
+    use std::f64::consts::PI;
+
+    fn assert_states_match(a: &StateVector, b: &StateVector, tol: f64) {
+        assert_eq!(a.num_qubits(), b.num_qubits());
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!(x.approx_eq(*y, tol), "amplitudes differ: {x:?} vs {y:?}");
+        }
+    }
+
+    fn mixed_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::T, &[0], &[]); // fuses with H
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::feature(0)]);
+        c.push_gate(Gate::S, &[1], &[]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]); // absorbs S on qubit 1
+        c.push_gate(Gate::Crz, &[1, 2], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Ry, &[2], &[ParamExpr::constant(0.4)]);
+        c.push_gate(Gate::Rz, &[2], &[ParamExpr::trainable(1)]);
+        c.set_measured(vec![0, 1, 2]);
+        c
+    }
+
+    #[test]
+    fn compiled_program_matches_gate_by_gate_run() {
+        let c = mixed_circuit();
+        let params = [0.7, -1.1];
+        let features = [0.3];
+        let reference = StateVector::run(&c, &params, &features);
+        let program = Program::compile(&c);
+        assert_states_match(&program.run(&params, &features), &reference, 1e-12);
+    }
+
+    #[test]
+    fn bound_program_matches_gate_by_gate_run() {
+        let c = mixed_circuit();
+        let params = [0.7, -1.1];
+        let features = [0.3];
+        let reference = StateVector::run(&c, &params, &features);
+        let bound = Program::compile(&c).bind(&params);
+        assert_states_match(&bound.run(&features), &reference, 1e-12);
+    }
+
+    #[test]
+    fn binding_fuses_trainable_gates() {
+        let c = mixed_circuit();
+        let program = Program::compile(&c);
+        let bound = program.bind(&[0.7, -1.1]);
+        // After binding, only the feature-dependent RX stays dynamic, so
+        // the op count shrinks.
+        assert!(bound.num_ops() < program.num_ops());
+    }
+
+    #[test]
+    fn static_single_qubit_gates_fuse_to_one_op() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::T, &[0], &[]);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::constant(0.9)]);
+        let program = Program::compile(&c);
+        assert_eq!(program.num_ops(), 1);
+        assert_states_match(
+            &program.run(&[], &[]),
+            &StateVector::run(&c, &[], &[]),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn inverse_pair_fuses_away() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::H, &[0], &[]);
+        assert_eq!(Program::compile(&c).num_ops(), 0);
+    }
+
+    #[test]
+    fn two_qubit_absorption_handles_both_operand_orders() {
+        for order in [[0usize, 1], [1, 0]] {
+            let mut c = Circuit::new(2);
+            c.push_gate(Gate::H, &[order[0]], &[]);
+            c.push_gate(Gate::Sx, &[order[1]], &[]);
+            c.push_gate(Gate::Cx, &[order[0], order[1]], &[]);
+            c.push_gate(Gate::Cz, &[order[1], order[0]], &[]); // merges, swapped
+            let program = Program::compile(&c);
+            assert_eq!(program.num_ops(), 1, "order {order:?}");
+            assert_states_match(
+                &program.run(&[], &[]),
+                &StateVector::run(&c, &[], &[]),
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn amplitude_embedding_is_preserved() {
+        let mut c = Circuit::new(2);
+        c.set_amplitude_embedding(true);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        let features = [0.6, 0.8, 0.0, 0.1];
+        let program = Program::compile(&c);
+        assert_states_match(
+            &program.run(&[0.5], &features),
+            &StateVector::run(&c, &[0.5], &features),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_sequential() {
+        let c = mixed_circuit();
+        let params = [0.2, 0.9];
+        let batch: Vec<Vec<f64>> = (0..17).map(|i| vec![0.1 * i as f64]).collect();
+        let bound = Program::compile(&c).bind(&params);
+        let batched = bound.run_batch(&batch);
+        for (x, psi) in batch.iter().zip(&batched) {
+            assert_eq!(psi, &bound.run(x), "batched result must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn run_batch_with_post_processes_in_order() {
+        let c = mixed_circuit();
+        let bound = Program::compile(&c).bind(&[0.2, 0.9]);
+        let batch: Vec<Vec<f64>> = (0..9).map(|i| vec![0.2 * i as f64]).collect();
+        let indices = bound.run_batch_with(&batch, |i, _psi| i);
+        assert_eq!(indices, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_amplitude_kernels_match_serial() {
+        // Force the amplitude-parallel path on a small state and compare.
+        let mut psi_par = StateVector::zero(4);
+        let mut psi_ser = StateVector::zero(4);
+        let h = Gate::H.matrix1(&[]);
+        let cx = Gate::Cx.matrix2(&[]);
+        for q in 0..4 {
+            apply_mat1_state(&mut psi_par, q, &h, true);
+            apply_mat1_state(&mut psi_ser, q, &h, false);
+        }
+        apply_mat2_state(&mut psi_par, 1, 3, &cx, true);
+        apply_mat2_state(&mut psi_ser, 1, 3, &cx, false);
+        apply_mat2_state(&mut psi_par, 2, 0, &cx, true);
+        apply_mat2_state(&mut psi_ser, 2, 0, &cx, false);
+        assert_eq!(psi_par, psi_ser);
+    }
+
+    #[test]
+    fn dynamic_gates_keep_program_order() {
+        // A static gate after a dynamic gate on the same qubit must not be
+        // hoisted across it.
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::T, &[0], &[]);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::H, &[0], &[]);
+        let program = Program::compile(&c);
+        let reference = StateVector::run(&c, &[1.3], &[]);
+        assert_states_match(&program.run(&[1.3], &[]), &reference, 1e-12);
+    }
+
+    #[test]
+    fn rotation_angle_pi_matches(){
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::constant(PI)]);
+        c.push_gate(Gate::Rzz, &[0, 1], &[ParamExpr::constant(-PI / 3.0)]);
+        let program = Program::compile(&c);
+        assert_states_match(
+            &program.run(&[], &[]),
+            &StateVector::run(&c, &[], &[]),
+            1e-12,
+        );
+    }
+}

@@ -10,7 +10,44 @@
 //! * [`noise`] — Pauli / damping / readout channel descriptions;
 //! * [`trajectory`] — Monte-Carlo noisy execution for both engines;
 //! * [`density`] — exact density-matrix simulation, the ground truth the
-//!   trajectory engine is validated against.
+//!   trajectory engine is validated against;
+//! * [`engine`] — the batched gate-fusion execution engine: compile a
+//!   circuit once into fused kernels ([`Program::compile`]), bind a
+//!   parameter vector ([`Program::bind`]), then execute whole batches of
+//!   feature vectors ([`BoundProgram::run_batch`]);
+//! * [`backend`] — the [`Backend`] trait, one `run` / `expectations` /
+//!   `sample_counts` surface over the state-vector, density-matrix, and
+//!   trajectory simulators.
+//!
+//! # The compile → fuse → batch-execute pipeline
+//!
+//! Search workloads (RepCap, CNR, training) execute one circuit over many
+//! `(parameters, features)` pairs. [`engine::Program`] exploits that shape
+//! in three phases:
+//!
+//! 1. **Compile** — classify each instruction once: constant-angle gates
+//!    become static unitaries and fuse; trainable or data-dependent gates
+//!    stay symbolic.
+//! 2. **Bind** — substitute a parameter vector; newly static gates re-fuse
+//!    (runs of single-qubit gates collapse to one 2x2, single-qubit gates
+//!    are absorbed into neighboring two-qubit kernels, adjacent two-qubit
+//!    gates on the same pair merge). Only feature-dependent gates remain
+//!    symbolic, and they too are resolved and fused per sample.
+//! 3. **Batch-execute** — run every feature vector through the fused
+//!    kernels, parallelized across samples (and across amplitude blocks
+//!    for large states). Results are bit-for-bit identical to running the
+//!    samples sequentially.
+//!
+//! # Migrating to the [`Backend`] trait
+//!
+//! Code that called `StateVector::run`, `DensityMatrix::run_noisy`, or
+//! `noisy_distribution` directly still works; the trait wraps those same
+//! engines behind one object-safe surface so callers can switch
+//! simulators (or accept `&dyn Backend`) without changing call sites:
+//! `StateVectorBackend.run(&circuit, &params, &features)` replaces
+//! `StateVector::run(&circuit, &params, &features)
+//!     .marginal_probabilities(circuit.measured())`, and hot loops should
+//! prefer the fused [`engine`] path.
 //!
 //! # Examples
 //!
@@ -28,8 +65,10 @@
 //! ```
 
 pub mod adjoint;
+pub mod backend;
 pub mod clifford;
 pub mod density;
+pub mod engine;
 pub mod noise;
 pub mod parallel;
 pub mod sampling;
@@ -38,10 +77,14 @@ pub mod statevector;
 pub mod trajectory;
 
 pub use adjoint::{adjoint_gradient, Gradients, ZObservable};
+pub use backend::{
+    Backend, DensityMatrixBackend, StateVectorBackend, TrajectoryBackend,
+};
+pub use engine::{BoundProgram, Program};
 pub use clifford::{lower_instruction, run_clifford, LowerCliffordError};
 pub use density::DensityMatrix;
 pub use noise::{CircuitNoise, DampingError, InstructionNoise, PauliError, ReadoutError};
 pub use sampling::{counts_to_distribution, fidelity, tvd};
 pub use stabilizer::{CliffordOp, Tableau};
-pub use statevector::StateVector;
+pub use statevector::{SimError, StateVector};
 pub use trajectory::{noisy_clifford_distribution, noisy_distribution};

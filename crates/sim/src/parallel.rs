@@ -35,6 +35,44 @@ where
     out.into_iter().map(|o| o.expect("worker filled slot")).collect()
 }
 
+/// Splits `data` into contiguous blocks of `block` elements and applies
+/// `f` to each, spreading blocks across all available cores.
+///
+/// The caller guarantees that applying `f` to each block independently is
+/// equivalent to applying it sequentially — true for gate application when
+/// `block` is a multiple of the gate's full butterfly span. Falls back to a
+/// sequential loop when there is nothing to gain from threads.
+pub fn par_apply_blocks<T, F>(data: &mut [T], block: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    debug_assert!(block > 0 && data.len().is_multiple_of(block));
+    let num_blocks = data.len() / block;
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(num_blocks.max(1));
+    if threads <= 1 || num_blocks < 2 {
+        for chunk in data.chunks_mut(block) {
+            f(chunk);
+        }
+        return;
+    }
+    // Hand each worker a run of whole blocks.
+    let blocks_per_thread = num_blocks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for span in data.chunks_mut(blocks_per_thread * block) {
+            let f = &f;
+            scope.spawn(move || {
+                for chunk in span.chunks_mut(block) {
+                    f(chunk);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +88,19 @@ mod tests {
     fn handles_empty_and_single() {
         assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
         assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn apply_blocks_touches_every_block_once() {
+        for num_blocks in [1usize, 2, 3, 16, 33] {
+            let block = 4;
+            let mut data = vec![0u32; num_blocks * block];
+            par_apply_blocks(&mut data, block, |chunk| {
+                for x in chunk {
+                    *x += 1;
+                }
+            });
+            assert!(data.iter().all(|&x| x == 1), "num_blocks {num_blocks}");
+        }
     }
 }

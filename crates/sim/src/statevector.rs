@@ -12,6 +12,49 @@ use rand::Rng;
 /// Maximum qubit count accepted by the dense engines (2^24 amplitudes).
 pub const MAX_DENSE_QUBITS: usize = 24;
 
+/// Why a state could not be constructed.
+///
+/// The panicking constructors ([`StateVector::from_amplitudes`],
+/// [`StateVector::amplitude_embedded`]) remain for call sites holding
+/// already-validated data; the `try_` variants return this instead so
+/// callers handling user-supplied amplitudes or features can recover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Amplitude vector length is not a power of two `>= 2`.
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// Amplitudes or features have (numerically) zero norm.
+    ZeroNorm,
+    /// Feature vector does not fit in the requested register.
+    TooManyFeatures {
+        /// Number of features supplied.
+        len: usize,
+        /// Qubits available to hold them.
+        num_qubits: usize,
+    },
+    /// No features were supplied to an amplitude embedding.
+    EmptyFeatures,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NotPowerOfTwo { len } => {
+                write!(f, "amplitude length {len} is not a power of two >= 2")
+            }
+            SimError::ZeroNorm => write!(f, "cannot normalize a zero-norm vector"),
+            SimError::TooManyFeatures { len, num_qubits } => {
+                write!(f, "{len} features exceed the 2^{num_qubits} amplitudes available")
+            }
+            SimError::EmptyFeatures => write!(f, "amplitude embedding needs features"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// A pure quantum state over `n` qubits.
 ///
 /// # Examples
@@ -52,22 +95,64 @@ impl StateVector {
 
     /// Builds a state from raw amplitudes, normalizing them.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the length is not a power of two or the vector has zero
-    /// norm.
-    pub fn from_amplitudes(mut amps: Vec<C64>) -> Self {
+    /// Returns [`SimError`] if the length is not a power of two or the
+    /// vector has zero norm.
+    pub fn try_from_amplitudes(mut amps: Vec<C64>) -> Result<Self, SimError> {
         let len = amps.len();
-        assert!(len.is_power_of_two() && len >= 2, "length must be a power of two >= 2");
+        if !len.is_power_of_two() || len < 2 {
+            return Err(SimError::NotPowerOfTwo { len });
+        }
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
-        assert!(norm > 1e-12, "cannot normalize a zero vector");
+        if norm <= 1e-12 {
+            return Err(SimError::ZeroNorm);
+        }
         for a in &mut amps {
             *a = a.scale(1.0 / norm);
         }
-        StateVector {
+        Ok(StateVector {
             num_qubits: len.trailing_zeros() as usize,
             amps,
+        })
+    }
+
+    /// Builds a state from raw amplitudes, normalizing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the vector has zero
+    /// norm. Use [`StateVector::try_from_amplitudes`] to recover instead.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        StateVector::try_from_amplitudes(amps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Amplitude-embeds a real feature vector: features are L2-normalized,
+    /// zero-padded to `2^num_qubits`, and loaded as amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if `features` is empty, all-zero, or longer
+    /// than `2^num_qubits`.
+    pub fn try_amplitude_embedded(num_qubits: usize, features: &[f64]) -> Result<Self, SimError> {
+        if features.is_empty() {
+            return Err(SimError::EmptyFeatures);
         }
+        let dim = 1usize << num_qubits;
+        if features.len() > dim {
+            return Err(SimError::TooManyFeatures { len: features.len(), num_qubits });
+        }
+        let mut amps = vec![C64::ZERO; dim];
+        for (a, &f) in amps.iter_mut().zip(features) {
+            *a = C64::real(f);
+        }
+        // Guard the all-zero case before normalizing (norm_sqr sums can
+        // underflow the normalizer's threshold for tiny features).
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        if norm <= 1e-24 {
+            return Err(SimError::ZeroNorm);
+        }
+        StateVector::try_from_amplitudes(amps)
     }
 
     /// Amplitude-embeds a real feature vector: features are L2-normalized,
@@ -76,19 +161,11 @@ impl StateVector {
     /// # Panics
     ///
     /// Panics if `features` is empty, all-zero, or longer than
-    /// `2^num_qubits`.
+    /// `2^num_qubits`. Use [`StateVector::try_amplitude_embedded`] to
+    /// recover instead.
     pub fn amplitude_embedded(num_qubits: usize, features: &[f64]) -> Self {
-        assert!(!features.is_empty(), "amplitude embedding needs features");
-        let dim = 1usize << num_qubits;
-        assert!(features.len() <= dim, "too many features for {num_qubits} qubits");
-        let mut amps = vec![C64::ZERO; dim];
-        for (a, &f) in amps.iter_mut().zip(features) {
-            *a = C64::real(f);
-        }
-        // Guard the all-zero case before normalizing.
-        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
-        assert!(norm > 1e-24, "amplitude embedding of a zero vector");
-        StateVector::from_amplitudes(amps)
+        StateVector::try_amplitude_embedded(num_qubits, features)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds a state from raw amplitudes *without* normalizing. Used for
@@ -106,6 +183,12 @@ impl StateVector {
     /// The raw amplitudes in little-endian basis order.
     pub fn amplitudes(&self) -> &[C64] {
         &self.amps
+    }
+
+    /// Mutable amplitude access for in-crate kernels (the fused engine
+    /// applies gates to amplitude blocks in parallel).
+    pub(crate) fn amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
     }
 
     /// Applies a single-qubit unitary to qubit `q`.
@@ -442,5 +525,42 @@ mod tests {
         assert!(psi.expectation_z(0).abs() < 1e-12);
         psi.apply_mat1(0, &Gate::H.matrix1(&[]));
         assert!((psi.expectation_z(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_constructors_report_typed_errors() {
+        assert_eq!(
+            StateVector::try_from_amplitudes(vec![C64::ONE; 3]).unwrap_err(),
+            SimError::NotPowerOfTwo { len: 3 }
+        );
+        assert_eq!(
+            StateVector::try_from_amplitudes(vec![C64::ZERO; 4]).unwrap_err(),
+            SimError::ZeroNorm
+        );
+        assert_eq!(
+            StateVector::try_amplitude_embedded(1, &[]).unwrap_err(),
+            SimError::EmptyFeatures
+        );
+        assert_eq!(
+            StateVector::try_amplitude_embedded(1, &[1.0, 0.0, 0.0]).unwrap_err(),
+            SimError::TooManyFeatures { len: 3, num_qubits: 1 }
+        );
+        assert_eq!(
+            StateVector::try_amplitude_embedded(2, &[0.0, 0.0]).unwrap_err(),
+            SimError::ZeroNorm
+        );
+    }
+
+    #[test]
+    fn try_constructors_agree_with_panicking_paths() {
+        let amps = vec![C64::real(3.0), C64::real(4.0)];
+        assert_eq!(
+            StateVector::try_from_amplitudes(amps.clone()).unwrap(),
+            StateVector::from_amplitudes(amps)
+        );
+        assert_eq!(
+            StateVector::try_amplitude_embedded(2, &[0.6, 0.8]).unwrap(),
+            StateVector::amplitude_embedded(2, &[0.6, 0.8])
+        );
     }
 }

@@ -24,9 +24,13 @@ fn main() {
         data.feature_dim()
     );
 
-    // Elivagar search (40-parameter budget, Table 2).
-    let mut config = SearchConfig::for_task(4, 40, data.feature_dim(), data.num_classes());
-    config.num_candidates = 20;
+    // Elivagar search (40-parameter budget, Table 2). Builders for the
+    // common knobs; CNR scored from 4096 finite shots per replica, as a
+    // hardware CNR measurement would be.
+    let mut config = SearchConfig::for_task(4, 40, data.feature_dim(), data.num_classes())
+        .with_candidates(20)
+        .with_shots(4096)
+        .with_seed(0);
     config.clifford_replicas = 16;
     config.repcap_param_inits = 8;
     config.repcap_samples_per_class = 8;

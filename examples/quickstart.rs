@@ -19,9 +19,11 @@ fn main() {
     println!("dataset: {} ({} train / {} test)", data.name(), data.train().len(), data.test().len());
 
     // 2. Search: 24 candidates, 16 trainable parameters, searched data
-    //    embeddings (paper defaults otherwise).
-    let mut config = SearchConfig::for_task(4, 16, data.feature_dim(), data.num_classes());
-    config.num_candidates = 24;
+    //    embeddings (paper defaults otherwise). Configure through the
+    //    builders; only knobs without a builder are set by field.
+    let mut config = SearchConfig::for_task(4, 16, data.feature_dim(), data.num_classes())
+        .with_candidates(24)
+        .with_seed(0);
     config.clifford_replicas = 16;
     config.repcap_param_inits = 8;
     config.repcap_samples_per_class = 8;

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, workspace tests, and the clippy
+# -D warnings lint. Every dependency is vendored in-repo (vendor/), so
+# this runs fully offline; CARGO_NET_OFFLINE makes any accidental
+# network fetch a hard error instead of a hang.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

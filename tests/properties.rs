@@ -5,7 +5,7 @@
 use elivagar_circuit::{Circuit, Gate, ParamExpr};
 use elivagar_compiler::{cancel_adjacent_inverses, decompose_to_basis, route, TwoQubitBasis};
 use elivagar_device::Topology;
-use elivagar_sim::{run_clifford, tvd, StateVector};
+use elivagar_sim::{run_clifford, tvd, Program, StateVector};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,6 +68,21 @@ proptest! {
         let dist = psi.marginal_probabilities(circuit.measured());
         prop_assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         prop_assert!(dist.iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn fused_program_matches_gate_by_gate_amplitudes(circuit in arb_circuit()) {
+        let params = params_for(&circuit);
+        let features = [0.7];
+        let reference = StateVector::run(&circuit, &params, &features);
+        let program = Program::compile(&circuit);
+        // Both the symbolic program and the parameter-bound (re-fused)
+        // program must reproduce the unfused amplitudes exactly.
+        for psi in [program.run(&params, &features), program.bind(&params).run(&features)] {
+            for (a, b) in psi.amplitudes().iter().zip(reference.amplitudes()) {
+                prop_assert!(a.approx_eq(*b, 1e-10), "fused {a:?} vs unfused {b:?}");
+            }
+        }
     }
 
     #[test]
@@ -174,6 +189,30 @@ proptest! {
         for ins in physical.instructions() {
             if ins.qubits.len() == 2 {
                 prop_assert!(device.topology().are_coupled(ins.qubits[0], ins.qubits[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_execution_is_exact_over_all_gateset_variants(seed in 0u64..1000) {
+        // Candidates drawn from every supported gate pool — including the
+        // searched-embedding and U3/controlled-rotation gates arb_circuit
+        // does not emit — must fuse without changing the amplitudes.
+        use elivagar::{generate_candidate, GateSet, SearchConfig};
+        let device = elivagar_device::devices::ibmq_kolkata();
+        for gateset in [GateSet::rxyz_cz(), GateSet::elivagar_default()] {
+            let mut config = SearchConfig::for_task(4, 10, 4, 2);
+            config.gateset = gateset;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cand = generate_candidate(&device, &config, &mut rng);
+            let params: Vec<f64> = (0..cand.circuit.num_trainable_params())
+                .map(|i| -1.1 + 0.37 * i as f64)
+                .collect();
+            let features = [0.4, -0.9, 1.7, 0.2];
+            let reference = StateVector::run(&cand.circuit, &params, &features);
+            let fused = Program::compile(&cand.circuit).bind(&params).run(&features);
+            for (a, b) in fused.amplitudes().iter().zip(reference.amplitudes()) {
+                prop_assert!(a.approx_eq(*b, 1e-10), "fused {a:?} vs unfused {b:?}");
             }
         }
     }

@@ -1,0 +1,223 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Provides the benchmarking surface this workspace's benches use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock harness: per benchmark it calibrates an iteration count to a
+//! target sample time, measures `sample_size` samples, and prints
+//! median/mean per-iteration times in criterion's familiar
+//! `time: [lo mid hi]` shape. No HTML reports, no statistical regression
+//! analysis; the printed medians are what the workspace's speedup
+//! assertions read.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Formats a per-iteration duration in adaptive units, criterion-style.
+fn fmt_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Measurement harness handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call, in nanoseconds.
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, storing its median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch size until one batch takes ≳2 ms, so
+        // timer resolution stays well below measurement noise.
+        let mut iters: u64 = 1;
+        let target = Duration::from_millis(2);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                ((target.as_nanos() as f64 / elapsed.as_nanos() as f64).ceil() as u64).clamp(2, 16)
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        // Measure.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.last_median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level benchmark driver (vendored stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size,
+        last_median_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let median = bencher.last_median_ns;
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        fmt_time(median * 0.98),
+        fmt_time(median),
+        fmt_time(median * 1.02),
+    );
+}
+
+/// A named collection of benchmarks sharing a `Criterion` configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark that receives an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in
+/// favor of `std::hint::black_box`, which the workspace already uses).
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); nothing to parse
+            // in the vendored harness.
+            $( $group(); )+
+        }
+    };
+}

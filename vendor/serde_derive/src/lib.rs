@@ -1,0 +1,378 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the workspace's
+//! serde subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the macro walks
+//! the raw [`TokenStream`] to recover the item's shape — named struct, tuple
+//! struct, or enum with unit/tuple variants (exactly the shapes this
+//! workspace derives on) — and emits impls of the vendored `serde::Serialize`
+//! / `serde::Deserialize` traits as generated source text.
+//!
+//! Conventions match upstream serde's external tagging: named structs become
+//! maps keyed by field name, tuple structs become sequences, unit enum
+//! variants become strings, and tuple variants become one-entry maps
+//! (`{"Variant": payload}`, payload unwrapped for single-field variants).
+//! Generics and `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    /// `struct Name { a: .., b: .. }` — field names in order.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(.., ..)` — field count.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { A, B(T), C(T, U) }` — variant names with field counts.
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2; // `#` + bracketed group
+    }
+    // Skip visibility (`pub`, `pub(crate)`, ...).
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_top_level_segments(g.stream()),
+                }
+            }
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Extracts field names from the body of a brace-delimited struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and doc comments.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Skip visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        fields.push(name);
+        // Skip `: Type` up to the next top-level comma. Group tokens hide
+        // any commas nested in the type, so a flat scan suffices.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated segments at the top level of a token stream.
+fn count_top_level_segments(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut trailing = true;
+    for t in &tokens {
+        if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+            count += 1;
+            trailing = true;
+        } else {
+            trailing = false;
+        }
+    }
+    if trailing {
+        count -= 1;
+    }
+    count
+}
+
+/// Extracts `(variant_name, field_count)` pairs from an enum body.
+fn parse_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_segments(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct enum variants are not supported")
+            }
+            _ => 0,
+        };
+        // Skip discriminant (`= expr`) if present, then the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, arity));
+    }
+    variants
+}
+
+fn variant_bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|k| format!("f{k}")).collect()
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}\n",
+                entries.join(", ")
+            ));
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{}])\n\
+                     }}\n\
+                 }}\n",
+                items.join(", ")
+            ));
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    n => {
+                        let binds = variant_bindings(*n);
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}\n",
+                arms.join("\n")
+            ));
+        }
+    }
+    out.parse().expect("serde_derive: generated code parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(entries, \"{f}\")?,"))
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let entries = ::serde::de::map_entries(v)?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}\n",
+                inits.join(" ")
+            ));
+        }
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..arity)
+                .map(|k| format!("::serde::de::index(items, {k})?"))
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let items = ::serde::de::seq_items(v, {arity})?;\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}\n",
+                inits.join(", ")
+            ));
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| {
+                    format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| match arity {
+                    1 => format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(payload)?)),"
+                    ),
+                    n => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::de::index(items, {k})?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let items = ::serde::de::seq_items(payload, {n})?;\n\
+                                 ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            let unit_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n{}\n\
+                         _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             \"unknown variant of {name}\")),\n\
+                     }},\n",
+                    unit_arms.join("\n")
+                )
+            };
+            let tagged_block = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n{}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"unknown variant of {name}\")),\n\
+                         }}\n\
+                     }},\n",
+                    tagged_arms.join("\n")
+                )
+            };
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             {unit_block}{tagged_block}\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"unexpected value for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out.parse().expect("serde_derive: generated code parses")
+}
