@@ -212,23 +212,31 @@ pub fn quantum_nas_search(
         })
         .collect();
 
-    let fitness_of = |genome: &Genome, execs: &mut u64| -> f64 {
-        let (loss, e) =
-            subcircuit_validation_loss(&space, &genome.config, &trained.shared, &valid, num_classes);
-        *execs += e;
-        let physical = space
-            .subcircuit(&genome.config)
-            .remap(&genome.mapping, device.num_qubits());
-        let fid = fidelity_proxy(device, &physical);
-        loss + config.noise_weight * (1.0 - fid)
-    };
-
     let mut best: Option<(Genome, f64)> = None;
     for _ in 0..config.generations {
+        // Genome scoring is RNG-free, so the whole population fans out
+        // over the pool; the ordered results keep every downstream
+        // decision (sort, elitism, tournaments) bit-identical to the
+        // serial loop.
+        let fitnesses = elivagar_sim::parallel::par_map(&population, |genome| {
+            let (loss, e) = subcircuit_validation_loss(
+                &space,
+                &genome.config,
+                &trained.shared,
+                &valid,
+                num_classes,
+            );
+            let physical = space
+                .subcircuit(&genome.config)
+                .remap(&genome.mapping, device.num_qubits());
+            let fid = fidelity_proxy(device, &physical);
+            (loss + config.noise_weight * (1.0 - fid), e)
+        });
         let mut scored: Vec<(Genome, f64)> = population
             .iter()
-            .map(|g| {
-                let f = fitness_of(g, &mut executions);
+            .zip(&fitnesses)
+            .map(|(g, &(f, e))| {
+                executions += e;
                 (g.clone(), f)
             })
             .collect();

@@ -90,14 +90,21 @@ pub fn supernet_search(
     };
 
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // Sampling stays sequential (one RNG stream, same draws as the serial
+    // loop); the RNG-free loss evaluations fan out over the pool. The
+    // ordered reduction keeps first-wins tie-breaking, so the selected
+    // subcircuit is identical at any thread count.
+    let samples: Vec<crate::supercircuit::SubcircuitConfig> = (0..config.num_samples)
+        .map(|_| space.sample_config(&mut rng))
+        .collect();
+    let scored = elivagar_sim::parallel::par_map(&samples, |sub| {
+        subcircuit_validation_loss(&space, sub, &trained.shared, &valid, num_classes)
+    });
     let mut best: Option<(crate::supercircuit::SubcircuitConfig, f64)> = None;
-    for _ in 0..config.num_samples {
-        let sub = space.sample_config(&mut rng);
-        let (loss, e) =
-            subcircuit_validation_loss(&space, &sub, &trained.shared, &valid, num_classes);
+    for (sub, (loss, e)) in samples.iter().zip(&scored) {
         executions += e;
-        if best.as_ref().is_none_or(|(_, bl)| loss < *bl) {
-            best = Some((sub, loss));
+        if best.as_ref().is_none_or(|(_, bl)| *loss < *bl) {
+            best = Some((sub.clone(), *loss));
         }
     }
     let (winner, estimated_loss) = best.expect("num_samples > 0");

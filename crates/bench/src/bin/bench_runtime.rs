@@ -1,0 +1,143 @@
+//! Records the execution-runtime trajectory point (`BENCH_runtime.json`):
+//! pooled vs spawn-per-call dispatch on small batches, the RepCap-shaped
+//! 10q/64-sample batch, and the 32-sample adjoint minibatch gradient.
+//!
+//! Criterion (`cargo bench --bench runtime`) gives the statistically
+//! rigorous numbers; this binary produces a single machine-readable
+//! summary cheap enough to run on every PR, so the trajectory of the
+//! runtime's dispatch/allocation wins is recorded alongside the code.
+
+use elivagar_circuit::Circuit;
+use elivagar_ml::{batch_gradient, GradientMethod, QuantumClassifier};
+use elivagar_sim::parallel::{par_map, scoped_par_map};
+use elivagar_sim::Program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    workloads: Vec<Workload>,
+    /// Pooled-dispatch speedup over scoped spawning per small-batch size —
+    /// the dispatch-overhead win the persistent pool exists for.
+    dispatch_speedup: Vec<Speedup>,
+}
+
+#[derive(Serialize)]
+struct Workload {
+    name: String,
+    median_ns: u64,
+    min_ns: u64,
+}
+
+#[derive(Serialize)]
+struct Speedup {
+    batch_size: usize,
+    pooled_median_ns: u64,
+    scoped_median_ns: u64,
+    speedup: f64,
+}
+
+fn repcap_style_circuit() -> Circuit {
+    use elivagar::{generate_candidate, SearchConfig};
+    let device = elivagar_device::devices::ibmq_kolkata();
+    let config = SearchConfig::for_task(10, 60, 4, 4);
+    let mut rng = StdRng::seed_from_u64(3);
+    generate_candidate(&device, &config, &mut rng).circuit
+}
+
+fn feature_batch(samples: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..samples)
+        .map(|i| (0..dim).map(|j| 0.1 * (i * dim + j) as f64).collect())
+        .collect()
+}
+
+/// Times `f` over `reps` runs (after `warmup` discarded runs) and returns
+/// `(median, min)` in nanoseconds.
+fn time_reps(warmup: usize, reps: usize, mut f: impl FnMut()) -> (u64, u64) {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_nanos()).expect("fits in u64 ns")
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], times[0])
+}
+
+fn main() {
+    let circuit = repcap_style_circuit();
+    let params: Vec<f64> = (0..circuit.num_trainable_params())
+        .map(|i| 0.05 * i as f64)
+        .collect();
+    let program = Program::compile(&circuit);
+    let bound = program.bind(&params);
+
+    let mut dispatch_speedup = Vec::new();
+    for batch_size in [2usize, 4, 8] {
+        let batch = feature_batch(batch_size, 4);
+        let (pooled, _) = time_reps(20, 200, || {
+            black_box(par_map(&batch, |x| {
+                bound.run_with(x, |psi| psi.expectation_z(0))
+            }));
+        });
+        let (scoped, _) = time_reps(20, 200, || {
+            black_box(scoped_par_map(&batch, |x| {
+                bound.run_with(x, |psi| psi.expectation_z(0))
+            }));
+        });
+        dispatch_speedup.push(Speedup {
+            batch_size,
+            pooled_median_ns: pooled,
+            scoped_median_ns: scoped,
+            speedup: scoped as f64 / pooled as f64,
+        });
+    }
+
+    let mut workloads = Vec::new();
+    let batch = feature_batch(64, 4);
+    let (median, min) = time_reps(5, 30, || {
+        let bound = program.bind(&params);
+        black_box(bound.run_batch_with(&batch, |_, psi| psi.expectation_z(0)));
+    });
+    workloads.push(Workload {
+        name: "repcap_batch_10q_64samples".into(),
+        median_ns: median,
+        min_ns: min,
+    });
+
+    let model = QuantumClassifier::new(circuit, 4);
+    let mparams: Vec<f64> = (0..model.num_params()).map(|i| 0.1 * i as f64).collect();
+    let x = feature_batch(32, 4);
+    let y: Vec<usize> = (0..32).map(|i| i % 4).collect();
+    let (median, min) = time_reps(5, 30, || {
+        black_box(batch_gradient(
+            &model,
+            &mparams,
+            &x,
+            &y,
+            GradientMethod::Adjoint,
+        ));
+    });
+    workloads.push(Workload {
+        name: "minibatch_gradient_32samples".into(),
+        median_ns: median,
+        min_ns: min,
+    });
+
+    let report = Report {
+        threads: elivagar_sim::num_threads(),
+        workloads,
+        dispatch_speedup,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("{json}");
+}

@@ -1,0 +1,216 @@
+//! Cross-thread-count determinism suite.
+//!
+//! Every predictor and training path must produce **bit-for-bit** the same
+//! f64s at any `ELIVAGAR_THREADS` setting — Elivagar ranks candidates by
+//! comparing these numbers, so even 1-ulp thread-count drift would change
+//! search results. The constants below are `f64::to_bits` goldens captured
+//! once; `scripts/verify.sh` reruns this suite with `ELIVAGAR_THREADS=1`
+//! and `=2` (the env is read once at pool startup, so each thread count is
+//! a separate process) and any scheduling-dependent reduction would break
+//! at least one of the hardcoded bit patterns.
+//!
+//! The gradient and RepCap goldens predate the work-stealing runtime and
+//! pin those paths to the original sequential implementation exactly. The
+//! CNR, trajectory, and search goldens were captured after the per-task
+//! RNG-stream split (their draw order changed, intentionally) and pin the
+//! new streams.
+
+use elivagar::config::SearchConfig;
+use elivagar::generate::generate_candidate;
+use elivagar::{cnr, repcap, search};
+use elivagar_circuit::{Circuit, Gate, ParamExpr};
+use elivagar_datasets::moons;
+use elivagar_device::devices::ibm_lagos;
+use elivagar_ml::{batch_gradient, GradientMethod, QuantumClassifier};
+use elivagar_sim::{noisy_clifford_distribution, noisy_distribution, CircuitNoise};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mixed single/two-qubit circuit with feature, trainable, and constant
+/// parameter slots — exercises fusion, the dynamic per-sample path, and
+/// the adjoint sweep.
+fn golden_circuit() -> Circuit {
+    let mut c = Circuit::new(4);
+    for q in 0..4 {
+        c.push_gate(Gate::Rx, &[q], &[ParamExpr::feature(q % 2)]);
+        c.push_gate(Gate::Ry, &[q], &[ParamExpr::trainable(q)]);
+    }
+    c.push_gate(Gate::Cx, &[0, 1], &[]);
+    c.push_gate(Gate::Crz, &[1, 2], &[ParamExpr::trainable(4)]);
+    c.push_gate(Gate::Cx, &[2, 3], &[]);
+    c.push_gate(Gate::Ry, &[3], &[ParamExpr::trainable(5)]);
+    c.set_measured(vec![0, 1, 2, 3]);
+    c
+}
+
+fn golden_params() -> Vec<f64> {
+    (0..6).map(|i| 0.3 * i as f64 - 0.7).collect()
+}
+
+fn golden_batch() -> (Vec<Vec<f64>>, Vec<usize>) {
+    let features = (0..8)
+        .map(|i| vec![0.25 * i as f64, 0.1 * i as f64 - 0.4])
+        .collect();
+    let labels = (0..8).map(|i| i % 2).collect();
+    (features, labels)
+}
+
+fn assert_bits(actual: f64, golden: u64, what: &str) {
+    assert_eq!(
+        actual.to_bits(),
+        golden,
+        "{what}: actual {:#018x} ({actual}) != golden {golden:#018x}",
+        actual.to_bits()
+    );
+}
+
+/// Pre-runtime golden: the pooled batch gradient must reproduce the
+/// original sequential implementation bit-for-bit.
+#[test]
+fn adjoint_batch_gradient_bits_are_thread_count_invariant() {
+    const LOSS_BITS: u64 = 0x3fe7e890d7f4e957;
+    const GRAD_BITS: [u64; 6] = [
+        0x3fb0e3ec9e6ece8d,
+        0x3f901a42aaf73481,
+        0x3f825e33d9d86086,
+        0xbfb0d32fc1864374,
+        0xbd7655be38540000,
+        0xbfa8cd4a4aa5cf90,
+    ];
+    let model = QuantumClassifier::new(golden_circuit(), 2);
+    let (features, labels) = golden_batch();
+    let g = batch_gradient(
+        &model,
+        &golden_params(),
+        &features,
+        &labels,
+        GradientMethod::Adjoint,
+    );
+    assert_bits(g.loss, LOSS_BITS, "loss");
+    assert_eq!(g.gradient.len(), 6);
+    for (i, (&gi, &bits)) in g.gradient.iter().zip(&GRAD_BITS).enumerate() {
+        assert_bits(gi, bits, &format!("gradient[{i}]"));
+    }
+}
+
+/// Pre-runtime golden: batched RepCap must reproduce the original
+/// sequential per-sample loop bit-for-bit.
+#[test]
+fn repcap_bits_are_thread_count_invariant() {
+    const REPCAP_BITS: u64 = 0x3fe541cc092a2ad1;
+    let mut cfg = SearchConfig::for_task(4, 6, 2, 2).fast();
+    cfg.repcap_param_inits = 4;
+    cfg.repcap_bases = 3;
+    let (features, labels) = golden_batch();
+    let mut rng = StdRng::seed_from_u64(77);
+    let r = repcap::repcap(&golden_circuit(), &features, &labels, &cfg, &mut rng);
+    assert_bits(r.repcap, REPCAP_BITS, "repcap");
+}
+
+/// Post-runtime golden: exact CNR with replica fan-out and per-replica RNG
+/// streams split off the caller's generator.
+#[test]
+fn cnr_bits_are_thread_count_invariant() {
+    const CNR_BITS: u64 = 0x3fefa82685dbe586;
+    let device = ibm_lagos();
+    let cfg = SearchConfig::for_task(4, 12, 4, 2).fast();
+    let mut rng = StdRng::seed_from_u64(11);
+    let cand = generate_candidate(&device, &cfg, &mut rng);
+    let r = cnr::cnr(&cand, &device, &cfg, &mut rng).unwrap();
+    assert_bits(r.cnr, CNR_BITS, "cnr");
+}
+
+/// Post-runtime golden: state-vector Monte-Carlo trajectories with
+/// fixed-chunk parallel shots.
+#[test]
+fn trajectory_distribution_bits_are_thread_count_invariant() {
+    const DIST_BITS: [u64; 4] = [
+        0x3fdb1055b8993922,
+        0x3fb3bea91d9b1b7b,
+        0x3fb3bea91d9b1b7b,
+        0x3fdb1055b8993922,
+    ];
+    let mut c = Circuit::new(2);
+    c.push_gate(Gate::H, &[0], &[]);
+    c.push_gate(Gate::Cx, &[0, 1], &[]);
+    c.set_measured(vec![0, 1]);
+    let noise = CircuitNoise::uniform(&[1, 2], 2, 0.05, 0.10, 0.01);
+    let mut rng = StdRng::seed_from_u64(13);
+    // 100 trajectories spans three SHOT_CHUNKs plus a ragged tail.
+    let dist = noisy_distribution(&c, &[], &[], &noise, 100, &mut rng);
+    assert_eq!(dist.len(), 4);
+    for (i, (&d, &bits)) in dist.iter().zip(&DIST_BITS).enumerate() {
+        assert_bits(d, bits, &format!("dist[{i}]"));
+    }
+}
+
+/// Post-runtime golden: stabilizer Monte-Carlo trajectories.
+#[test]
+fn clifford_trajectory_bits_are_thread_count_invariant() {
+    const DIST_BITS: [u64; 4] = [
+        0x3fdce864020817fd,
+        0x3fa8bcdfefbf401d,
+        0x3fa8bcdfefbf401d,
+        0x3fdce864020817fd,
+    ];
+    let mut c = Circuit::new(2);
+    c.push_gate(Gate::H, &[0], &[]);
+    c.push_gate(Gate::Cx, &[0, 1], &[]);
+    c.set_measured(vec![0, 1]);
+    let noise = CircuitNoise::uniform(&[1, 2], 2, 0.02, 0.05, 0.01);
+    let mut rng = StdRng::seed_from_u64(17);
+    let dist = noisy_clifford_distribution(&c, &[], &[], &noise, 100, &mut rng).unwrap();
+    assert_eq!(dist.len(), 4);
+    for (i, (&d, &bits)) in dist.iter().zip(&DIST_BITS).enumerate() {
+        assert_bits(d, bits, &format!("dist[{i}]"));
+    }
+}
+
+/// Post-runtime golden: the full search pipeline (candidate generation,
+/// CNR fan-out, rejection, RepCap fan-out, composite scoring) lands on the
+/// same winner with the same score bits.
+#[test]
+fn search_best_score_bits_are_thread_count_invariant() {
+    const BEST_SCORE_BITS: u64 = 0x3fe556f7d083abaa;
+    let device = ibm_lagos();
+    let dataset = moons(60, 20, 3).normalized(std::f64::consts::PI);
+    let mut config = SearchConfig::for_task(3, 8, 2, 2).fast();
+    config.num_candidates = 6;
+    let result = search::search(&device, &dataset, &config);
+    let best = result.scored[0].score.expect("sorted by score");
+    assert_bits(best, BEST_SCORE_BITS, "best composite score");
+}
+
+/// In-process repeatability: a warm pool (and warm workspace arenas) must
+/// not change any result relative to the first, cold evaluation.
+#[test]
+fn repeated_evaluations_are_bit_identical_in_process() {
+    let model = QuantumClassifier::new(golden_circuit(), 2);
+    let (features, labels) = golden_batch();
+    let params = golden_params();
+    let first = batch_gradient(&model, &params, &features, &labels, GradientMethod::Adjoint);
+    for _ in 0..3 {
+        let again =
+            batch_gradient(&model, &params, &features, &labels, GradientMethod::Adjoint);
+        assert_eq!(first, again);
+    }
+
+    let mut cfg = SearchConfig::for_task(4, 6, 2, 2).fast();
+    cfg.repcap_param_inits = 4;
+    cfg.repcap_bases = 3;
+    let r1 = repcap::repcap(
+        &golden_circuit(),
+        &features,
+        &labels,
+        &cfg,
+        &mut StdRng::seed_from_u64(77),
+    );
+    let r2 = repcap::repcap(
+        &golden_circuit(),
+        &features,
+        &labels,
+        &cfg,
+        &mut StdRng::seed_from_u64(77),
+    );
+    assert_eq!(r1, r2);
+}

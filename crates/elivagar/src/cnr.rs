@@ -63,9 +63,14 @@ pub fn cnr<R: Rng + ?Sized>(
 ) -> Result<CnrResult, NoiseModelError> {
     let physical = candidate.physical_circuit(device);
     let noise = circuit_noise(device, &physical)?;
-    let mut total = 0.0;
-    for _ in 0..config.clifford_replicas {
-        let replica = clifford_replica(&candidate.circuit, rng);
+    // Replicas are independent: split one RNG stream per replica off the
+    // caller's generator (one draw, so the result stays a deterministic
+    // function of `rng`'s state at any thread count) and fan them out over
+    // the pool.
+    let seeds = elivagar_sim::TaskSeeds::from_rng(rng);
+    let fidelities = elivagar_sim::parallel::par_map_index(config.clifford_replicas, |r| {
+        let mut rng = seeds.rng(r);
+        let replica = clifford_replica(&candidate.circuit, &mut rng);
         let ideal = run_clifford(&replica, &[], &[])
             .expect("clifford replica is clifford by construction")
             .measurement_distribution(replica.measured());
@@ -75,13 +80,13 @@ pub fn cnr<R: Rng + ?Sized>(
             &[],
             &noise,
             config.cnr_trajectories,
-            rng,
+            &mut rng,
         )
         .expect("clifford replica is clifford by construction");
-        total += fidelity(&ideal, &noisy);
-    }
+        fidelity(&ideal, &noisy)
+    });
     Ok(CnrResult {
-        cnr: total / config.clifford_replicas as f64,
+        cnr: fidelities.iter().sum::<f64>() / config.clifford_replicas as f64,
         executions: config.clifford_replicas as u64,
     })
 }

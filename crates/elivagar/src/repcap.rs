@@ -54,7 +54,7 @@ fn representations_batch(
     measured: &[usize],
     bases: &[Vec<[f64; 3]>],
 ) -> Vec<Representation> {
-    bound.run_batch_with(features, |_, psi| representation_of(&psi, measured, bases))
+    bound.run_batch_with(features, |_, psi| representation_of(psi, measured, bases))
 }
 
 /// Similarity of two representations: `1 - TVD` averaged over the random

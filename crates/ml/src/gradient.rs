@@ -11,7 +11,7 @@ use crate::loss::cross_entropy;
 use crate::model::QuantumClassifier;
 use elivagar_circuit::{Gate, ParamSource};
 use elivagar_sim::parallel::par_map;
-use elivagar_sim::{adjoint_gradient, Program, ZObservable};
+use elivagar_sim::{adjoint_gradient_into, Gradients, Program, ZObservable};
 use std::f64::consts::{FRAC_PI_2, SQRT_2};
 
 /// How gradients are computed.
@@ -70,8 +70,9 @@ fn weighted_expectation(
     features: &[f64],
     weights: &[(usize, f64)],
 ) -> f64 {
-    let psi = program.run(params, features);
-    weights.iter().map(|&(q, w)| w * psi.expectation_z(q)).sum()
+    program.run_with(params, features, |psi| {
+        weights.iter().map(|&(q, w)| w * psi.expectation_z(q)).sum()
+    })
 }
 
 /// Where a trainable parameter is used in the circuit.
@@ -100,17 +101,24 @@ fn sample_gradient(
     label: usize,
     method: GradientMethod,
 ) -> (f64, Vec<f64>, u64) {
-    let expectations = model.expectations_from_state(&program.run(params, features));
+    let expectations =
+        program.run_with(params, features, |psi| model.expectations_from_state(psi));
     let logits = model.logits_from_expectations(&expectations);
     let (loss, dlogits) = cross_entropy(&logits, label);
     let weights = model.observable_weights(&dlogits);
     match method {
         GradientMethod::Adjoint => {
-            let g = adjoint_gradient(
+            let mut g = Gradients {
+                expectation: 0.0,
+                params: Vec::new(),
+                features: Vec::new(),
+            };
+            adjoint_gradient_into(
                 model.circuit(),
                 params,
                 features,
                 &ZObservable::new(weights),
+                &mut g,
             );
             // One logical forward execution; gradients are free classically.
             (loss, g.params, 1)

@@ -148,7 +148,7 @@ impl QuantumClassifier {
     /// and bit-for-bit deterministic regardless of thread count.
     pub fn expectations_batch(&self, params: &[f64], features_batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let bound = self.program().bind(params);
-        bound.run_batch_with(features_batch, |_, psi| self.expectations_from_state(&psi))
+        bound.run_batch_with(features_batch, |_, psi| self.expectations_from_state(psi))
     }
 
     /// Class logits for a whole batch of samples (noiseless, batched).

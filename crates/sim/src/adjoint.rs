@@ -9,8 +9,9 @@
 //! rule.
 
 use crate::statevector::StateVector;
+use crate::workspace;
 use elivagar_circuit::math::{C64, Mat2, Mat4};
-use elivagar_circuit::{Circuit, ParamSource};
+use elivagar_circuit::{Circuit, Instruction, ParamSource};
 
 /// A weighted sum of single-qubit Pauli-Z terms, `O = sum_k w_k Z_{q_k}`.
 ///
@@ -109,6 +110,24 @@ impl ZObservable {
         StateVector::raw(psi.num_qubits(), amps)
     }
 
+    /// Applies the (diagonal) observable in place: `|psi> <- O |psi>`.
+    /// The state is generally no longer normalized afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term's qubit is out of range.
+    pub fn apply_in_place(&self, psi: &mut StateVector) {
+        for &(q, _) in &self.terms {
+            assert!(q < psi.num_qubits(), "observable qubit {q} out of range");
+        }
+        for &(a, b, _) in &self.zz_terms {
+            assert!(a < psi.num_qubits() && b < psi.num_qubits(), "zz qubit out of range");
+        }
+        for (i, a) in psi.amps_mut().iter_mut().enumerate() {
+            *a = a.scale(self.eigenvalue(i));
+        }
+    }
+
     /// Expectation value `<psi|O|psi>`.
     pub fn expectation(&self, psi: &StateVector) -> f64 {
         psi.amplitudes()
@@ -140,12 +159,14 @@ const MATRIX_DIFF_STEP: f64 = 1e-6;
 
 #[allow(clippy::needless_range_loop)]
 fn dmat1(gate: elivagar_circuit::Gate, values: &[f64], slot: usize) -> Mat2 {
-    let mut plus = values.to_vec();
-    let mut minus = values.to_vec();
+    let mut plus = [0.0f64; 3];
+    let mut minus = [0.0f64; 3];
+    plus[..values.len()].copy_from_slice(values);
+    minus[..values.len()].copy_from_slice(values);
     plus[slot] += MATRIX_DIFF_STEP;
     minus[slot] -= MATRIX_DIFF_STEP;
-    let mp = gate.matrix1(&plus);
-    let mm = gate.matrix1(&minus);
+    let mp = gate.matrix1(&plus[..values.len()]);
+    let mm = gate.matrix1(&minus[..values.len()]);
     let mut out = [[C64::ZERO; 2]; 2];
     for r in 0..2 {
         for c in 0..2 {
@@ -157,12 +178,14 @@ fn dmat1(gate: elivagar_circuit::Gate, values: &[f64], slot: usize) -> Mat2 {
 
 #[allow(clippy::needless_range_loop)]
 fn dmat2(gate: elivagar_circuit::Gate, values: &[f64], slot: usize) -> Mat4 {
-    let mut plus = values.to_vec();
-    let mut minus = values.to_vec();
+    let mut plus = [0.0f64; 3];
+    let mut minus = [0.0f64; 3];
+    plus[..values.len()].copy_from_slice(values);
+    minus[..values.len()].copy_from_slice(values);
     plus[slot] += MATRIX_DIFF_STEP;
     minus[slot] -= MATRIX_DIFF_STEP;
-    let mp = gate.matrix2(&plus);
-    let mm = gate.matrix2(&minus);
+    let mp = gate.matrix2(&plus[..values.len()]);
+    let mm = gate.matrix2(&minus[..values.len()]);
     let mut out = [[C64::ZERO; 4]; 4];
     for r in 0..4 {
         for c in 0..4 {
@@ -188,67 +211,134 @@ pub fn adjoint_gradient(
     features: &[f64],
     observable: &ZObservable,
 ) -> Gradients {
-    let mut psi = StateVector::run(circuit, params, features);
-    let expectation = observable.expectation(&psi);
-    let mut lambda = observable.apply(&psi);
-    let mut param_grad = vec![0.0; params.len()];
-    let mut feature_grad = vec![0.0; features.len()];
+    let mut out = Gradients {
+        expectation: 0.0,
+        params: Vec::new(),
+        features: Vec::new(),
+    };
+    adjoint_gradient_into(circuit, params, features, observable, &mut out);
+    out
+}
+
+/// Resolves a gate's parameter expressions into a stack array (the hot
+/// path avoids the `Vec` that [`Instruction::resolve_params`] allocates).
+#[inline]
+fn resolve_stack(ins: &Instruction, params: &[f64], features: &[f64]) -> [f64; 3] {
+    let mut values = [0.0f64; 3];
+    for (v, e) in values.iter_mut().zip(&ins.params) {
+        *v = e.resolve(params, features);
+    }
+    values
+}
+
+/// [`adjoint_gradient`] writing into a caller-provided [`Gradients`].
+///
+/// All scratch states come from the per-thread [`workspace`] pools and the
+/// output vectors are cleared and refilled in place, so a warmed-up call
+/// performs no heap allocation. Results are bit-identical to
+/// [`adjoint_gradient`] (which is now a thin wrapper around this).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`adjoint_gradient`].
+pub fn adjoint_gradient_into(
+    circuit: &Circuit,
+    params: &[f64],
+    features: &[f64],
+    observable: &ZObservable,
+    out: &mut Gradients,
+) {
+    // Forward pass, mirroring `StateVector::run` on recycled buffers.
+    let mut psi = if circuit.amplitude_embedding() {
+        workspace::acquire_embedded(circuit.num_qubits(), features)
+    } else {
+        workspace::acquire_zero(circuit.num_qubits())
+    };
+    for ins in circuit.instructions() {
+        let values = resolve_stack(ins, params, features);
+        if ins.gate.num_qubits() == 1 {
+            psi.apply_mat1(ins.qubits[0], &ins.gate.matrix1(&values[..ins.params.len()]));
+        } else {
+            psi.apply_mat2(
+                ins.qubits[0],
+                ins.qubits[1],
+                &ins.gate.matrix2(&values[..ins.params.len()]),
+            );
+        }
+    }
+
+    out.expectation = observable.expectation(&psi);
+    let mut lambda = workspace::acquire_copy(&psi);
+    observable.apply_in_place(&mut lambda);
+    out.params.clear();
+    out.params.resize(params.len(), 0.0);
+    out.features.clear();
+    out.features.resize(features.len(), 0.0);
+    let mut phi = workspace::acquire_copy(&psi);
 
     for ins in circuit.instructions().iter().rev() {
-        let values = ins.resolve_params(params, features);
+        let values = resolve_stack(ins, params, features);
+        let values = &values[..ins.params.len()];
         // psi_{k-1} = U_k^dagger psi_k.
         if ins.gate.num_qubits() == 1 {
-            let ud = ins.gate.matrix1(&values).dagger();
+            let ud = ins.gate.matrix1(values).dagger();
             psi.apply_mat1(ins.qubits[0], &ud);
         } else {
-            let ud = ins.gate.matrix2(&values).dagger();
+            let ud = ins.gate.matrix2(values).dagger();
             psi.apply_mat2(ins.qubits[0], ins.qubits[1], &ud);
         }
         // Gradient terms: 2 Re <lambda_k | dU_k | psi_{k-1}>.
         for (slot, expr) in ins.params.iter().enumerate() {
-            let sinks: Vec<(SinkKind, f64)> = match expr.source {
-                ParamSource::Trainable(i) => vec![(SinkKind::Param(i), expr.scale)],
-                ParamSource::Feature(i) => vec![(SinkKind::Feature(i), expr.scale)],
-                ParamSource::FeatureProduct(i, j) => vec![
-                    (SinkKind::Feature(i), expr.scale * features[j]),
-                    (SinkKind::Feature(j), expr.scale * features[i]),
-                ],
-                ParamSource::Constant(_) => vec![],
+            let mut sinks = [(SinkKind::Param(0), 0.0); 2];
+            let num_sinks = match expr.source {
+                ParamSource::Trainable(i) => {
+                    sinks[0] = (SinkKind::Param(i), expr.scale);
+                    1
+                }
+                ParamSource::Feature(i) => {
+                    sinks[0] = (SinkKind::Feature(i), expr.scale);
+                    1
+                }
+                ParamSource::FeatureProduct(i, j) => {
+                    sinks[0] = (SinkKind::Feature(i), expr.scale * features[j]);
+                    sinks[1] = (SinkKind::Feature(j), expr.scale * features[i]);
+                    2
+                }
+                ParamSource::Constant(_) => 0,
             };
-            if sinks.is_empty() {
+            if num_sinks == 0 {
                 continue;
             }
-            let mut phi = psi.clone();
+            phi.copy_from(&psi);
             if ins.gate.num_qubits() == 1 {
-                phi.apply_mat1(ins.qubits[0], &dmat1(ins.gate, &values, slot));
+                phi.apply_mat1(ins.qubits[0], &dmat1(ins.gate, values, slot));
             } else {
-                phi.apply_mat2(ins.qubits[0], ins.qubits[1], &dmat2(ins.gate, &values, slot));
+                phi.apply_mat2(ins.qubits[0], ins.qubits[1], &dmat2(ins.gate, values, slot));
             }
             let g = 2.0 * lambda.inner_product(&phi).re;
-            for (sink, chain) in sinks {
+            for &(sink, chain) in &sinks[..num_sinks] {
                 match sink {
-                    SinkKind::Param(i) => param_grad[i] += g * chain,
-                    SinkKind::Feature(i) => feature_grad[i] += g * chain,
+                    SinkKind::Param(i) => out.params[i] += g * chain,
+                    SinkKind::Feature(i) => out.features[i] += g * chain,
                 }
             }
         }
         // lambda_{k-1} = U_k^dagger lambda_k.
         if ins.gate.num_qubits() == 1 {
-            let ud = ins.gate.matrix1(&values).dagger();
+            let ud = ins.gate.matrix1(values).dagger();
             lambda.apply_mat1(ins.qubits[0], &ud);
         } else {
-            let ud = ins.gate.matrix2(&values).dagger();
+            let ud = ins.gate.matrix2(values).dagger();
             lambda.apply_mat2(ins.qubits[0], ins.qubits[1], &ud);
         }
     }
 
-    Gradients {
-        expectation,
-        params: param_grad,
-        features: feature_grad,
-    }
+    workspace::release_state(phi);
+    workspace::release_state(lambda);
+    workspace::release_state(psi);
 }
 
+#[derive(Clone, Copy)]
 enum SinkKind {
     Param(usize),
     Feature(usize),

@@ -28,8 +28,9 @@
 //! [`StateVector::run`] to well below 1e-10 (see the crate tests and
 //! `tests/properties.rs`).
 
-use crate::parallel::{par_apply_blocks, par_map};
+use crate::parallel::{par_apply_blocks, par_map, par_map_index};
 use crate::statevector::StateVector;
+use crate::workspace;
 use elivagar_circuit::math::{C64, Mat2, Mat4};
 use elivagar_circuit::{Circuit, Gate, ParamExpr};
 
@@ -98,7 +99,7 @@ enum Item {
     Dyn2(usize, usize, Gate, Vec<ParamExpr>),
 }
 
-/// Folds a classified instruction stream into fused ops.
+/// Incremental gate-fusion state with recyclable buffers.
 ///
 /// Invariants maintained:
 /// - `pending[q]` holds the product of static single-qubit unitaries seen
@@ -109,32 +110,47 @@ enum Item {
 ///   static two-qubit op on the same pair.
 /// - Dynamic gates are barriers: pending matrices on their operands flush
 ///   first, preserving program order exactly.
-fn fuse(num_qubits: usize, items: Vec<Item>) -> Vec<Op> {
-    let mut ops: Vec<Op> = Vec::new();
-    let mut pending: Vec<Option<Mat2>> = vec![None; num_qubits];
+///
+/// The struct form (rather than a free function) lets the per-sample
+/// re-fusion of dynamic programs reuse one thread-local instance whose
+/// `ops`/`pending` buffers keep their capacity across samples — the
+/// steady-state fusion pass allocates nothing.
+#[derive(Default)]
+struct Fuser {
+    ops: Vec<Op>,
+    pending: Vec<Option<Mat2>>,
+}
 
-    fn flush(ops: &mut Vec<Op>, pending: &mut [Option<Mat2>], q: usize) {
-        if let Some(m) = pending[q].take() {
+impl Fuser {
+    /// Resets for a new instruction stream, keeping buffer capacity.
+    fn begin(&mut self, num_qubits: usize) {
+        self.ops.clear();
+        self.pending.clear();
+        self.pending.resize(num_qubits, None);
+    }
+
+    fn flush(&mut self, q: usize) {
+        if let Some(m) = self.pending[q].take() {
             if !m.approx_eq(&Mat2::identity(), IDENTITY_TOL) {
-                ops.push(Op::One { q, m });
+                self.ops.push(Op::One { q, m });
             }
         }
     }
 
-    for item in items {
+    fn push(&mut self, item: Item) {
         match item {
             Item::Static1(q, m) => {
-                pending[q] = Some(match pending[q].take() {
+                self.pending[q] = Some(match self.pending[q].take() {
                     Some(prev) => m.matmul(&prev),
                     None => m,
                 });
             }
             Item::Static2(qa, qb, m) => {
                 let mut fused = m;
-                if let Some(u) = pending[qa].take() {
+                if let Some(u) = self.pending[qa].take() {
                     fused = fused.matmul(&expand_low(&u));
                 }
-                if let Some(u) = pending[qb].take() {
+                if let Some(u) = self.pending[qb].take() {
                     fused = fused.matmul(&expand_high(&u));
                 }
                 // Merge with a directly preceding static op on this pair.
@@ -142,28 +158,28 @@ fn fuse(num_qubits: usize, items: Vec<Item>) -> Vec<Op> {
                     qa: pa,
                     qb: pb,
                     m: pm,
-                }) = ops.last()
+                }) = self.ops.last()
                 {
                     if (*pa, *pb) == (qa, qb) {
                         fused = fused.matmul(pm);
-                        ops.pop();
+                        self.ops.pop();
                     } else if (*pa, *pb) == (qb, qa) {
                         fused = fused.matmul(&swap_operands(pm));
-                        ops.pop();
+                        self.ops.pop();
                     }
                 }
                 if !fused.approx_eq(&Mat4::identity(), IDENTITY_TOL) {
-                    ops.push(Op::Two { qa, qb, m: fused });
+                    self.ops.push(Op::Two { qa, qb, m: fused });
                 }
             }
             Item::Dyn1(q, gate, params) => {
-                flush(&mut ops, &mut pending, q);
-                ops.push(Op::Dyn1 { q, gate, params });
+                self.flush(q);
+                self.ops.push(Op::Dyn1 { q, gate, params });
             }
             Item::Dyn2(qa, qb, gate, params) => {
-                flush(&mut ops, &mut pending, qa);
-                flush(&mut ops, &mut pending, qb);
-                ops.push(Op::Dyn2 {
+                self.flush(qa);
+                self.flush(qb);
+                self.ops.push(Op::Dyn2 {
                     qa,
                     qb,
                     gate,
@@ -172,10 +188,32 @@ fn fuse(num_qubits: usize, items: Vec<Item>) -> Vec<Op> {
             }
         }
     }
-    for q in 0..num_qubits {
-        flush(&mut ops, &mut pending, q);
+
+    /// Flushes all pending single-qubit products; the op stream is
+    /// complete afterwards.
+    fn finish(&mut self) {
+        for q in 0..self.pending.len() {
+            self.flush(q);
+        }
     }
-    ops
+}
+
+/// Folds a classified instruction stream into fused ops (the one-shot
+/// wrapper over [`Fuser`], used on the cold compile/bind paths).
+fn fuse(num_qubits: usize, items: Vec<Item>) -> Vec<Op> {
+    let mut fuser = Fuser::default();
+    fuser.begin(num_qubits);
+    for item in items {
+        fuser.push(item);
+    }
+    fuser.finish();
+    fuser.ops
+}
+
+thread_local! {
+    /// Recycled fusion scratch for the per-sample dynamic path in
+    /// [`Program::apply`]. Thread-local, so batch workers never contend.
+    static FUSE_SCRATCH: std::cell::RefCell<Fuser> = std::cell::RefCell::new(Fuser::default());
 }
 
 /// A circuit compiled into fused kernels, with parametric slots still
@@ -286,6 +324,28 @@ impl Program {
         psi
     }
 
+    /// Executes the program and hands the final state to `post`, recycling
+    /// the state buffer through the thread's [`crate::workspace`] pool
+    /// afterwards. This is the zero-allocation steady-state path: after
+    /// warmup, a `run_with` call performs no heap allocation (beyond what
+    /// `post` itself does). Results are bit-identical to [`Program::run`].
+    pub fn run_with<T>(
+        &self,
+        params: &[f64],
+        features: &[f64],
+        post: impl FnOnce(&StateVector) -> T,
+    ) -> T {
+        let mut psi = if self.amplitude_embedding {
+            workspace::acquire_embedded(self.num_qubits, features)
+        } else {
+            workspace::acquire_zero(self.num_qubits)
+        };
+        self.apply(&mut psi, params, features);
+        let out = post(&psi);
+        workspace::release_state(psi);
+        out
+    }
+
     /// Executes the program over a batch of feature vectors sharing one
     /// parameter vector, parallelized across samples. Order-preserving:
     /// `run_batch(p, xs)[i] == run(p, &xs[i])` bit-for-bit.
@@ -321,30 +381,37 @@ impl Program {
             }
             return;
         }
-        let items = self
-            .ops
-            .iter()
-            .map(|op| match op {
-                Op::One { q, m } => Item::Static1(*q, *m),
-                Op::Two { qa, qb, m } => Item::Static2(*qa, *qb, *m),
-                Op::Dyn1 { q, gate, params: p } => {
-                    let values = resolve_values(p, params, features);
-                    Item::Static1(*q, gate.matrix1(&values[..p.len()]))
-                }
-                Op::Dyn2 {
-                    qa,
-                    qb,
-                    gate,
-                    params: p,
-                } => {
-                    let values = resolve_values(p, params, features);
-                    Item::Static2(*qa, *qb, gate.matrix2(&values[..p.len()]))
-                }
-            })
-            .collect();
-        for op in fuse(self.num_qubits, items) {
-            apply_static_op(psi, &op, parallel_amps);
-        }
+        // Re-fuse with every angle known, in the thread's recycled scratch:
+        // the op sequence is identical to a fresh `fuse` call (same logic,
+        // same order), but the steady state allocates nothing.
+        FUSE_SCRATCH.with(|cell| {
+            let mut fuser = cell.borrow_mut();
+            fuser.begin(self.num_qubits);
+            for op in &self.ops {
+                let item = match op {
+                    Op::One { q, m } => Item::Static1(*q, *m),
+                    Op::Two { qa, qb, m } => Item::Static2(*qa, *qb, *m),
+                    Op::Dyn1 { q, gate, params: p } => {
+                        let values = resolve_values(p, params, features);
+                        Item::Static1(*q, gate.matrix1(&values[..p.len()]))
+                    }
+                    Op::Dyn2 {
+                        qa,
+                        qb,
+                        gate,
+                        params: p,
+                    } => {
+                        let values = resolve_values(p, params, features);
+                        Item::Static2(*qa, *qb, gate.matrix2(&values[..p.len()]))
+                    }
+                };
+                fuser.push(item);
+            }
+            fuser.finish();
+            for op in &fuser.ops {
+                apply_static_op(psi, op, parallel_amps);
+            }
+        });
     }
 }
 
@@ -362,6 +429,12 @@ impl BoundProgram {
         self.program.run(&self.params, features)
     }
 
+    /// Executes the bound program and hands the final state to `post`,
+    /// recycling the state buffer afterwards (see [`Program::run_with`]).
+    pub fn run_with<T>(&self, features: &[f64], post: impl FnOnce(&StateVector) -> T) -> T {
+        self.program.run_with(&self.params, features, post)
+    }
+
     /// Executes the bound program over a batch of feature vectors,
     /// parallelized across samples (order-preserving).
     pub fn run_batch(&self, features_batch: &[Vec<f64>]) -> Vec<StateVector> {
@@ -370,15 +443,17 @@ impl BoundProgram {
 
     /// Executes over a batch and post-processes each final state in the
     /// worker that produced it, avoiding materializing every state vector.
-    /// `post` receives the sample index and its final state; results come
-    /// back in batch order.
+    /// `post` receives the sample index and a borrow of its final state
+    /// (the buffer returns to the worker's workspace pool afterwards);
+    /// results come back in batch order.
     pub fn run_batch_with<T, F>(&self, features_batch: &[Vec<f64>], post: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize, StateVector) -> T + Sync,
+        F: Fn(usize, &StateVector) -> T + Sync,
     {
-        let indexed: Vec<usize> = (0..features_batch.len()).collect();
-        par_map(&indexed, |&i| post(i, self.run(&features_batch[i])))
+        par_map_index(features_batch.len(), |i| {
+            self.run_with(&features_batch[i], |psi| post(i, psi))
+        })
     }
 
     /// Number of fused operations after binding.

@@ -17,7 +17,16 @@
 //!   feature vectors ([`BoundProgram::run_batch`]);
 //! * [`backend`] — the [`Backend`] trait, one `run` / `expectations` /
 //!   `sample_counts` surface over the state-vector, density-matrix, and
-//!   trajectory simulators.
+//!   trajectory simulators;
+//! * [`runtime`] + [`parallel`] — the persistent work-stealing thread
+//!   pool every parallel region dispatches through (sized by
+//!   `ELIVAGAR_THREADS`), with order-preserving [`parallel::par_map`]
+//!   helpers and deterministic per-task seed splitting ([`TaskSeeds`]);
+//!   results are bit-for-bit identical at any thread count;
+//! * [`workspace`] — per-thread arenas recycling state-vector and
+//!   scratch buffers, so the steady-state per-sample execute/gradient
+//!   path ([`Program::run_with`], [`adjoint_gradient_into`]) performs
+//!   zero heap allocations.
 //!
 //! # The compile → fuse → batch-execute pipeline
 //!
@@ -71,12 +80,14 @@ pub mod density;
 pub mod engine;
 pub mod noise;
 pub mod parallel;
+pub mod runtime;
 pub mod sampling;
 pub mod stabilizer;
 pub mod statevector;
 pub mod trajectory;
+pub mod workspace;
 
-pub use adjoint::{adjoint_gradient, Gradients, ZObservable};
+pub use adjoint::{adjoint_gradient, adjoint_gradient_into, Gradients, ZObservable};
 pub use backend::{
     Backend, DensityMatrixBackend, StateVectorBackend, TrajectoryBackend,
 };
@@ -84,6 +95,7 @@ pub use engine::{BoundProgram, Program};
 pub use clifford::{lower_instruction, run_clifford, LowerCliffordError};
 pub use density::DensityMatrix;
 pub use noise::{CircuitNoise, DampingError, InstructionNoise, PauliError, ReadoutError};
+pub use runtime::{num_threads, TaskSeeds, THREADS_ENV};
 pub use sampling::{counts_to_distribution, fidelity, tvd};
 pub use stabilizer::{CliffordOp, Tableau};
 pub use statevector::{SimError, StateVector};

@@ -1,19 +1,76 @@
-//! Small data-parallel helper used by the search and benchmark layers.
+//! Order-preserving data-parallel helpers, built on the persistent
+//! work-stealing pool in [`crate::runtime`].
+//!
+//! Every helper here dispatches through the shared global pool — no OS
+//! threads are spawned per call, which makes parallelism profitable even
+//! for small batches (a pooled dispatch is a mutex push and a condvar
+//! wake). Results are index-addressed, so output order — and therefore
+//! every downstream reduction — is bit-for-bit identical to sequential
+//! execution at any thread count.
 
-use std::num::NonZeroUsize;
+use crate::runtime;
 
-/// Maps `f` over `items` across all available cores, preserving order.
+/// A raw pointer that workers may share. Soundness is the caller's
+/// responsibility: every use below writes disjoint index-addressed slots.
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessing the pointer through a method (rather than the `.0` field)
+    /// makes edition-2021 closures capture the `Sync` wrapper itself
+    /// instead of precise-capturing the raw-pointer field, which is not.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Maps `f` over `0..n` across the pool, preserving index order.
 ///
-/// Falls back to a sequential map for small inputs where thread spawn
-/// overhead would dominate.
+/// Each result is written directly into its output slot, so there is no
+/// post-hoc reordering and no `Option` wrapping. If a task panics the
+/// panic propagates to the caller after the region drains; results
+/// already produced are leaked (not dropped), which is safe but loses the
+/// buffers — acceptable for a tearing-down computation.
+pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    let slots = SendPtr(out.as_mut_ptr());
+    runtime::par_index(n, move |i| {
+        // SAFETY: slot `i` is inside the capacity-n allocation and each
+        // index is claimed exactly once by the runtime.
+        unsafe { slots.get().add(i).write(f(i)) };
+    });
+    // SAFETY: par_index returned normally, so all n slots were written.
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// Maps `f` over `items` across the pool, preserving order.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_index(items.len(), |i| f(&items[i]))
+}
+
+/// The pre-pool implementation of [`par_map`]: spawns and joins scoped OS
+/// threads on every call. Kept as the dispatch-overhead baseline for the
+/// `runtime` criterion bench; production code uses the pooled [`par_map`].
+pub fn scoped_par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
+        .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(items.len().max(1));
     if threads <= 1 || items.len() < 2 {
@@ -36,40 +93,41 @@ where
 }
 
 /// Splits `data` into contiguous blocks of `block` elements and applies
-/// `f` to each, spreading blocks across all available cores.
+/// `f` to each, spreading blocks across the pool.
 ///
 /// The caller guarantees that applying `f` to each block independently is
 /// equivalent to applying it sequentially — true for gate application when
-/// `block` is a multiple of the gate's full butterfly span. Falls back to a
-/// sequential loop when there is nothing to gain from threads.
+/// `block` is a multiple of the gate's full butterfly span.
+///
+/// # Panics
+///
+/// Panics if `block` is zero or does not divide `data.len()`. This is a
+/// hard assertion in release builds too: a mis-sized block would hand
+/// workers overlapping amplitude ranges and silently corrupt the state.
 pub fn par_apply_blocks<T, F>(data: &mut [T], block: usize, f: F)
 where
     T: Send,
     F: Fn(&mut [T]) + Sync,
 {
-    debug_assert!(block > 0 && data.len().is_multiple_of(block));
+    assert!(
+        block > 0 && data.len().is_multiple_of(block),
+        "block size {block} does not divide data length {}",
+        data.len()
+    );
     let num_blocks = data.len() / block;
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(num_blocks.max(1));
-    if threads <= 1 || num_blocks < 2 {
+    if num_blocks < 2 {
         for chunk in data.chunks_mut(block) {
             f(chunk);
         }
         return;
     }
-    // Hand each worker a run of whole blocks.
-    let blocks_per_thread = num_blocks.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for span in data.chunks_mut(blocks_per_thread * block) {
-            let f = &f;
-            scope.spawn(move || {
-                for chunk in span.chunks_mut(block) {
-                    f(chunk);
-                }
-            });
-        }
+    let base = SendPtr(data.as_mut_ptr());
+    runtime::par_index(num_blocks, move |i| {
+        // SAFETY: blocks are disjoint (`i * block .. (i+1) * block` within
+        // `data`), each claimed exactly once by the runtime, and `data` is
+        // mutably borrowed for the whole region.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(i * block), block) };
+        f(chunk);
     });
 }
 
@@ -91,6 +149,22 @@ mod tests {
     }
 
     #[test]
+    fn pooled_and_scoped_maps_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let pooled = par_map(&items, |&x| x * x + 1);
+        let scoped = scoped_par_map(&items, |&x| x * x + 1);
+        assert_eq!(pooled, scoped);
+    }
+
+    #[test]
+    fn par_map_index_matches_sequential() {
+        let n = 321;
+        let parallel = par_map_index(n, |i| i as f64 * 0.5 - 3.0);
+        let sequential: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 3.0).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
     fn apply_blocks_touches_every_block_once() {
         for num_blocks in [1usize, 2, 3, 16, 33] {
             let block = 4;
@@ -102,5 +176,12 @@ mod tests {
             });
             assert!(data.iter().all(|&x| x == 1), "num_blocks {num_blocks}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn mis_sized_blocks_are_rejected() {
+        let mut data = vec![0u32; 10];
+        par_apply_blocks(&mut data, 4, |_| {});
     }
 }

@@ -127,6 +127,72 @@ impl StateVector {
         StateVector::try_from_amplitudes(amps).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// The all-zeros state written into a recycled buffer: `buf` is
+    /// cleared and resized, so its existing capacity is reused and no
+    /// allocation happens once it has grown to `2^num_qubits`. See
+    /// [`crate::workspace`] for the per-thread buffer pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`StateVector::zero`].
+    pub fn zero_in(num_qubits: usize, mut buf: Vec<C64>) -> Self {
+        assert!(num_qubits > 0, "state needs at least one qubit");
+        assert!(
+            num_qubits <= MAX_DENSE_QUBITS,
+            "dense simulation limited to {MAX_DENSE_QUBITS} qubits"
+        );
+        buf.clear();
+        buf.resize(1 << num_qubits, C64::ZERO);
+        buf[0] = C64::ONE;
+        StateVector { num_qubits, amps: buf }
+    }
+
+    /// Amplitude embedding into a recycled buffer; numerically identical
+    /// (bit-for-bit) to [`StateVector::amplitude_embedded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`StateVector::amplitude_embedded`].
+    pub fn amplitude_embedded_in(num_qubits: usize, features: &[f64], mut buf: Vec<C64>) -> Self {
+        // Mirrors `try_amplitude_embedded` + `try_from_amplitudes` exactly:
+        // same fill order, same zero-norm guard, same normalizer.
+        if features.is_empty() {
+            panic!("{}", SimError::EmptyFeatures);
+        }
+        let dim = 1usize << num_qubits;
+        if features.len() > dim {
+            panic!("{}", SimError::TooManyFeatures { len: features.len(), num_qubits });
+        }
+        buf.clear();
+        buf.resize(dim, C64::ZERO);
+        for (a, &f) in buf.iter_mut().zip(features) {
+            *a = C64::real(f);
+        }
+        let norm_sqr: f64 = buf.iter().map(|a| a.norm_sqr()).sum();
+        if norm_sqr <= 1e-24 {
+            panic!("{}", SimError::ZeroNorm);
+        }
+        let norm = buf.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        for a in &mut buf {
+            *a = a.scale(1.0 / norm);
+        }
+        StateVector { num_qubits, amps: buf }
+    }
+
+    /// Consumes the state and returns its amplitude buffer (for recycling
+    /// through [`crate::workspace`]).
+    pub fn into_buffer(self) -> Vec<C64> {
+        self.amps
+    }
+
+    /// Overwrites this state with a copy of `other`, reusing the existing
+    /// allocation when capacities allow.
+    pub fn copy_from(&mut self, other: &StateVector) {
+        self.num_qubits = other.num_qubits;
+        self.amps.clone_from(&other.amps);
+    }
+
     /// Amplitude-embeds a real feature vector: features are L2-normalized,
     /// zero-padded to `2^num_qubits`, and loaded as amplitudes.
     ///
@@ -270,13 +336,27 @@ impl StateVector {
     ///
     /// Panics if any qubit repeats or is out of range.
     pub fn marginal_probabilities(&self, qubits: &[usize]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.marginal_probabilities_into(qubits, &mut out);
+        out
+    }
+
+    /// [`StateVector::marginal_probabilities`] into a recycled buffer:
+    /// `out` is cleared and refilled, reusing its capacity. Bit-identical
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit repeats or is out of range.
+    pub fn marginal_probabilities_into(&self, qubits: &[usize], out: &mut Vec<f64>) {
         let mut seen = 0usize;
         for &q in qubits {
             assert!(q < self.num_qubits, "qubit {q} out of range");
             assert!(seen & (1 << q) == 0, "qubit {q} repeated");
             seen |= 1 << q;
         }
-        let mut out = vec![0.0; 1 << qubits.len()];
+        out.clear();
+        out.resize(1 << qubits.len(), 0.0);
         for (i, a) in self.amps.iter().enumerate() {
             let p = a.norm_sqr();
             if p == 0.0 {
@@ -290,7 +370,6 @@ impl StateVector {
             }
             out[key] += p;
         }
-        out
     }
 
     /// Expectation value of Pauli-Z on qubit `q`.

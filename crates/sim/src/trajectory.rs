@@ -9,11 +9,20 @@
 
 use crate::clifford::{lower_instruction, LowerCliffordError};
 use crate::noise::{apply_readout_error, CircuitNoise, DampingError, PauliError};
+use crate::parallel::par_map_index;
+use crate::runtime::TaskSeeds;
 use crate::stabilizer::{CliffordOp, Tableau};
 use crate::statevector::StateVector;
+use crate::workspace;
 use elivagar_circuit::math::{C64, Mat2};
 use elivagar_circuit::{Circuit, Gate};
 use rand::Rng;
+
+/// Trajectories are dispatched to the pool in fixed-size chunks. The chunk
+/// boundaries — and the per-shot RNG streams, which are split by shot
+/// index — do not depend on the thread count, so the averaged distribution
+/// is bit-for-bit identical however the chunks land on workers.
+const SHOT_CHUNK: usize = 32;
 
 /// Applies one stochastically selected Pauli error to a state-vector qubit.
 fn apply_pauli_sample<R: Rng + ?Sized>(
@@ -95,19 +104,22 @@ fn excited_population(psi: &StateVector, q: usize) -> f64 {
     (1.0 - psi.expectation_z(q)) / 2.0
 }
 
-/// Runs one noisy trajectory, returning the exact output marginal over the
-/// circuit's measured qubits (before readout error).
+/// Runs one noisy trajectory, writing the exact output marginal over the
+/// circuit's measured qubits (before readout error) into `dist`. The
+/// working state comes from — and returns to — the per-thread workspace
+/// pool.
 fn run_trajectory<R: Rng + ?Sized>(
     circuit: &Circuit,
     params: &[f64],
     features: &[f64],
     noise: &CircuitNoise,
     rng: &mut R,
-) -> Vec<f64> {
+    dist: &mut Vec<f64>,
+) {
     let mut psi = if circuit.amplitude_embedding() {
-        StateVector::amplitude_embedded(circuit.num_qubits(), features)
+        workspace::acquire_embedded(circuit.num_qubits(), features)
     } else {
-        StateVector::zero(circuit.num_qubits())
+        workspace::acquire_zero(circuit.num_qubits())
     };
     for (ins, n) in circuit.instructions().iter().zip(&noise.per_instruction) {
         let values = ins.resolve_params(params, features);
@@ -117,11 +129,17 @@ fn run_trajectory<R: Rng + ?Sized>(
             apply_damping_sample(&mut psi, q, &n.damping[k], rng);
         }
     }
-    psi.marginal_probabilities(circuit.measured())
+    psi.marginal_probabilities_into(circuit.measured(), dist);
+    workspace::release_state(psi);
 }
 
 /// Average output distribution of a noisy circuit over `num_trajectories`
 /// Monte-Carlo trajectories, including readout error.
+///
+/// Shots run in parallel across the work-stealing pool in fixed
+/// [`SHOT_CHUNK`]-sized chunks; each shot draws from its own RNG stream
+/// split off `rng` by shot index ([`TaskSeeds`]), so the result does not
+/// depend on the thread count.
 ///
 /// # Panics
 ///
@@ -148,11 +166,26 @@ pub fn noisy_distribution<R: Rng + ?Sized>(
         circuit.measured().len(),
         "readout description does not match measured qubits"
     );
-    let mut acc = vec![0.0; 1 << circuit.measured().len()];
-    for _ in 0..num_trajectories {
-        let dist = run_trajectory(circuit, params, features, noise, rng);
-        for (a, d) in acc.iter_mut().zip(&dist) {
-            *a += d;
+    let dim = 1usize << circuit.measured().len();
+    let seeds = TaskSeeds::from_rng(rng);
+    let partials = par_map_index(num_trajectories.div_ceil(SHOT_CHUNK), |c| {
+        let mut acc = vec![0.0; dim];
+        let mut dist = workspace::acquire_real_buffer();
+        let end = ((c + 1) * SHOT_CHUNK).min(num_trajectories);
+        for t in c * SHOT_CHUNK..end {
+            let mut shot_rng = seeds.rng(t);
+            run_trajectory(circuit, params, features, noise, &mut shot_rng, &mut dist);
+            for (a, d) in acc.iter_mut().zip(&dist) {
+                *a += d;
+            }
+        }
+        workspace::release_real_buffer(dist);
+        acc
+    });
+    let mut acc = vec![0.0; dim];
+    for partial in &partials {
+        for (a, p) in acc.iter_mut().zip(partial) {
+            *a += p;
         }
     }
     for a in &mut acc {
@@ -194,6 +227,10 @@ fn inject_pauli_tableau<R: Rng + ?Sized>(
 /// stabilizer trajectories with Pauli-twirled noise, including readout
 /// error. This is the execution engine behind CNR.
 ///
+/// Shots run in parallel across the work-stealing pool with per-shot RNG
+/// streams, exactly like [`noisy_distribution`] — results are independent
+/// of the thread count.
+///
 /// # Errors
 ///
 /// Returns [`LowerCliffordError`] if the circuit (with the given parameter
@@ -227,18 +264,33 @@ pub fn noisy_clifford_distribution<R: Rng + ?Sized>(
         .map(|n| n.as_pauli_only())
         .collect();
 
-    let mut acc = vec![0.0; 1 << circuit.measured().len()];
-    for _ in 0..num_trajectories {
-        let mut t = Tableau::new(circuit.num_qubits());
-        for ((ins, ops), errs) in circuit.instructions().iter().zip(&lowered).zip(&pauli_only) {
-            t.apply_all(ops);
-            for (k, &q) in ins.qubits.iter().enumerate() {
-                inject_pauli_tableau(&mut t, q, &errs[k], rng);
+    let dim = 1usize << circuit.measured().len();
+    let seeds = TaskSeeds::from_rng(rng);
+    let partials = par_map_index(num_trajectories.div_ceil(SHOT_CHUNK), |c| {
+        let mut acc = vec![0.0; dim];
+        let end = ((c + 1) * SHOT_CHUNK).min(num_trajectories);
+        for shot in c * SHOT_CHUNK..end {
+            let mut shot_rng = seeds.rng(shot);
+            let mut t = Tableau::new(circuit.num_qubits());
+            for ((ins, ops), errs) in
+                circuit.instructions().iter().zip(&lowered).zip(&pauli_only)
+            {
+                t.apply_all(ops);
+                for (k, &q) in ins.qubits.iter().enumerate() {
+                    inject_pauli_tableau(&mut t, q, &errs[k], &mut shot_rng);
+                }
+            }
+            let dist = t.measurement_distribution(circuit.measured());
+            for (a, d) in acc.iter_mut().zip(&dist) {
+                *a += d;
             }
         }
-        let dist = t.measurement_distribution(circuit.measured());
-        for (a, d) in acc.iter_mut().zip(&dist) {
-            *a += d;
+        acc
+    });
+    let mut acc = vec![0.0; dim];
+    for partial in &partials {
+        for (a, p) in acc.iter_mut().zip(partial) {
+            *a += p;
         }
     }
     for a in &mut acc {

@@ -12,4 +12,15 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 
+# Thread-count determinism matrix: every predictor must produce
+# bit-identical f64s at any pool size. ELIVAGAR_THREADS is read once at
+# pool startup, so each setting needs its own process; 4 oversubscribes
+# small jobs, which exercises worker-id folding onto short range arrays.
+for t in 1 2 4; do
+  ELIVAGAR_THREADS="$t" cargo test -q -p elivagar-bench --test determinism
+done
+
+# Benches can't rot: compile them without running.
+cargo bench --no-run --workspace
+
 echo "verify: OK"
