@@ -37,12 +37,17 @@ impl Default for SuperTrainConfig {
 pub struct SuperTrainOutcome {
     /// The trained shared parameter table.
     pub shared: Vec<f64>,
-    /// Mean loss per epoch.
+    /// Mean loss per epoch (over the batches that were applied; an epoch
+    /// whose every batch was skipped records NaN).
     pub loss_history: Vec<f64>,
     /// Hardware-equivalent circuit executions: each batch costs
     /// `batch * (1 + 2 * active_params)` under the parameter-shift rule,
     /// even though we train with the adjoint path classically.
     pub hardware_executions: u64,
+    /// Batches dropped because their loss or gradient went non-finite.
+    /// The optimizer never consumes those; the shared table survives a
+    /// pathological subcircuit draw instead of being poisoned by it.
+    pub skipped_batches: u64,
 }
 
 /// Trains the shared parameters by sampling one random subcircuit per
@@ -71,6 +76,7 @@ pub fn train_supercircuit(
     let mut opt = Adam::new(shared.len(), config.learning_rate);
     let mut loss_history = Vec::with_capacity(config.epochs);
     let mut hardware_executions = 0u64;
+    let mut skipped_batches = 0u64;
 
     let n = data.len();
     let mut order: Vec<usize> = (0..n).collect();
@@ -89,19 +95,31 @@ pub fn train_supercircuit(
                 chunk.iter().map(|&i| data.features[i].clone()).collect();
             let labels: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
             let bg = batch_gradient(&model, &shared, &features, &labels, GradientMethod::Adjoint);
+            let active = space.active_params(&sub) as u64;
+            hardware_executions += chunk.len() as u64 * (1 + 2 * active);
+            // Numeric guardrail: a non-finite batch (degenerate subcircuit
+            // draw, corrupted data) is dropped, not fed to Adam — one NaN
+            // step would poison the shared table for good.
+            if !bg.is_finite() {
+                skipped_batches += 1;
+                continue;
+            }
             opt.step(&mut shared, &bg.gradient);
             epoch_loss += bg.loss;
             batches += 1;
-            let active = space.active_params(&sub) as u64;
-            hardware_executions += chunk.len() as u64 * (1 + 2 * active);
         }
-        loss_history.push(epoch_loss / batches as f64);
+        loss_history.push(if batches == 0 {
+            f64::NAN
+        } else {
+            epoch_loss / batches as f64
+        });
     }
 
     SuperTrainOutcome {
         shared,
         loss_history,
         hardware_executions,
+        skipped_batches,
     }
 }
 
@@ -136,6 +154,8 @@ mod tests {
         let space = SuperCircuit::new(2, 3, Entangler::Cz, 2, 1);
         let config = SuperTrainConfig { epochs: 15, batch_size: 20, ..Default::default() };
         let outcome = train_supercircuit(&space, data.train(), 2, &config);
+        assert_eq!(outcome.skipped_batches, 0, "healthy run skips nothing");
+        assert!(outcome.loss_history.iter().all(|l| l.is_finite()));
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let initial: Vec<f64> = (0..space.total_params())
             .map(|_| rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))

@@ -166,19 +166,86 @@ fn clifford_trajectory_bits_are_thread_count_invariant() {
     }
 }
 
+/// Composite score of the golden search's winner (see
+/// [`search_best_score_bits_are_thread_count_invariant`]).
+const SEARCH_BEST_SCORE_BITS: u64 = 0x3fe556f7d083abaa;
+
+fn golden_search_task() -> (elivagar_device::Device, elivagar_datasets::Dataset, SearchConfig) {
+    let device = ibm_lagos();
+    let dataset = moons(60, 20, 3).normalized(std::f64::consts::PI);
+    let mut config = SearchConfig::for_task(3, 8, 2, 2).fast();
+    config.num_candidates = 6;
+    (device, dataset, config)
+}
+
 /// Post-runtime golden: the full search pipeline (candidate generation,
 /// CNR fan-out, rejection, RepCap fan-out, composite scoring) lands on the
 /// same winner with the same score bits.
 #[test]
 fn search_best_score_bits_are_thread_count_invariant() {
-    const BEST_SCORE_BITS: u64 = 0x3fe556f7d083abaa;
-    let device = ibm_lagos();
-    let dataset = moons(60, 20, 3).normalized(std::f64::consts::PI);
-    let mut config = SearchConfig::for_task(3, 8, 2, 2).fast();
-    config.num_candidates = 6;
+    let (device, dataset, config) = golden_search_task();
     let result = search::search(&device, &dataset, &config);
     let best = result.scored[0].score.expect("sorted by score");
-    assert_bits(best, BEST_SCORE_BITS, "best composite score");
+    assert_bits(best, SEARCH_BEST_SCORE_BITS, "best composite score");
+}
+
+/// Kill-and-resume property: interrupting the golden search at any stage
+/// boundary and resuming from the journal must reproduce the exact golden
+/// ranking — at every thread count (`scripts/verify.sh` reruns this file
+/// with `ELIVAGAR_THREADS=1/2/4`), and regardless of where the kill fell.
+#[test]
+fn search_kill_and_resume_reproduces_golden_ranking() {
+    let (device, dataset, config) = golden_search_task();
+    let baseline = search::run_search(&device, &dataset, &config, &search::RunOptions::default())
+        .expect("baseline");
+    assert_bits(
+        baseline.scored[0].score.expect("sorted by score"),
+        SEARCH_BEST_SCORE_BITS,
+        "baseline best composite score",
+    );
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("elivagar-bench-resume-{}", std::process::id()));
+    // 6 CNR records then up to 6 RepCap records: stopping at 1/3/5 lands
+    // mid-CNR; 7 lands mid-RepCap.
+    for stop_after in [1, 3, 5, 7] {
+        let _ = std::fs::remove_file(&path);
+        let err = search::run_search(
+            &device,
+            &dataset,
+            &config,
+            &search::RunOptions {
+                checkpoint_to: Some(path.clone()),
+                checkpoint_every: 2,
+                stop_after_records: Some(stop_after),
+                ..Default::default()
+            },
+        )
+        .expect_err("stops mid-search");
+        assert!(matches!(err, search::SearchError::Interrupted { .. }));
+
+        let resumed = search::run_search(
+            &device,
+            &dataset,
+            &config,
+            &search::RunOptions {
+                checkpoint_to: Some(path.clone()),
+                checkpoint_every: 2,
+                resume_from: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("resumed run completes");
+        assert_eq!(resumed, baseline, "kill after {stop_after} records");
+        for (i, (a, b)) in resumed.scored.iter().zip(baseline.scored.iter()).enumerate() {
+            assert_eq!(
+                a.score.map(f64::to_bits),
+                b.score.map(f64::to_bits),
+                "scored[{i}] after killing at {stop_after} records"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 /// In-process repeatability: a warm pool (and warm workspace arenas) must

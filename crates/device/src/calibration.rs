@@ -10,6 +10,68 @@ use crate::topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a calibration snapshot was rejected.
+///
+/// Calibration data reaches the noise model without further checks, so a
+/// corrupted snapshot (NaN readout error, negative T1) would silently
+/// produce meaningless CNR scores. Loading therefore validates every field
+/// and fails with one of these instead.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CalibrationError {
+    /// An error probability is non-finite or outside `[0, 1]`.
+    ErrorRateOutOfRange {
+        /// Which field the value came from.
+        field: &'static str,
+        /// Index within the per-qubit/per-edge vector (`None` for
+        /// scalars).
+        index: Option<usize>,
+        /// The offending value.
+        value: f64,
+    },
+    /// A coherence time or gate/readout duration is non-finite or
+    /// non-positive.
+    InvalidDuration {
+        /// Which field the value came from.
+        field: &'static str,
+        /// Index within the per-qubit vector (`None` for scalars).
+        index: Option<usize>,
+        /// The offending value.
+        value: f64,
+    },
+    /// The JSON payload could not be parsed at all.
+    Parse {
+        /// Parser diagnosis.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let at = |index: &Option<usize>| match index {
+            Some(i) => format!("[{i}]"),
+            None => String::new(),
+        };
+        match self {
+            CalibrationError::ErrorRateOutOfRange { field, index, value } => write!(
+                f,
+                "calibration field {field}{} holds {value}, not a probability in [0, 1]",
+                at(index)
+            ),
+            CalibrationError::InvalidDuration { field, index, value } => write!(
+                f,
+                "calibration field {field}{} holds {value}, not a positive finite duration",
+                at(index)
+            ),
+            CalibrationError::Parse { reason } => {
+                write!(f, "calibration JSON failed to parse: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
 
 /// Median error rates and coherence times describing a device class.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -106,6 +168,75 @@ impl Calibration {
         }
     }
 
+    /// Parses a calibration snapshot from JSON and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalibrationError::Parse`] for malformed JSON and the
+    /// [`Calibration::validate`] errors for well-formed but physically
+    /// invalid data.
+    pub fn from_json(json: &str) -> Result<Self, CalibrationError> {
+        let cal: Calibration = serde_json::from_str(json).map_err(|e| {
+            CalibrationError::Parse {
+                reason: format!("{e:?}"),
+            }
+        })?;
+        cal.validate()?;
+        Ok(cal)
+    }
+
+    /// Validates every field: error rates must be finite probabilities in
+    /// `[0, 1]`, coherence times and durations finite and positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, naming the field and index.
+    pub fn validate(&self) -> Result<(), CalibrationError> {
+        let check_rates = |field: &'static str, values: &[f64]| {
+            for (i, &value) in values.iter().enumerate() {
+                if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                    return Err(CalibrationError::ErrorRateOutOfRange {
+                        field,
+                        index: Some(i),
+                        value,
+                    });
+                }
+            }
+            Ok(())
+        };
+        check_rates("readout_error", &self.readout_error)?;
+        check_rates("gate1q_error", &self.gate1q_error)?;
+        check_rates("gate2q_error", &self.gate2q_error)?;
+        let check_times = |field: &'static str, values: &[f64]| {
+            for (i, &value) in values.iter().enumerate() {
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(CalibrationError::InvalidDuration {
+                        field,
+                        index: Some(i),
+                        value,
+                    });
+                }
+            }
+            Ok(())
+        };
+        check_times("t1_us", &self.t1_us)?;
+        check_times("t2_us", &self.t2_us)?;
+        for (field, value) in [
+            ("gate1q_time_us", self.gate1q_time_us),
+            ("gate2q_time_us", self.gate2q_time_us),
+            ("readout_time_us", self.readout_time_us),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(CalibrationError::InvalidDuration {
+                    field,
+                    index: None,
+                    value,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Median of the per-qubit readout errors.
     pub fn median_readout_error(&self) -> f64 {
         median(&self.readout_error)
@@ -197,5 +328,94 @@ mod tests {
     fn median_of_even_and_odd() {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn synthesized_snapshots_validate_and_roundtrip() {
+        let topo = Topology::ring(8);
+        let cal = Calibration::synthesize(&topo, &spec(), 7);
+        cal.validate().expect("synthesized data is valid");
+        let json = serde_json::to_string(&cal).expect("serializes");
+        let loaded = Calibration::from_json(&json).expect("roundtrips");
+        assert_eq!(loaded, cal);
+    }
+
+    #[test]
+    fn corrupted_fixtures_are_rejected_with_typed_errors() {
+        let topo = Topology::ring(4);
+        let good = Calibration::synthesize(&topo, &spec(), 7);
+
+        // Out-of-range error probability.
+        let mut cal = good.clone();
+        cal.gate2q_error[2] = 1.5;
+        assert_eq!(
+            cal.validate(),
+            Err(CalibrationError::ErrorRateOutOfRange {
+                field: "gate2q_error",
+                index: Some(2),
+                value: 1.5,
+            })
+        );
+
+        // Negative error probability.
+        let mut cal = good.clone();
+        cal.readout_error[0] = -0.01;
+        assert!(matches!(
+            cal.validate(),
+            Err(CalibrationError::ErrorRateOutOfRange { field: "readout_error", .. })
+        ));
+
+        // Non-finite error probability.
+        let mut cal = good.clone();
+        cal.gate1q_error[1] = f64::NAN;
+        assert!(matches!(
+            cal.validate(),
+            Err(CalibrationError::ErrorRateOutOfRange { field: "gate1q_error", index: Some(1), .. })
+        ));
+
+        // Negative coherence time.
+        let mut cal = good.clone();
+        cal.t1_us[3] = -120.0;
+        assert!(matches!(
+            cal.validate(),
+            Err(CalibrationError::InvalidDuration { field: "t1_us", index: Some(3), .. })
+        ));
+
+        // Zero scalar duration.
+        let mut cal = good.clone();
+        cal.readout_time_us = 0.0;
+        assert_eq!(
+            cal.validate(),
+            Err(CalibrationError::InvalidDuration {
+                field: "readout_time_us",
+                index: None,
+                value: 0.0,
+            })
+        );
+    }
+
+    #[test]
+    fn corrupted_json_fixture_is_rejected_on_load() {
+        let topo = Topology::ring(4);
+        let cal = Calibration::synthesize(&topo, &spec(), 7);
+        let json = serde_json::to_string(&cal).expect("serializes");
+
+        // A corrupted on-disk snapshot: one readout error replaced with a
+        // value outside [0, 1].
+        let first = cal.readout_error[0];
+        let corrupted = json.replacen(&format!("{first}"), "42.0", 1);
+        assert_ne!(corrupted, json, "fixture corruption applied");
+        let err = Calibration::from_json(&corrupted).expect_err("rejected on load");
+        assert!(
+            matches!(err, CalibrationError::ErrorRateOutOfRange { field: "readout_error", .. }),
+            "{err}"
+        );
+
+        // Structurally broken JSON reports a parse error.
+        let truncated = &json[..json.len() / 2];
+        assert!(matches!(
+            Calibration::from_json(truncated),
+            Err(CalibrationError::Parse { .. })
+        ));
     }
 }

@@ -29,7 +29,7 @@ pub mod noise_model;
 pub mod subgraph;
 pub mod topology;
 
-pub use calibration::{Calibration, CalibrationSpec};
+pub use calibration::{Calibration, CalibrationError, CalibrationSpec};
 pub use devices::{all_devices, device_by_name, Device};
 pub use noise_model::{circuit_fidelity, circuit_noise, NoiseModelError};
 pub use subgraph::{choose_subgraph, sample_connected_subgraph, subgraph_quality, weighted_choice};

@@ -69,6 +69,7 @@ pub fn cnr<R: Rng + ?Sized>(
     // the pool.
     let seeds = elivagar_sim::TaskSeeds::from_rng(rng);
     let fidelities = elivagar_sim::parallel::par_map_index(config.clifford_replicas, |r| {
+        elivagar_sim::faultpoint::hit("cnr::replica", seeds.seed(r));
         let mut rng = seeds.rng(r);
         let replica = clifford_replica(&candidate.circuit, &mut rng);
         let ideal = run_clifford(&replica, &[], &[])
@@ -124,6 +125,7 @@ pub fn cnr_with_shots<R: Rng + ?Sized>(
         .map(|_| rng.next_u64())
         .collect();
     let fidelities = elivagar_sim::parallel::par_map(&replica_seeds, |&seed| {
+        elivagar_sim::faultpoint::hit("cnr::replica", seed);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let replica = clifford_replica(&candidate.circuit, &mut rng);
         // Noiseless reference, sampled with finite shots.
@@ -162,10 +164,13 @@ pub fn cnr_with_shots<R: Rng + ?Sized>(
 /// kept anyway so the search can proceed on very noisy devices.
 ///
 /// Returns the indices of survivors, ordered by descending CNR.
+/// Non-finite CNR values (which [`crate::search::run_search`] quarantines
+/// before this point, but defensive callers may pass) rank below every
+/// finite value and never clear the absolute threshold.
 pub fn reject_low_fidelity(cnrs: &[f64], threshold: f64, keep_fraction: f64) -> Vec<usize> {
     assert!(!cnrs.is_empty(), "no candidates to filter");
     let mut order: Vec<usize> = (0..cnrs.len()).collect();
-    order.sort_by(|&a, &b| cnrs[b].partial_cmp(&cnrs[a]).expect("CNR is finite"));
+    order.sort_by(|&a, &b| crate::search::score_order(Some(cnrs[b]), Some(cnrs[a])));
     let keep = ((cnrs.len() as f64 * keep_fraction).ceil() as usize).clamp(1, cnrs.len());
     let passing: Vec<usize> = order
         .iter()
@@ -265,6 +270,18 @@ mod tests {
         let cnrs = [0.1, 0.2, 0.3];
         let kept = reject_low_fidelity(&cnrs, 0.7, 0.5);
         assert_eq!(kept, vec![2, 1]);
+    }
+
+    #[test]
+    fn rejection_ranks_nan_last_instead_of_panicking() {
+        let cnrs = [0.95, f64::NAN, 0.8, f64::NAN, 0.9, 0.65];
+        let kept = reject_low_fidelity(&cnrs, 0.7, 0.5);
+        assert_eq!(kept, vec![0, 4, 2]);
+        // Even when nothing clears the threshold, the keep-anyway fallback
+        // prefers finite values over NaN.
+        let all_low = [0.1, f64::NAN, 0.3];
+        let kept = reject_low_fidelity(&all_low, 0.7, 0.5);
+        assert_eq!(kept, vec![2, 0]);
     }
 
     #[test]

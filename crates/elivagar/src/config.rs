@@ -116,6 +116,12 @@ pub struct SearchConfig {
     pub repcap_bases: usize,
     /// CNR weight in the composite score (`alpha_CNR`, paper default 0.5).
     pub alpha_cnr: f64,
+    /// Per-candidate evaluation budget in circuit executions across the
+    /// CNR and RepCap stages. A candidate whose next stage would exceed
+    /// the budget is quarantined ("skipped") instead of evaluated, so a
+    /// pathological circuit degrades gracefully rather than monopolizing
+    /// the pool. `None` (the default) is unlimited.
+    pub eval_budget: Option<u64>,
     /// Embedding policy.
     pub embedding: EmbeddingPolicy,
     /// Generation strategy.
@@ -161,6 +167,7 @@ impl SearchConfig {
             repcap_param_inits: 32,
             repcap_bases: 4,
             alpha_cnr: 0.5,
+            eval_budget: None,
             embedding: EmbeddingPolicy::default(),
             generation: GenerationStrategy::default(),
             selection: SelectionStrategy::default(),
@@ -210,6 +217,19 @@ impl SearchConfig {
     /// CNR replicas, RepCap parameter draws — derives from it.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Caps the circuit executions any single candidate may spend across
+    /// its CNR and RepCap evaluations; candidates over the cap are
+    /// quarantined instead of evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn with_eval_budget(mut self, budget: u64) -> Self {
+        assert!(budget > 0, "evaluation budget must be positive");
+        self.eval_budget = Some(budget);
         self
     }
 }

@@ -28,6 +28,7 @@
 //! assert_eq!(result.best.circuit.num_trainable_params(), 8);
 //! ```
 
+pub mod checkpoint;
 pub mod cnr;
 pub mod config;
 pub mod generate;
@@ -36,10 +37,14 @@ pub mod repcap;
 pub mod search;
 pub mod vqe;
 
+pub use checkpoint::{CheckpointError, Fingerprint, Journal, StageRecord};
 pub use cnr::{clifford_replica, cnr, cnr_with_shots, reject_low_fidelity, CnrResult};
 pub use config::{EmbeddingPolicy, GateSet, GenerationStrategy, SearchConfig, SelectionStrategy};
 pub use generate::{generate_candidate, Candidate};
 pub use metrics::{entangling_capability, expressibility, meyer_wallach};
 pub use repcap::{repcap, RepCapResult};
-pub use search::{composite_score, search, ExecutionBreakdown, ScoredCandidate, SearchResult};
+pub use search::{
+    composite_score, run_search, score_order, search, ExecutionBreakdown, QuarantineEntry,
+    RunOptions, ScoredCandidate, SearchError, SearchResult, SearchStage,
+};
 pub use vqe::{optimize_ansatz, search_vqe_ansatz, TransverseFieldIsing, VqeOutcome, VqeSearchResult};

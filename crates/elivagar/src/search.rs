@@ -1,5 +1,20 @@
-//! The five-step Elivagar search pipeline (paper Section 3, Fig. 4).
+//! The five-step Elivagar search pipeline (paper Section 3, Fig. 4),
+//! hardened for long unattended runs.
+//!
+//! [`run_search`] is the fault-tolerant driver: a candidate whose
+//! evaluation panics, produces non-finite predictor values, or exceeds its
+//! execution budget is **quarantined** — recorded in
+//! [`SearchResult::quarantined`] with its stage and captured reason — while
+//! the rest of the pool continues. Completed per-candidate evaluations are
+//! journaled to a crash-safe checkpoint (see [`crate::checkpoint`]) so an
+//! interrupted search resumes without repeating finished work, and a
+//! resumed search reproduces the uninterrupted ranking bit for bit.
+//!
+//! [`search`] remains the simple infallible entry point: it runs with
+//! default options and panics on typed errors, preserving the original
+//! API.
 
+use crate::checkpoint::{self, CheckpointError, Fingerprint, Journal, StageRecord};
 use crate::cnr::{cnr, cnr_with_shots, reject_low_fidelity};
 use crate::config::{SearchConfig, SelectionStrategy};
 use crate::generate::{generate_candidate, Candidate};
@@ -8,6 +23,10 @@ use elivagar_datasets::Dataset;
 use elivagar_device::Device;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::path::PathBuf;
 
 /// Composite score combining both predictors (Eq. 7):
 /// `Score(C) = CNR(C)^alpha * RepCap(C)`.
@@ -17,6 +36,163 @@ use rand::{Rng, SeedableRng};
 pub fn composite_score(cnr: f64, repcap: f64, alpha_cnr: f64) -> f64 {
     cnr.max(0.0).powf(alpha_cnr) * repcap.max(0.0)
 }
+
+/// Total order over optional scores for ranking candidates.
+///
+/// Finite values compare by magnitude; non-finite values (NaN, infinities
+/// from a corrupted evaluation) order below every finite value, and
+/// missing scores below those — so a descending sort
+/// (`sort_by(|a, b| score_order(b.score, a.score))`) always puts healthy
+/// candidates first and never panics, unlike `partial_cmp().unwrap()`.
+pub fn score_order(a: Option<f64>, b: Option<f64>) -> Ordering {
+    fn class(x: Option<f64>) -> u8 {
+        match x {
+            Some(v) if v.is_finite() => 2,
+            Some(_) => 1,
+            None => 0,
+        }
+    }
+    match (a, b) {
+        (Some(x), Some(y)) if x.is_finite() && y.is_finite() => {
+            x.partial_cmp(&y).expect("finite floats are ordered")
+        }
+        _ => class(a).cmp(&class(b)),
+    }
+}
+
+/// A stage of the search pipeline, as recorded in quarantine reports and
+/// checkpoint journals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SearchStage {
+    /// Candidate generation (Algorithm 1).
+    Generate,
+    /// Clifford Noise Resilience evaluation.
+    Cnr,
+    /// Representational Capacity evaluation.
+    RepCap,
+    /// Composite scoring and selection.
+    Score,
+    /// Post-search parameter training.
+    Train,
+}
+
+impl fmt::Display for SearchStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SearchStage::Generate => "generate",
+            SearchStage::Cnr => "CNR",
+            SearchStage::RepCap => "RepCap",
+            SearchStage::Score => "score",
+            SearchStage::Train => "train",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One quarantined candidate: where it faulted and why.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Index of the candidate in the generated pool.
+    pub index: usize,
+    /// The stage at which it was removed from the pool.
+    pub stage: SearchStage,
+    /// Captured panic payload, numeric diagnosis, or budget message.
+    pub reason: String,
+}
+
+impl fmt::Display for QuarantineEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "candidate {} quarantined at {}: {}",
+            self.index, self.stage, self.reason
+        )
+    }
+}
+
+/// Why a search could not produce a result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SearchError {
+    /// A device-unaware candidate was evaluated without routing; its
+    /// physical circuit does not fit the device topology.
+    UnroutedCandidate {
+        /// Index of the offending candidate.
+        index: usize,
+    },
+    /// Every candidate was quarantined or rejected before scoring.
+    NoViableCandidates {
+        /// The full quarantine report, sorted by candidate index.
+        quarantined: Vec<QuarantineEntry>,
+    },
+    /// A checkpoint could not be written, read, or applied.
+    Checkpoint(CheckpointError),
+    /// The run stopped at a requested journal-size boundary
+    /// ([`RunOptions::stop_after_records`]); resume from the checkpoint to
+    /// continue.
+    Interrupted {
+        /// Journal records completed before stopping.
+        records: usize,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::UnroutedCandidate { index } => {
+                write!(f, "candidate {index} does not fit the device; route it first")
+            }
+            SearchError::NoViableCandidates { quarantined } => write!(
+                f,
+                "no viable candidates: all were rejected or quarantined ({} quarantined)",
+                quarantined.len()
+            ),
+            SearchError::Checkpoint(e) => write!(f, "{e}"),
+            SearchError::Interrupted { records } => {
+                write!(f, "search interrupted after {records} journaled evaluations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for SearchError {
+    fn from(e: CheckpointError) -> Self {
+        SearchError::Checkpoint(e)
+    }
+}
+
+/// Durability and resumption knobs for [`run_search`].
+///
+/// The default options (no checkpointing, no resume) reproduce the plain
+/// in-memory search exactly.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Journal completed evaluations to this path (atomic
+    /// write-temp+fsync+rename with a CRC32 footer). `None` disables
+    /// checkpointing.
+    pub checkpoint_to: Option<PathBuf>,
+    /// Candidates evaluated between checkpoint saves; `0` means the
+    /// default (16).
+    pub checkpoint_every: usize,
+    /// Resume from a journal written by a previous (interrupted) run of
+    /// the *same* configuration. Journaled evaluations are reused
+    /// verbatim; only unfinished candidates are evaluated.
+    pub resume_from: Option<PathBuf>,
+    /// Stop with [`SearchError::Interrupted`] once the journal holds this
+    /// many records — a deterministic stand-in for `kill -9` in
+    /// crash-recovery tests.
+    pub stop_after_records: Option<usize>,
+}
+
+const DEFAULT_CHECKPOINT_EVERY: usize = 16;
 
 /// Per-candidate evaluation record.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,7 +204,7 @@ pub struct ScoredCandidate {
     /// Representational capacity, if evaluated (rejected candidates skip
     /// it — that is the point of early rejection).
     pub repcap: Option<f64>,
-    /// Composite score, if both predictors ran.
+    /// Composite score, if both predictors ran and produced finite values.
     pub score: Option<f64>,
 }
 
@@ -56,8 +232,11 @@ pub struct SearchResult {
     pub best: Candidate,
     /// Every generated candidate with its predictor values.
     pub scored: Vec<ScoredCandidate>,
-    /// Circuit-execution accounting.
+    /// Circuit-execution accounting (quarantined evaluations count 0).
     pub executions: ExecutionBreakdown,
+    /// Candidates removed from the pool by faults, non-finite values, or
+    /// budget exhaustion, sorted by candidate index.
+    pub quarantined: Vec<QuarantineEntry>,
 }
 
 /// Runs the Elivagar search for a dataset on a device.
@@ -66,30 +245,128 @@ pub struct SearchResult {
 /// compute CNR for each, (3) reject low-fidelity candidates, (4) compute
 /// RepCap for the survivors, (5) return the best composite score.
 ///
-/// The [`SelectionStrategy`] in the config turns individual stages off for
-/// the Fig. 9 ablations.
+/// This is the infallible wrapper over [`run_search`] with default
+/// [`RunOptions`]; faulting candidates are quarantined, not fatal, and
+/// appear in [`SearchResult::quarantined`].
 ///
 /// # Panics
 ///
 /// Panics if the config is inconsistent with the dataset (class count or
-/// feature dimension mismatch), or if a device-unaware candidate cannot be
-/// noise-modeled.
+/// feature dimension mismatch), if a device-unaware candidate was not
+/// routed before evaluation, or if every candidate was quarantined. Use
+/// [`run_search`] to handle those as typed [`SearchError`]s.
 pub fn search(device: &Device, dataset: &Dataset, config: &SearchConfig) -> SearchResult {
+    run_search(device, dataset, config, &RunOptions::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn quarantine_record(stage: SearchStage, index: usize, reason: String) -> StageRecord {
+    StageRecord {
+        stage,
+        index,
+        value_bits: None,
+        executions: 0,
+        quarantine: Some(reason),
+    }
+}
+
+/// Saves the journal if checkpointing is enabled and honors the
+/// deterministic-kill knob. Called after every batch of new records.
+fn commit_progress(
+    journal: &Journal,
+    options: &RunOptions,
+    saves: &mut u64,
+) -> Result<(), SearchError> {
+    if let Some(path) = &options.checkpoint_to {
+        checkpoint::save(path, journal)?;
+        *saves += 1;
+        // Chaos site: a process kill right after a durable checkpoint —
+        // the window resume is designed for.
+        elivagar_sim::faultpoint::hit("search::checkpoint", *saves);
+    }
+    if let Some(limit) = options.stop_after_records {
+        if journal.len() >= limit {
+            return Err(SearchError::Interrupted {
+                records: journal.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the Elivagar search with fault isolation, per-candidate budgets,
+/// and crash-safe checkpointing.
+///
+/// Candidate evaluation order, per-candidate RNG streams, and the final
+/// ranking are deterministic functions of the config alone — independent
+/// of thread count, of checkpoint cadence, and of how many times the run
+/// was interrupted and resumed. Generation is always recomputed (it is a
+/// pure function of the seed); the journal caches only the expensive
+/// CNR/RepCap evaluations.
+///
+/// # Errors
+///
+/// * [`SearchError::UnroutedCandidate`] — a device-unaware candidate was
+///   evaluated without routing (a configuration bug, not a transient
+///   fault, so it is not quarantined);
+/// * [`SearchError::NoViableCandidates`] — every candidate was rejected
+///   or quarantined;
+/// * [`SearchError::Checkpoint`] — the journal could not be written, or
+///   `resume_from` points at a corrupt or mismatched journal;
+/// * [`SearchError::Interrupted`] — the journal reached
+///   [`RunOptions::stop_after_records`].
+///
+/// # Panics
+///
+/// Panics if the config is inconsistent with the dataset (class count or
+/// feature dimension mismatch).
+pub fn run_search(
+    device: &Device,
+    dataset: &Dataset,
+    config: &SearchConfig,
+    options: &RunOptions,
+) -> Result<SearchResult, SearchError> {
     assert_eq!(config.num_classes, dataset.num_classes(), "class count mismatch");
     assert!(
         config.feature_dim <= dataset.feature_dim(),
         "config expects more features than the dataset has"
     );
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut executions = ExecutionBreakdown::default();
 
-    // Step 1: candidate generation.
+    let fingerprint = Fingerprint::of(config);
+    let mut journal = match &options.resume_from {
+        Some(path) => {
+            let journal = checkpoint::load(path)?;
+            if journal.fingerprint != fingerprint {
+                return Err(CheckpointError::Mismatch {
+                    reason: format!(
+                        "journal was written by {:?} but this search is {:?}",
+                        journal.fingerprint, fingerprint
+                    ),
+                }
+                .into());
+            }
+            journal
+        }
+        None => Journal::new(fingerprint),
+    };
+    let chunk_size = if options.checkpoint_every == 0 {
+        DEFAULT_CHECKPOINT_EVERY
+    } else {
+        options.checkpoint_every
+    };
+    let mut saves = 0u64;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Step 1: candidate generation — always recomputed, never journaled:
+    // it is a pure function of the seed, and replaying it keeps the main
+    // RNG stream at the same position on fresh and resumed runs.
     let candidates: Vec<Candidate> = (0..config.num_candidates)
         .map(|_| generate_candidate(device, config, &mut rng))
         .collect();
+    let n = candidates.len();
 
     if config.selection == SelectionStrategy::Random {
-        let pick = rng.random_range(0..candidates.len());
+        let pick = rng.random_range(0..n);
         let scored = candidates
             .iter()
             .map(|c| ScoredCandidate {
@@ -99,23 +376,48 @@ pub fn search(device: &Device, dataset: &Dataset, config: &SearchConfig) -> Sear
                 score: None,
             })
             .collect();
-        return SearchResult {
+        return Ok(SearchResult {
             best: candidates[pick].clone(),
             scored,
-            executions,
-        };
+            executions: ExecutionBreakdown::default(),
+            quarantined: Vec::new(),
+        });
     }
 
-    // Steps 2-3: CNR + early rejection (skipped in RepCap-only ablation).
-    // Candidates are scored in parallel with per-candidate seeds derived
-    // from the search seed, so results are deterministic regardless of the
-    // thread count.
-    let per_candidate_seed =
-        |index: usize, salt: u64| config.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (index as u64) << 17;
-    let (survivors, cnrs): (Vec<usize>, Vec<Option<f64>>) =
-        if config.selection == SelectionStrategy::Full {
-            let indexed: Vec<usize> = (0..candidates.len()).collect();
-            let results = elivagar_sim::parallel::par_map(&indexed, |&i| {
+    // Per-candidate seeds are pure functions of (search seed, index), so a
+    // candidate's evaluation is identical whether it runs in the first
+    // attempt, after a crash, or on a different thread count.
+    let per_candidate_seed = |index: usize, salt: u64| {
+        config.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (index as u64) << 17
+    };
+
+    // Steps 2-3: CNR + early rejection (skipped in the RepCap-only
+    // ablation). Pending candidates are evaluated in checkpoint-sized
+    // chunks with per-task panic isolation.
+    if config.selection == SelectionStrategy::Full {
+        let cnr_cost = config.clifford_replicas as u64;
+        let mut pending: Vec<usize> = Vec::new();
+        let before = journal.len();
+        for i in 0..n {
+            if journal.lookup(SearchStage::Cnr, i).is_some() {
+                continue;
+            }
+            match config.eval_budget {
+                Some(budget) if cnr_cost > budget => journal.push(quarantine_record(
+                    SearchStage::Cnr,
+                    i,
+                    format!(
+                        "evaluation budget exhausted: CNR costs {cnr_cost} executions, budget is {budget}"
+                    ),
+                )),
+                _ => pending.push(i),
+            }
+        }
+        if journal.len() > before {
+            commit_progress(&journal, options, &mut saves)?;
+        }
+        for chunk in pending.chunks(chunk_size) {
+            let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
                 let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0xC14));
                 match config.cnr_shots {
                     Some(shots) => {
@@ -123,43 +425,170 @@ pub fn search(device: &Device, dataset: &Dataset, config: &SearchConfig) -> Sear
                     }
                     None => cnr(&candidates[i], device, config, &mut rng),
                 }
-                .expect("candidate does not fit the device; route it first")
             });
-            let mut cnrs = Vec::with_capacity(candidates.len());
-            for r in results {
-                executions.cnr += r.executions;
-                cnrs.push(r.cnr);
+            for (&i, outcome) in chunk.iter().zip(outcomes) {
+                let record = match outcome {
+                    Err(fault) => quarantine_record(SearchStage::Cnr, i, fault.message),
+                    Ok(Err(_)) => return Err(SearchError::UnroutedCandidate { index: i }),
+                    Ok(Ok(r)) if !r.cnr.is_finite() => quarantine_record(
+                        SearchStage::Cnr,
+                        i,
+                        format!("non-finite CNR {}", r.cnr),
+                    ),
+                    Ok(Ok(r)) => StageRecord {
+                        stage: SearchStage::Cnr,
+                        index: i,
+                        value_bits: Some(r.cnr.to_bits()),
+                        executions: r.executions,
+                        quarantine: None,
+                    },
+                };
+                journal.push(record);
             }
-            let survivors =
-                reject_low_fidelity(&cnrs, config.cnr_threshold, config.cnr_keep_fraction);
-            (survivors, cnrs.into_iter().map(Some).collect())
-        } else {
-            ((0..candidates.len()).collect(), vec![None; candidates.len()])
-        };
-
-    // Step 4: RepCap on the survivors (also parallel, seed-stable).
-    let (samples, labels) = dataset.sample_per_class(config.repcap_samples_per_class, &mut rng);
-    let mut repcaps: Vec<Option<f64>> = vec![None; candidates.len()];
-    let repcap_results = elivagar_sim::parallel::par_map(&survivors, |&i| {
-        let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0x4E9));
-        (i, repcap(&candidates[i].circuit, &samples, &labels, config, &mut rng))
-    });
-    for (i, r) in repcap_results {
-        executions.repcap += r.executions;
-        repcaps[i] = Some(r.repcap);
+            commit_progress(&journal, options, &mut saves)?;
+        }
     }
 
-    // Step 5: composite scoring and selection.
+    let mut quarantined: Vec<QuarantineEntry> = Vec::new();
+    let mut cnrs: Vec<Option<f64>> = vec![None; n];
+    let survivors: Vec<usize> = if config.selection == SelectionStrategy::Full {
+        for (i, slot) in cnrs.iter_mut().enumerate() {
+            let rec = journal
+                .lookup(SearchStage::Cnr, i)
+                .expect("CNR stage completed for every candidate");
+            if let Some(reason) = &rec.quarantine {
+                quarantined.push(QuarantineEntry {
+                    index: i,
+                    stage: SearchStage::Cnr,
+                    reason: reason.clone(),
+                });
+            } else {
+                *slot = rec.value_bits.map(f64::from_bits);
+            }
+        }
+        let healthy: Vec<usize> = (0..n).filter(|&i| cnrs[i].is_some()).collect();
+        if healthy.is_empty() {
+            quarantined.sort_by_key(|q| q.index);
+            return Err(SearchError::NoViableCandidates { quarantined });
+        }
+        let values: Vec<f64> = healthy.iter().map(|&i| cnrs[i].expect("healthy")).collect();
+        reject_low_fidelity(&values, config.cnr_threshold, config.cnr_keep_fraction)
+            .into_iter()
+            .map(|k| healthy[k])
+            .collect()
+    } else {
+        (0..n).collect()
+    };
+
+    // Step 4: RepCap on the survivors (also parallel, seed-stable, and
+    // panic-isolated).
+    let (samples, labels) = dataset.sample_per_class(config.repcap_samples_per_class, &mut rng);
+    let repcap_cost = (samples.len() * config.repcap_param_inits) as u64;
+    {
+        let mut pending: Vec<usize> = Vec::new();
+        let before = journal.len();
+        for &i in &survivors {
+            if journal.lookup(SearchStage::RepCap, i).is_some() {
+                continue;
+            }
+            let spent = journal.lookup(SearchStage::Cnr, i).map_or(0, |r| r.executions);
+            match config.eval_budget {
+                Some(budget) if spent + repcap_cost > budget => {
+                    journal.push(quarantine_record(
+                        SearchStage::RepCap,
+                        i,
+                        format!(
+                            "evaluation budget exhausted: {spent} executions spent on CNR, RepCap costs {repcap_cost} more, budget is {budget}"
+                        ),
+                    ));
+                }
+                _ => pending.push(i),
+            }
+        }
+        if journal.len() > before {
+            commit_progress(&journal, options, &mut saves)?;
+        }
+        for chunk in pending.chunks(chunk_size) {
+            let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
+                elivagar_sim::faultpoint::hit("repcap::eval", i as u64);
+                let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0x4E9));
+                repcap(&candidates[i].circuit, &samples, &labels, config, &mut rng)
+            });
+            for (&i, outcome) in chunk.iter().zip(outcomes) {
+                let record = match outcome {
+                    Err(fault) => quarantine_record(SearchStage::RepCap, i, fault.message),
+                    Ok(r) if !r.repcap.is_finite() => quarantine_record(
+                        SearchStage::RepCap,
+                        i,
+                        format!("non-finite RepCap {}", r.repcap),
+                    ),
+                    Ok(r) => StageRecord {
+                        stage: SearchStage::RepCap,
+                        index: i,
+                        value_bits: Some(r.repcap.to_bits()),
+                        executions: r.executions,
+                        quarantine: None,
+                    },
+                };
+                journal.push(record);
+            }
+            commit_progress(&journal, options, &mut saves)?;
+        }
+    }
+
+    let mut repcaps: Vec<Option<f64>> = vec![None; n];
+    for &i in &survivors {
+        let rec = journal
+            .lookup(SearchStage::RepCap, i)
+            .expect("RepCap stage completed for every survivor");
+        if let Some(reason) = &rec.quarantine {
+            quarantined.push(QuarantineEntry {
+                index: i,
+                stage: SearchStage::RepCap,
+                reason: reason.clone(),
+            });
+        } else {
+            repcaps[i] = rec.value_bits.map(f64::from_bits);
+        }
+    }
+
+    // Accounting comes straight from the journal, so fresh and resumed
+    // runs report identical totals (quarantined evaluations count 0).
+    let mut executions = ExecutionBreakdown::default();
+    for r in &journal.records {
+        match r.stage {
+            SearchStage::Cnr => executions.cnr += r.executions,
+            SearchStage::RepCap => executions.repcap += r.executions,
+            _ => {}
+        }
+    }
+
+    // Step 5: composite scoring and selection. A non-finite composite
+    // (possible only through data corruption or injected faults — both
+    // predictors are finite here) quarantines the candidate instead of
+    // poisoning the sort.
     let mut scored: Vec<ScoredCandidate> = candidates
         .into_iter()
         .enumerate()
         .map(|(i, candidate)| {
-            let score = match (config.selection, cnrs[i], repcaps[i]) {
+            let raw = match (config.selection, cnrs[i], repcaps[i]) {
                 (SelectionStrategy::Full, Some(c), Some(r)) => {
                     Some(composite_score(c, r, config.alpha_cnr))
                 }
                 (SelectionStrategy::RepCapOnly, _, Some(r)) => Some(r.max(0.0)),
                 _ => None,
+            };
+            let raw = raw.map(|s| elivagar_sim::faultpoint::poison("search::score", i as u64, s));
+            let score = match raw {
+                Some(s) if !s.is_finite() => {
+                    quarantined.push(QuarantineEntry {
+                        index: i,
+                        stage: SearchStage::Score,
+                        reason: format!("non-finite composite score {s}"),
+                    });
+                    None
+                }
+                other => other,
             };
             ScoredCandidate {
                 candidate,
@@ -170,31 +599,28 @@ pub fn search(device: &Device, dataset: &Dataset, config: &SearchConfig) -> Sear
         })
         .collect();
 
+    quarantined.sort_by_key(|q| q.index);
+
     let best_index = scored
         .iter()
         .enumerate()
         .filter(|(_, s)| s.score.is_some())
-        .max_by(|(_, a), (_, b)| {
-            a.score
-                .partial_cmp(&b.score)
-                .expect("scores are finite")
-        })
-        .map(|(i, _)| i)
-        .expect("at least one candidate survives rejection");
+        .max_by(|(_, a), (_, b)| score_order(a.score, b.score))
+        .map(|(i, _)| i);
+    let Some(best_index) = best_index else {
+        return Err(SearchError::NoViableCandidates { quarantined });
+    };
 
     let best = scored[best_index].candidate.clone();
-    // Order the trail by descending score for inspection convenience.
-    scored.sort_by(|a, b| {
-        b.score
-            .unwrap_or(f64::NEG_INFINITY)
-            .partial_cmp(&a.score.unwrap_or(f64::NEG_INFINITY))
-            .expect("scores are finite")
-    });
-    SearchResult {
+    // Order the trail by descending score for inspection convenience;
+    // unscored (rejected or quarantined) candidates sort last.
+    scored.sort_by(|a, b| score_order(b.score, a.score));
+    Ok(SearchResult {
         best,
         scored,
         executions,
-    }
+        quarantined,
+    })
 }
 
 #[cfg(test)]
@@ -203,6 +629,7 @@ mod tests {
     use crate::config::{SearchConfig, SelectionStrategy};
     use elivagar_datasets::moons;
     use elivagar_device::devices::ibm_lagos;
+    use std::path::PathBuf;
 
     fn setup() -> (elivagar_device::Device, Dataset, SearchConfig) {
         let device = ibm_lagos();
@@ -210,6 +637,12 @@ mod tests {
         let mut config = SearchConfig::for_task(3, 8, 2, 2).fast();
         config.num_candidates = 6;
         (device, dataset, config)
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("elivagar-search-{}-{name}", std::process::id()));
+        p
     }
 
     #[test]
@@ -228,12 +661,13 @@ mod tests {
             .iter()
             .filter_map(|s| s.score)
             .all(|s| s <= best_score + 1e-12));
-        // Accounting is consistent.
+        // Accounting is consistent and nothing was quarantined.
         assert_eq!(
             result.executions.cnr,
             (6 * config.clifford_replicas) as u64
         );
         assert!(result.executions.repcap > 0);
+        assert!(result.quarantined.is_empty());
     }
 
     #[test]
@@ -287,5 +721,165 @@ mod tests {
         assert!((composite_score(0.81, 0.5, 1.0) - 0.405).abs() < 1e-12);
         // Negative repcap clamps to zero.
         assert_eq!(composite_score(0.9, -0.2, 0.5), 0.0);
+    }
+
+    #[test]
+    fn score_order_is_total_and_ranks_non_finite_last() {
+        use std::cmp::Ordering::*;
+        assert_eq!(score_order(Some(0.5), Some(0.25)), Greater);
+        assert_eq!(score_order(Some(0.25), Some(0.5)), Less);
+        assert_eq!(score_order(Some(0.5), Some(0.5)), Equal);
+        // Non-finite below every finite value, missing below non-finite.
+        assert_eq!(score_order(Some(f64::NAN), Some(-1.0e300)), Less);
+        assert_eq!(score_order(Some(f64::INFINITY), Some(0.0)), Less);
+        assert_eq!(score_order(Some(f64::NAN), Some(f64::INFINITY)), Equal);
+        assert_eq!(score_order(None, Some(f64::NAN)), Less);
+        assert_eq!(score_order(None, None), Equal);
+        // A descending sort never panics and puts NaN/None at the end.
+        let mut scores = [Some(f64::NAN), Some(0.3), None, Some(0.9)];
+        scores.sort_by(|a, b| score_order(*b, *a));
+        assert_eq!(scores[0], Some(0.9));
+        assert_eq!(scores[1], Some(0.3));
+        assert!(scores[2].is_some_and(f64::is_nan));
+        assert_eq!(scores[3], None);
+    }
+
+    #[test]
+    fn tiny_budget_quarantines_every_candidate() {
+        let (device, dataset, config) = setup();
+        // CNR alone costs 8 executions in the fast config.
+        let config = config.with_eval_budget(4);
+        let err = run_search(&device, &dataset, &config, &RunOptions::default())
+            .expect_err("nothing fits the budget");
+        match err {
+            SearchError::NoViableCandidates { quarantined } => {
+                assert_eq!(quarantined.len(), 6);
+                assert!(quarantined.iter().all(|q| q.stage == SearchStage::Cnr));
+                assert!(quarantined[0].reason.contains("budget"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn repcap_budget_quarantines_survivors_only() {
+        let (device, dataset, config) = setup();
+        // CNR (8 executions) fits; CNR + RepCap (8 + 8*4 = 40) does not.
+        let config = config.with_eval_budget(10);
+        let err = run_search(&device, &dataset, &config, &RunOptions::default())
+            .expect_err("repcap cannot run");
+        match err {
+            SearchError::NoViableCandidates { quarantined } => {
+                assert!(!quarantined.is_empty());
+                assert!(quarantined.iter().all(|q| q.stage == SearchStage::RepCap));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn sufficient_budget_changes_nothing() {
+        let (device, dataset, config) = setup();
+        let plain = search(&device, &dataset, &config);
+        let budgeted = run_search(
+            &device,
+            &dataset,
+            &config.clone().with_eval_budget(1_000_000),
+            &RunOptions::default(),
+        )
+        .expect("budget is ample");
+        assert_eq!(plain.best, budgeted.best);
+        assert_eq!(plain.executions, budgeted.executions);
+    }
+
+    #[test]
+    fn interrupted_search_resumes_to_identical_result() {
+        let (device, dataset, config) = setup();
+        let path = scratch("resume");
+        let baseline =
+            run_search(&device, &dataset, &config, &RunOptions::default()).expect("baseline");
+
+        // Run until 3 records are journaled, then stop (simulated kill).
+        let interrupted = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions {
+                checkpoint_to: Some(path.clone()),
+                checkpoint_every: 2,
+                ..RunOptions::default()
+            },
+        );
+        // No stop requested: this full run must also match the baseline.
+        assert_eq!(interrupted.expect("checkpointed run"), baseline);
+
+        let err = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions {
+                checkpoint_to: Some(path.clone()),
+                checkpoint_every: 2,
+                stop_after_records: Some(3),
+                ..RunOptions::default()
+            },
+        )
+        .expect_err("stops mid-search");
+        assert!(matches!(err, SearchError::Interrupted { records } if records >= 3));
+
+        // Resume from the journal: bit-identical final result.
+        let resumed = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions {
+                checkpoint_to: Some(path.clone()),
+                checkpoint_every: 2,
+                resume_from: Some(path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect("resumed run completes");
+        assert_eq!(resumed, baseline);
+        for (a, b) in resumed.scored.iter().zip(baseline.scored.iter()) {
+            assert_eq!(
+                a.score.map(f64::to_bits),
+                b.score.map(f64::to_bits),
+                "resumed scores must be bit-identical"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let (device, dataset, config) = setup();
+        let path = scratch("mismatch");
+        let _ = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions {
+                checkpoint_to: Some(path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect("checkpointed run");
+        let other = config.clone().with_seed(1234);
+        let err = run_search(
+            &device,
+            &dataset,
+            &other,
+            &RunOptions {
+                resume_from: Some(path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect_err("fingerprint mismatch");
+        assert!(matches!(
+            err,
+            SearchError::Checkpoint(CheckpointError::Mismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 }

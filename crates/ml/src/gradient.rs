@@ -38,6 +38,15 @@ pub struct BatchGradient {
     pub executions: u64,
 }
 
+impl BatchGradient {
+    /// Whether the loss and every gradient component are finite. A `false`
+    /// here means the batch must not reach the optimizer: one NaN step
+    /// poisons the parameters (and every later loss) irreversibly.
+    pub fn is_finite(&self) -> bool {
+        self.loss.is_finite() && self.gradient.iter().all(|g| g.is_finite())
+    }
+}
+
 /// The parameter-shift rule of a gate parameter: `(shift, coefficient)`
 /// terms such that `d<O>/dtheta = sum_j c_j <O>(theta + s_j)`.
 ///

@@ -42,4 +42,7 @@ pub use gradient::{batch_gradient, shift_rule, BatchGradient, GradientMethod};
 pub use loss::{cross_entropy, softmax};
 pub use model::{argmax, ModelError, QuantumClassifier};
 pub use optim::Adam;
-pub use train::{accuracy, evaluate_loss, init_params, noisy_accuracy, train, TrainConfig, TrainOutcome};
+pub use train::{
+    accuracy, evaluate_loss, init_params, noisy_accuracy, train, try_train, TrainConfig,
+    TrainError, TrainOutcome,
+};

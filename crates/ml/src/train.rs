@@ -1,13 +1,17 @@
-//! The training loop and evaluation helpers.
+//! The training loop and evaluation helpers, with numeric guardrails: a
+//! non-finite loss or gradient aborts the attempt before it can poison the
+//! optimizer state, and [`try_train`] retries from a fresh seed split with
+//! a backed-off step size before giving up.
 
 use crate::gradient::{batch_gradient, GradientMethod};
 use crate::model::QuantumClassifier;
 use crate::optim::Adam;
 use elivagar_datasets::Split;
 use elivagar_sim::noise::CircuitNoise;
-use elivagar_sim::noisy_distribution;
+use elivagar_sim::{noisy_distribution, TaskSeeds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 
 /// Training hyperparameters. The defaults follow the paper's methodology
 /// (Section 7.3): Adam at learning rate 0.01, batch size 128, no weight
@@ -24,6 +28,13 @@ pub struct TrainConfig {
     pub method: GradientMethod,
     /// RNG seed for parameter initialization and shuffling.
     pub seed: u64,
+    /// Retries after an attempt hits a non-finite loss or gradient. Each
+    /// retry re-initializes from the next split of the seed and halves the
+    /// learning rate. `0` disables retrying.
+    pub nan_retries: usize,
+    /// Hard cap on circuit executions across all attempts; exceeding it
+    /// aborts with [`TrainError::BudgetExhausted`]. `None` is unlimited.
+    pub max_executions: Option<u64>,
 }
 
 impl Default for TrainConfig {
@@ -34,9 +45,50 @@ impl Default for TrainConfig {
             learning_rate: 0.01,
             method: GradientMethod::Adjoint,
             seed: 0,
+            nan_retries: 2,
+            max_executions: None,
         }
     }
 }
+
+/// Why training failed after exhausting its guardrails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// Every attempt (the initial run plus [`TrainConfig::nan_retries`]
+    /// retries) hit a non-finite loss or gradient.
+    NonFinite {
+        /// Attempts made in total.
+        attempts: usize,
+        /// Epoch within the final failing attempt.
+        epoch: usize,
+        /// Diagnosis of the last fault.
+        message: String,
+    },
+    /// The execution budget ran out before an attempt finished.
+    BudgetExhausted {
+        /// Executions consumed when the cap tripped.
+        spent: u64,
+        /// The configured cap.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NonFinite { attempts, epoch, message } => write!(
+                f,
+                "training diverged in all {attempts} attempts (last fault in epoch {epoch}: {message})"
+            ),
+            TrainError::BudgetExhausted { spent, budget } => write!(
+                f,
+                "training execution budget exhausted: {spent} executions spent, budget is {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// Outcome of a training run.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,21 +111,47 @@ pub fn init_params<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<f64> {
 
 /// Trains a classifier on a split.
 ///
+/// This is the infallible wrapper over [`try_train`]: numeric faults are
+/// retried per the config's guardrails and only a run that exhausts them
+/// panics.
+///
 /// # Panics
 ///
-/// Panics if the split is empty or the config has zero epochs/batch size.
+/// Panics if the split is empty, the config has zero epochs/batch size, or
+/// every attempt fails with a [`TrainError`].
 pub fn train(model: &QuantumClassifier, data: &Split, config: &TrainConfig) -> TrainOutcome {
-    assert!(!data.is_empty(), "cannot train on an empty split");
-    assert!(config.epochs > 0 && config.batch_size > 0, "degenerate train config");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    try_train(model, data, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// One attempt's terminal condition.
+enum AttemptFailure {
+    /// Retryable: re-initialize and back off the step size.
+    NonFinite { epoch: usize, message: String },
+    /// Terminal: retrying would only spend more budget.
+    Budget { spent: u64, budget: u64 },
+}
+
+/// Runs one training attempt from `seed` at `learning_rate`, aborting on
+/// the first non-finite loss/gradient or budget overrun. `executions`
+/// accumulates across attempts so the budget covers retries too.
+fn train_attempt(
+    model: &QuantumClassifier,
+    data: &Split,
+    config: &TrainConfig,
+    seed: u64,
+    learning_rate: f64,
+    attempt: usize,
+    executions: &mut u64,
+) -> Result<(Vec<f64>, Vec<f64>), AttemptFailure> {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut params = init_params(model.num_params(), &mut rng);
-    let mut opt = Adam::new(params.len(), config.learning_rate);
+    let mut opt = Adam::new(params.len(), learning_rate);
     let mut loss_history = Vec::with_capacity(config.epochs);
-    let mut executions = 0u64;
 
     let n = data.len();
     let mut order: Vec<usize> = (0..n).collect();
-    for _ in 0..config.epochs {
+    let mut batch_counter = 0u64;
+    for epoch in 0..config.epochs {
         // Shuffle.
         for i in (1..n).rev() {
             let j = rng.random_range(0..=i);
@@ -86,19 +164,98 @@ pub fn train(model: &QuantumClassifier, data: &Split, config: &TrainConfig) -> T
                 chunk.iter().map(|&i| data.features[i].clone()).collect();
             let labels: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
             let bg = batch_gradient(model, &params, &features, &labels, config.method);
+            *executions += bg.executions;
+            if let Some(budget) = config.max_executions {
+                if *executions > budget {
+                    return Err(AttemptFailure::Budget {
+                        spent: *executions,
+                        budget,
+                    });
+                }
+            }
+            // Chaos site: poisons the minibatch loss with NaN when armed.
+            // The key encodes (attempt, batch) so a retry sees fresh draws.
+            let loss = elivagar_sim::faultpoint::poison(
+                "train::batch",
+                ((attempt as u64) << 48) | batch_counter,
+                bg.loss,
+            );
+            batch_counter += 1;
+            // Guardrail: never let a non-finite step into the optimizer —
+            // Adam's moment estimates would stay poisoned forever.
+            if !loss.is_finite() || !bg.is_finite() {
+                return Err(AttemptFailure::NonFinite {
+                    epoch,
+                    message: format!(
+                        "non-finite loss {loss} in epoch {epoch}, batch {batches}"
+                    ),
+                });
+            }
             opt.step(&mut params, &bg.gradient);
-            epoch_loss += bg.loss;
-            executions += bg.executions;
+            epoch_loss += loss;
             batches += 1;
         }
         loss_history.push(epoch_loss / batches as f64);
     }
+    Ok((params, loss_history))
+}
 
-    TrainOutcome {
-        params,
-        loss_history,
-        executions,
+/// Trains a classifier on a split, degrading gracefully on numeric faults.
+///
+/// The first attempt reproduces the historical [`train`] behavior exactly
+/// (same seed, same step size, bit-identical results). If an attempt
+/// produces a non-finite loss or gradient, it is abandoned *before* the
+/// optimizer consumes the poisoned value, and training restarts from the
+/// next split of the seed with the learning rate halved — up to
+/// [`TrainConfig::nan_retries`] times. Executions spent on failed attempts
+/// count toward [`TrainConfig::max_executions`].
+///
+/// # Errors
+///
+/// * [`TrainError::NonFinite`] — every attempt diverged;
+/// * [`TrainError::BudgetExhausted`] — the execution cap tripped.
+///
+/// # Panics
+///
+/// Panics if the split is empty or the config has zero epochs/batch size.
+pub fn try_train(
+    model: &QuantumClassifier,
+    data: &Split,
+    config: &TrainConfig,
+) -> Result<TrainOutcome, TrainError> {
+    assert!(!data.is_empty(), "cannot train on an empty split");
+    assert!(config.epochs > 0 && config.batch_size > 0, "degenerate train config");
+    let attempts = config.nan_retries + 1;
+    let reinit = TaskSeeds::from_base(config.seed);
+    let mut executions = 0u64;
+    let mut last_fault: Option<(usize, String)> = None;
+    for attempt in 0..attempts {
+        // Attempt 0 is the legacy code path; retries re-initialize from a
+        // fresh seed split with exponentially backed-off step sizes.
+        let seed = if attempt == 0 { config.seed } else { reinit.seed(attempt) };
+        let learning_rate = config.learning_rate * 0.5f64.powi(attempt as i32);
+        match train_attempt(model, data, config, seed, learning_rate, attempt, &mut executions) {
+            Ok((params, loss_history)) => {
+                return Ok(TrainOutcome {
+                    params,
+                    loss_history,
+                    executions,
+                })
+            }
+            Err(AttemptFailure::NonFinite { epoch, message }) => {
+                last_fault = Some((epoch, message));
+            }
+            Err(AttemptFailure::Budget { spent, budget }) => {
+                return Err(TrainError::BudgetExhausted { spent, budget });
+            }
+        }
     }
+    let (epoch, message) = last_fault.expect("at least one attempt ran");
+    Err(TrainError::NonFinite {
+        attempts,
+        epoch,
+        message,
+    })
 }
 
 /// Mean cross-entropy loss of a model over a split (noiseless, batched
@@ -211,6 +368,51 @@ mod tests {
         let outcome = train(&model, data.train(), &config);
         // Per sample: 1 forward + 5 params * 2 shifts = 11; 24 samples.
         assert_eq!(outcome.executions, 24 * 11);
+    }
+
+    #[test]
+    fn exhausted_execution_budget_is_a_typed_error() {
+        let data = moons(24, 8, 5).normalized(std::f64::consts::PI);
+        let model = moons_model();
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 24,
+            method: GradientMethod::ParameterShift,
+            max_executions: Some(100),
+            ..Default::default()
+        };
+        let err = try_train(&model, data.train(), &config).expect_err("budget too small");
+        match err {
+            TrainError::BudgetExhausted { spent, budget } => {
+                assert_eq!(budget, 100);
+                assert!(spent > 100, "spent {spent}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // An ample budget changes nothing.
+        let capped = try_train(
+            &model,
+            data.train(),
+            &TrainConfig { max_executions: Some(1_000_000), ..config },
+        )
+        .expect("ample budget");
+        let uncapped = try_train(
+            &model,
+            data.train(),
+            &TrainConfig { max_executions: None, ..config },
+        )
+        .expect("no budget");
+        assert_eq!(capped, uncapped);
+    }
+
+    #[test]
+    fn try_train_attempt_zero_matches_legacy_train() {
+        let data = moons(60, 20, 3).normalized(std::f64::consts::PI);
+        let model = moons_model();
+        let config = TrainConfig { epochs: 3, batch_size: 16, ..Default::default() };
+        let legacy = train(&model, data.train(), &config);
+        let fallible = try_train(&model, data.train(), &config).expect("healthy run");
+        assert_eq!(legacy, fallible);
     }
 
     #[test]

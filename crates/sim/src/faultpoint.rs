@@ -1,0 +1,271 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A *faultpoint* is a named site in production code where a test can make
+//! controlled failures fire: a panic (a poisoned task), a NaN (a diverged
+//! numeric result), or a truncated file (a torn checkpoint write). Sites
+//! are identified by a static string and every hit carries a caller-chosen
+//! `key` (candidate index, batch index, checkpoint ordinal, ...).
+//!
+//! Whether a hit fires is a **pure function of `(site, key, armed plan)`**
+//! — never of wall-clock time, thread interleaving, or a global hit
+//! counter. That is what lets the chaos suite compare an interrupted,
+//! fault-riddled search against an uninterrupted one bit-for-bit: a
+//! candidate that was quarantined by an injected panic before a crash is
+//! journaled, and on resume the *same* candidates fire (or are found in
+//! the journal with the same outcome).
+//!
+//! The registry is compiled in under `cfg(any(test, feature =
+//! "fault-injection"))`. In production builds every call site below is an
+//! inlined no-op, so faultpoints cost nothing on hot paths.
+//!
+//! Registered sites (kept in sync with DESIGN.md):
+//!
+//! | site                 | kind(s)      | fired from                        |
+//! |----------------------|--------------|-----------------------------------|
+//! | `cnr::replica`       | Panic        | per Clifford replica (CNR)        |
+//! | `repcap::eval`       | Panic        | per candidate (RepCap)            |
+//! | `search::score`      | Nan          | per composite score               |
+//! | `train::batch`       | Nan          | per training minibatch loss       |
+//! | `checkpoint::commit` | TruncateFile | after a checkpoint rename         |
+//! | `search::checkpoint` | Panic        | after each checkpoint save (kill) |
+
+/// What an armed faultpoint does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the site (simulates a poisoned task).
+    Panic,
+    /// Replace the site's value with `f64::NAN` (simulates divergence).
+    Nan,
+    /// Ask the site to truncate the file it just wrote (torn write).
+    TruncateFile,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+mod registry {
+    use super::FaultKind;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// When an armed faultpoint fires.
+    #[derive(Clone, Copy, Debug)]
+    pub enum Trigger {
+        /// Fire on hits whose SplitMix64-mixed `(seed, site, key)` draw
+        /// falls below `rate` — deterministic per key, ~`rate` of keys.
+        Probability { seed: u64, rate: f64 },
+        /// Fire exactly on hits carrying this key.
+        OnKey(u64),
+    }
+
+    pub struct Armed {
+        pub kind: FaultKind,
+        pub trigger: Trigger,
+        pub fired: u64,
+    }
+
+    pub fn registry() -> MutexGuard<'static, HashMap<&'static str, Armed>> {
+        static REG: OnceLock<Mutex<HashMap<&'static str, Armed>>> = OnceLock::new();
+        REG.get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("faultpoint registry poisoned")
+    }
+
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn site_hash(site: &str) -> u64 {
+        // FNV-1a: stable across runs and platforms.
+        site.bytes()
+            .fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            })
+    }
+
+    /// Pure firing decision for one `(site, key)` hit.
+    pub fn decides(trigger: Trigger, site: &str, key: u64) -> bool {
+        match trigger {
+            Trigger::OnKey(k) => key == k,
+            Trigger::Probability { seed, rate } => {
+                let draw = splitmix(seed ^ site_hash(site) ^ splitmix(key));
+                // Top 53 bits to a unit float.
+                ((draw >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
+            }
+        }
+    }
+
+    /// Checks whether `(site, key)` fires a fault of `kind`, updating the
+    /// fired counter. Decision is independent of call order.
+    pub fn fires(site: &'static str, key: u64, kind: FaultKind) -> bool {
+        let mut reg = registry();
+        let Some(armed) = reg.get_mut(site) else {
+            return false;
+        };
+        if armed.kind != kind || !decides(armed.trigger, site, key) {
+            return false;
+        }
+        armed.fired += 1;
+        true
+    }
+}
+
+// ---- arming (test / chaos-suite side) --------------------------------------
+
+/// Arms `site` to fire probabilistically: a hit with key `k` fires iff the
+/// deterministic mix of `(seed, site, k)` falls below `rate`.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn arm(site: &'static str, kind: FaultKind, seed: u64, rate: f64) {
+    registry::registry().insert(
+        site,
+        registry::Armed {
+            kind,
+            trigger: registry::Trigger::Probability { seed, rate },
+            fired: 0,
+        },
+    );
+}
+
+/// Arms `site` to fire exactly on hits carrying `key`.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn arm_on_key(site: &'static str, kind: FaultKind, key: u64) {
+    registry::registry().insert(
+        site,
+        registry::Armed {
+            kind,
+            trigger: registry::Trigger::OnKey(key),
+            fired: 0,
+        },
+    );
+}
+
+/// Disarms every faultpoint. Chaos tests call this on entry and exit.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn disarm_all() {
+    registry::registry().clear();
+}
+
+/// How many times `site` has fired since it was armed.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn fired(site: &str) -> u64 {
+    registry::registry().get(site).map_or(0, |a| a.fired)
+}
+
+// ---- call sites (production side) ------------------------------------------
+
+/// Faultpoint hit that can panic. `key` identifies the unit of work (e.g.
+/// candidate index) so firing is reproducible across runs and resumes.
+#[inline]
+pub fn hit(site: &'static str, key: u64) {
+    #[cfg(any(test, feature = "fault-injection"))]
+    if registry::fires(site, key, FaultKind::Panic) {
+        panic!("faultpoint '{site}' fired (key {key})");
+    }
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    {
+        let _ = (site, key);
+    }
+}
+
+/// Faultpoint that can replace a value with NaN. Returns `value` untouched
+/// unless the site is armed with [`FaultKind::Nan`] and `(site, key)`
+/// fires.
+#[inline]
+#[must_use]
+pub fn poison(site: &'static str, key: u64, value: f64) -> f64 {
+    #[cfg(any(test, feature = "fault-injection"))]
+    if registry::fires(site, key, FaultKind::Nan) {
+        return f64::NAN;
+    }
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    {
+        let _ = (site, key);
+    }
+    value
+}
+
+/// Whether the site should truncate the file it just wrote (torn-write
+/// simulation). Always `false` in production builds.
+#[inline]
+#[must_use]
+pub fn wants_truncation(site: &'static str, key: u64) -> bool {
+    #[cfg(any(test, feature = "fault-injection"))]
+    {
+        registry::fires(site, key, FaultKind::TruncateFile)
+    }
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    {
+        let _ = (site, key);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global; serialize tests that touch it.
+    fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_sites_are_inert() {
+        let _g = lock();
+        disarm_all();
+        hit("test::nowhere", 0);
+        assert_eq!(poison("test::nowhere", 1, 0.5), 0.5);
+        assert!(!wants_truncation("test::nowhere", 2));
+    }
+
+    #[test]
+    fn on_key_fires_exactly_once_per_matching_key() {
+        let _g = lock();
+        disarm_all();
+        arm_on_key("test::kill", FaultKind::Panic, 3);
+        hit("test::kill", 0);
+        hit("test::kill", 2);
+        let r = std::panic::catch_unwind(|| hit("test::kill", 3));
+        assert!(r.is_err());
+        assert_eq!(fired("test::kill"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn probabilistic_firing_is_deterministic_per_key_and_order_free() {
+        let _g = lock();
+        disarm_all();
+        arm("test::nan", FaultKind::Nan, 42, 0.5);
+        let forward: Vec<bool> = (0..64).map(|k| poison("test::nan", k, 1.0).is_nan()).collect();
+        // Re-arm and replay in reverse order: same per-key decisions.
+        arm("test::nan", FaultKind::Nan, 42, 0.5);
+        let backward: Vec<bool> = (0..64)
+            .rev()
+            .map(|k| poison("test::nan", k, 1.0).is_nan())
+            .collect();
+        let backward: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        let fired_keys = forward.iter().filter(|&&f| f).count();
+        assert!(
+            (8..=56).contains(&fired_keys),
+            "rate 0.5 fired {fired_keys}/64"
+        );
+        disarm_all();
+    }
+
+    #[test]
+    fn kind_mismatch_never_fires() {
+        let _g = lock();
+        disarm_all();
+        arm("test::kind", FaultKind::Nan, 1, 1.0);
+        // A Panic-side hit must not fire a Nan-armed site.
+        hit("test::kind", 7);
+        assert!(poison("test::kind", 7, 2.0).is_nan());
+        disarm_all();
+    }
+}

@@ -26,7 +26,10 @@
 //! * [`workspace`] — per-thread arenas recycling state-vector and
 //!   scratch buffers, so the steady-state per-sample execute/gradient
 //!   path ([`Program::run_with`], [`adjoint_gradient_into`]) performs
-//!   zero heap allocations.
+//!   zero heap allocations;
+//! * [`faultpoint`] — deterministic, seed-driven fault-injection sites
+//!   (panics, NaNs, torn file writes) compiled in only under tests or the
+//!   `fault-injection` feature, driving the chaos suite.
 //!
 //! # The compile → fuse → batch-execute pipeline
 //!
@@ -78,6 +81,7 @@ pub mod backend;
 pub mod clifford;
 pub mod density;
 pub mod engine;
+pub mod faultpoint;
 pub mod noise;
 pub mod parallel;
 pub mod runtime;
@@ -95,7 +99,8 @@ pub use engine::{BoundProgram, Program};
 pub use clifford::{lower_instruction, run_clifford, LowerCliffordError};
 pub use density::DensityMatrix;
 pub use noise::{CircuitNoise, DampingError, InstructionNoise, PauliError, ReadoutError};
-pub use runtime::{num_threads, TaskSeeds, THREADS_ENV};
+pub use parallel::TaskPanic;
+pub use runtime::{num_threads, panic_message, TaskSeeds, THREADS_ENV};
 pub use sampling::{counts_to_distribution, fidelity, tvd};
 pub use stabilizer::{CliffordOp, Tableau};
 pub use statevector::{SimError, StateVector};

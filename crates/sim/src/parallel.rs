@@ -50,6 +50,48 @@ where
     out
 }
 
+/// A captured panic from one isolated task: which index exploded and the
+/// rendered panic payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the task that panicked.
+    pub index: usize,
+    /// The panic payload, rendered via [`runtime::panic_message`].
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Maps `f` over `items` across the pool with **per-task panic
+/// isolation**: a panicking task yields `Err(TaskPanic)` in its own slot
+/// instead of aborting the whole region. Every other task still runs to
+/// completion, so one poisoned item can be quarantined while the rest of
+/// the batch is used.
+///
+/// Order-preserving and deterministic like [`par_map`]; the panic payload
+/// is captured as a string so callers can attach it to a report.
+pub fn par_map_isolated<T, U, F>(items: &[T], f: F) -> Vec<Result<U, TaskPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_index(items.len(), |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i]))).map_err(
+            |payload| TaskPanic {
+                index: i,
+                message: runtime::panic_message(&*payload),
+            },
+        )
+    })
+}
+
 /// Maps `f` over `items` across the pool, preserving order.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
@@ -183,5 +225,34 @@ mod tests {
     fn mis_sized_blocks_are_rejected() {
         let mut data = vec![0u32; 10];
         par_apply_blocks(&mut data, 4, |_| {});
+    }
+
+    #[test]
+    fn isolated_map_quarantines_only_the_poisoned_task() {
+        let items: Vec<u64> = (0..100).collect();
+        let results = par_map_isolated(&items, |&x| {
+            assert!(x != 13 && x != 77, "poisoned item {x}");
+            x * 2
+        });
+        assert_eq!(results.len(), 100);
+        for (i, r) in results.iter().enumerate() {
+            if i == 13 || i == 77 {
+                let err = r.as_ref().expect_err("poisoned slot");
+                assert_eq!(err.index, i);
+                assert!(err.message.contains("poisoned item"), "{}", err.message);
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy slot"), 2 * i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_with_no_failures_matches_par_map() {
+        let items: Vec<u64> = (0..64).collect();
+        let isolated: Vec<u64> = par_map_isolated(&items, |&x| x + 1)
+            .into_iter()
+            .map(|r| r.expect("no panics"))
+            .collect();
+        assert_eq!(isolated, par_map(&items, |&x| x + 1));
     }
 }

@@ -352,6 +352,22 @@ where
     }
 }
 
+// ---- panic payload capture -------------------------------------------------
+
+/// Renders a captured panic payload as text. Panics raised with `panic!`
+/// carry a `&str` or `String`; anything else (a `panic_any` value) is
+/// reported as opaque. Used by the isolated fan-out helpers to turn a
+/// poisoned task into a quarantine reason instead of a crash.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 // ---- deterministic seed splitting ------------------------------------------
 
 /// Splits one RNG draw into independent, deterministic per-task streams.
@@ -475,7 +491,7 @@ mod tests {
     #[test]
     fn work_range_pop_and_steal_partition() {
         let r = WorkRange::new(0, 100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         loop {
             let claim = r.pop_front().or_else(|| r.steal_back());
             let Some((a, b)) = claim else { break };

@@ -20,6 +20,12 @@ for t in 1 2 4; do
   ELIVAGAR_THREADS="$t" cargo test -q -p elivagar-bench --test determinism
 done
 
+# Chaos pass: compile the fault-injection registry in and drive injected
+# panics, NaNs, torn checkpoint writes, and kill+resume through the full
+# pipeline (crates/elivagar/tests/chaos.rs).
+cargo test -q -p elivagar --features fault-injection
+cargo test -q -p elivagar-ml --features fault-injection
+
 # Benches can't rot: compile them without running.
 cargo bench --no-run --workspace
 

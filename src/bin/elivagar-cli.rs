@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! elivagar-cli search --benchmark moons --device ibm-lagos [--candidates 24] [--seed 0]
+//!                     [--checkpoint journal.json] [--resume journal.json]
 //! elivagar-cli devices
 //! elivagar-cli benchmarks
 //! ```
 //!
 //! `search` runs the full pipeline (search, train, noisy evaluation) and
 //! prints the selected circuit as OpenQASM with the trained angles bound
-//! to the first test sample.
+//! to the first test sample. `--checkpoint` journals completed candidate
+//! evaluations so an interrupted run can be picked up with `--resume`
+//! (which implies checkpointing to the same file); the resumed search
+//! reproduces the uninterrupted ranking bit for bit.
 
-use elivagar::{search, SearchConfig};
+use elivagar::{run_search, RunOptions, SearchConfig};
 use elivagar_circuit::to_qasm;
 use elivagar_datasets::{load_sized, spec, BENCHMARKS};
 use elivagar_device::{all_devices, circuit_noise, device_by_name};
@@ -29,7 +33,8 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elivagar-cli search --benchmark <name> --device <name> \
-         [--candidates N] [--params N] [--epochs N] [--seed N]\n  \
+         [--candidates N] [--params N] [--epochs N] [--seed N] \
+         [--checkpoint FILE] [--resume FILE]\n  \
          elivagar-cli devices\n  elivagar-cli benchmarks"
     );
     ExitCode::FAILURE
@@ -92,8 +97,27 @@ fn main() -> ExitCode {
             config.repcap_samples_per_class = 8;
             config.seed = seed;
 
+            let checkpoint = flag_value(&args, "--checkpoint").map(std::path::PathBuf::from);
+            let resume = flag_value(&args, "--resume").map(std::path::PathBuf::from);
+            let options = RunOptions {
+                // --resume without --checkpoint keeps journaling to the
+                // same file, so a second interruption is also resumable.
+                checkpoint_to: checkpoint.or_else(|| resume.clone()),
+                resume_from: resume,
+                ..Default::default()
+            };
+
             eprintln!("searching {candidates} candidates on {} ...", device.name());
-            let result = search(&device, &dataset, &config);
+            let result = match run_search(&device, &dataset, &config, &options) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("search failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for q in &result.quarantined {
+                eprintln!("warning: {q}");
+            }
             let best = &result.best;
             eprintln!(
                 "selected: {} gates, depth {}, placed on {:?} ({} CNR + {} RepCap executions)",
