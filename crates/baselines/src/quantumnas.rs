@@ -218,6 +218,8 @@ pub fn quantum_nas_search(
         // over the pool; the ordered results keep every downstream
         // decision (sort, elitism, tournaments) bit-identical to the
         // serial loop.
+        let _gen_span = elivagar_obs::span!("quantumnas_generation", genomes = population.len());
+        elivagar_obs::metrics::BASELINE_EVALS.add(population.len() as u64);
         let fitnesses = elivagar_sim::parallel::par_map(&population, |genome| {
             let (loss, e) = subcircuit_validation_loss(
                 &space,

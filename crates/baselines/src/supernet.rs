@@ -97,6 +97,8 @@ pub fn supernet_search(
     let samples: Vec<crate::supercircuit::SubcircuitConfig> = (0..config.num_samples)
         .map(|_| space.sample_config(&mut rng))
         .collect();
+    let _stage = elivagar_obs::span!("supernet_score", samples = samples.len());
+    elivagar_obs::metrics::BASELINE_EVALS.add(samples.len() as u64);
     let scored = elivagar_sim::parallel::par_map(&samples, |sub| {
         subcircuit_validation_loss(&space, sub, &trained.shared, &valid, num_classes)
     });

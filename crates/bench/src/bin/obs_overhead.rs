@@ -1,0 +1,48 @@
+//! Measures the telemetry layer's overhead on the golden search workload
+//! (`BENCH_obs.json` when redirected by `scripts/verify.sh`).
+//!
+//! Prints one JSON object with the build's telemetry state and the best-of
+//! wall time over several repetitions of the full search pipeline. The
+//! verify gate builds this binary twice — default features (instrumented)
+//! and `--no-default-features` (counters compiled out) — and fails if the
+//! instrumented build is more than 5% slower, enforcing the obs crate's
+//! "cheap enough to leave on" contract.
+
+use elivagar::config::SearchConfig;
+use elivagar::search;
+use elivagar_datasets::moons;
+use elivagar_device::devices::ibm_lagos;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let device = ibm_lagos();
+    let dataset = moons(60, 20, 3).normalized(std::f64::consts::PI);
+    // Larger than the golden task (24 candidates vs 6) so one search takes
+    // long enough that best-of-N wall times are stable to well under the
+    // 5% regression threshold.
+    let mut config = SearchConfig::for_task(3, 8, 2, 2).fast();
+    config.num_candidates = 24;
+
+    // Warm the pool and the workspace arenas so both builds measure the
+    // steady state rather than first-run allocation.
+    black_box(search::search(&device, &dataset, &config));
+
+    let mut best_ns = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(search::search(&device, &dataset, &config));
+        best_ns = best_ns.min(start.elapsed().as_nanos() as u64);
+    }
+
+    println!(
+        "{{\"telemetry\":{},\"reps\":{},\"best_wall_ns\":{}}}",
+        elivagar_obs::compiled_in(),
+        reps,
+        best_ns
+    );
+}

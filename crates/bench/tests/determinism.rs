@@ -189,6 +189,42 @@ fn search_best_score_bits_are_thread_count_invariant() {
     assert_bits(best, SEARCH_BEST_SCORE_BITS, "best composite score");
 }
 
+/// Funnel conservation: every generated candidate is accounted for at each
+/// pipeline stage, and the counts themselves are goldens — the same at
+/// every `ELIVAGAR_THREADS` setting (`scripts/verify.sh` reruns this file
+/// at 1/2/4 threads), because CNR accept/reject decisions compare
+/// bit-identical f64s.
+#[test]
+fn search_funnel_counters_are_thread_count_invariant() {
+    let (device, dataset, config) = golden_search_task();
+    let result = search::search(&device, &dataset, &config);
+    let funnel = &result.stats.funnel;
+    assert_eq!(funnel.invariant_violation(), None);
+    // generated == routed + unrouted (and a successful run has no
+    // unrouted candidates — they abort the search).
+    assert_eq!(funnel.generated, funnel.routed + funnel.unrouted);
+    assert_eq!(
+        funnel.routed,
+        funnel.cnr_accepted + funnel.cnr_rejected + funnel.cnr_quarantined
+    );
+    // Golden funnel for `golden_search_task` (6 candidates, CNR keep
+    // fraction from `fast()`): pinned exactly, like the score bits above.
+    assert_eq!(funnel.generated, 6, "generated");
+    assert_eq!(funnel.routed, 6, "routed");
+    assert_eq!(funnel.unrouted, 0, "unrouted");
+    assert_eq!(
+        (funnel.cnr_accepted, funnel.cnr_rejected, funnel.cnr_quarantined),
+        GOLDEN_FUNNEL_CNR,
+        "CNR funnel (accepted, rejected, quarantined)"
+    );
+    assert_eq!(funnel.repcap_quarantined, 0, "repcap quarantined");
+    assert_eq!(funnel.score_quarantined, 0, "score quarantined");
+}
+
+/// Golden CNR-stage funnel of [`golden_search_task`]:
+/// `(accepted, rejected, quarantined)`.
+const GOLDEN_FUNNEL_CNR: (u64, u64, u64) = (3, 3, 0);
+
 /// Kill-and-resume property: interrupting the golden search at any stage
 /// boundary and resuming from the journal must reproduce the exact golden
 /// ranking — at every thread count (`scripts/verify.sh` reruns this file

@@ -1,0 +1,195 @@
+//! Direct property tests for the peephole passes and SABRE routing.
+//!
+//! The root `tests/properties.rs` suite checks that these transforms
+//! preserve *semantics* (statevector equivalence); this file backfills the
+//! structural contracts — passes never increase gate count, reach a fixed
+//! point in one application, and routing's output respects the coupling
+//! map — on the same random-circuit distribution.
+
+use elivagar_circuit::{Circuit, Gate, ParamExpr};
+use elivagar_compiler::{
+    cancel_adjacent_inverses, fuse_single_qubit_runs, remove_trivial_gates, route,
+};
+use elivagar_device::Topology;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random circuits over the full gate alphabet the passes handle, with a
+/// mix of constant, trainable, and data-dependent parameters (mirrors the
+/// generator in the root `tests/properties.rs`).
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    let gates = prop::collection::vec((0u8..12, 0usize..4, 0usize..4, -3.2f64..3.2), 1..20);
+    (2usize..5, gates).prop_map(|(n, ops)| {
+        let mut c = Circuit::new(n);
+        let mut next_param = 0;
+        for (kind, qa, qb, angle) in ops {
+            let qa = qa % n;
+            let qb = qb % n;
+            match kind {
+                0 => c.push_gate(Gate::H, &[qa], &[]),
+                1 => c.push_gate(Gate::X, &[qa], &[]),
+                2 => c.push_gate(Gate::S, &[qa], &[]),
+                3 => c.push_gate(Gate::T, &[qa], &[]),
+                4 => {
+                    c.push_gate(Gate::Rx, &[qa], &[ParamExpr::trainable(next_param)]);
+                    next_param += 1;
+                }
+                5 => c.push_gate(Gate::Ry, &[qa], &[ParamExpr::constant(angle)]),
+                6 => c.push_gate(Gate::Rz, &[qa], &[ParamExpr::feature(0)]),
+                7 if qa != qb => c.push_gate(Gate::Cx, &[qa, qb], &[]),
+                8 if qa != qb => c.push_gate(Gate::Cz, &[qa, qb], &[]),
+                9 if qa != qb => {
+                    c.push_gate(Gate::Crz, &[qa, qb], &[ParamExpr::constant(angle)])
+                }
+                10 if qa != qb => {
+                    c.push_gate(Gate::Rzz, &[qa, qb], &[ParamExpr::trainable(next_param)]);
+                    next_param += 1;
+                }
+                11 if qa != qb => c.push_gate(Gate::Swap, &[qa, qb], &[]),
+                _ => {}
+            }
+        }
+        c.set_measured((0..n).collect());
+        c
+    })
+}
+
+/// Every two-qubit gate of `circuit` acts on a coupled pair.
+fn respects_coupling(circuit: &Circuit, topo: &Topology) -> bool {
+    circuit
+        .instructions()
+        .iter()
+        .filter(|ins| ins.qubits.len() == 2)
+        .all(|ins| topo.are_coupled(ins.qubits[0], ins.qubits[1]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cancellation_never_increases_gate_count(circuit in arb_circuit()) {
+        let out = cancel_adjacent_inverses(&circuit);
+        prop_assert!(out.len() <= circuit.len());
+        prop_assert_eq!(out.num_qubits(), circuit.num_qubits());
+        // The pass iterates to a fixed point, so it must be idempotent.
+        let again = cancel_adjacent_inverses(&out);
+        prop_assert_eq!(again.len(), out.len());
+    }
+
+    #[test]
+    fn trivial_gate_removal_never_increases_gate_count(circuit in arb_circuit()) {
+        let out = remove_trivial_gates(&circuit);
+        prop_assert!(out.len() <= circuit.len());
+        prop_assert_eq!(out.num_qubits(), circuit.num_qubits());
+        prop_assert_eq!(remove_trivial_gates(&out).len(), out.len());
+        // Nothing trivial survives.
+        for ins in out.instructions() {
+            prop_assert!(ins.gate != Gate::I);
+        }
+    }
+
+    #[test]
+    fn fusion_never_increases_gate_count(circuit in arb_circuit()) {
+        let out = fuse_single_qubit_runs(&circuit);
+        prop_assert!(out.len() <= circuit.len());
+        prop_assert_eq!(out.num_qubits(), circuit.num_qubits());
+        prop_assert_eq!(fuse_single_qubit_runs(&out).len(), out.len());
+    }
+
+    #[test]
+    fn sabre_routed_circuits_respect_line_coupling(circuit in arb_circuit()) {
+        let topo = Topology::line(circuit.num_qubits());
+        let mapping: Vec<usize> = (0..circuit.num_qubits()).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let routed = route(&circuit, &topo, &mapping, &mut rng);
+        prop_assert!(respects_coupling(&routed.circuit, &topo));
+        // Routing only ever *adds* gates (the SWAPs it inserted).
+        prop_assert_eq!(routed.circuit.len(), circuit.len() + routed.swaps_inserted);
+        prop_assert_eq!(routed.initial_mapping.len(), circuit.num_qubits());
+        prop_assert_eq!(routed.final_mapping.len(), circuit.num_qubits());
+    }
+
+    #[test]
+    fn sabre_routed_circuits_respect_ring_coupling(circuit in arb_circuit()) {
+        // A ring larger than the circuit: routing must stay on coupled
+        // edges even with spare physical qubits around.
+        let topo = Topology::ring(circuit.num_qubits() + 2);
+        let mapping: Vec<usize> = (0..circuit.num_qubits()).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let routed = route(&circuit, &topo, &mapping, &mut rng);
+        prop_assert!(respects_coupling(&routed.circuit, &topo));
+        prop_assert_eq!(routed.circuit.len(), circuit.len() + routed.swaps_inserted);
+    }
+}
+
+#[test]
+fn adjacent_hadamards_cancel() {
+    let mut c = Circuit::new(1);
+    c.push_gate(Gate::H, &[0], &[]);
+    c.push_gate(Gate::H, &[0], &[]);
+    assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+}
+
+#[test]
+fn s_sdg_pair_cancels_but_s_s_does_not() {
+    let mut pair = Circuit::new(1);
+    pair.push_gate(Gate::S, &[0], &[]);
+    pair.push_gate(Gate::Sdg, &[0], &[]);
+    assert_eq!(cancel_adjacent_inverses(&pair).len(), 0);
+
+    let mut same = Circuit::new(1);
+    same.push_gate(Gate::S, &[0], &[]);
+    same.push_gate(Gate::S, &[0], &[]);
+    assert_eq!(cancel_adjacent_inverses(&same).len(), 2);
+}
+
+#[test]
+fn interposed_gate_blocks_cancellation() {
+    let mut c = Circuit::new(2);
+    c.push_gate(Gate::H, &[0], &[]);
+    c.push_gate(Gate::Cx, &[0, 1], &[]);
+    c.push_gate(Gate::H, &[0], &[]);
+    assert_eq!(cancel_adjacent_inverses(&c).len(), 3);
+}
+
+#[test]
+fn opposite_constant_rotations_merge_away() {
+    let mut c = Circuit::new(1);
+    c.push_gate(Gate::Rz, &[0], &[ParamExpr::constant(0.75)]);
+    c.push_gate(Gate::Rz, &[0], &[ParamExpr::constant(-0.75)]);
+    assert_eq!(cancel_adjacent_inverses(&c).len(), 0);
+}
+
+#[test]
+fn zero_rotation_is_trivial_but_trainable_is_not() {
+    let mut c = Circuit::new(1);
+    c.push_gate(Gate::Rx, &[0], &[ParamExpr::constant(0.0)]);
+    c.push_gate(Gate::Rx, &[0], &[ParamExpr::trainable(0)]);
+    let out = remove_trivial_gates(&c);
+    assert_eq!(out.len(), 1);
+    assert!(out.instructions()[0].params[0].as_constant().is_none());
+}
+
+#[test]
+fn constant_run_fuses_to_single_u3() {
+    let mut c = Circuit::new(1);
+    c.push_gate(Gate::H, &[0], &[]);
+    c.push_gate(Gate::S, &[0], &[]);
+    c.push_gate(Gate::T, &[0], &[]);
+    let out = fuse_single_qubit_runs(&c);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.instructions()[0].gate, Gate::U3);
+}
+
+#[test]
+fn uncoupled_cx_on_a_line_gets_swapped_into_range() {
+    // CX(0, 2) on a 3-qubit line needs at least one SWAP.
+    let mut c = Circuit::new(3);
+    c.push_gate(Gate::Cx, &[0, 2], &[]);
+    let topo = Topology::line(3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let routed = route(&c, &topo, &[0, 1, 2], &mut rng);
+    assert!(routed.swaps_inserted >= 1);
+    assert!(respects_coupling(&routed.circuit, &topo));
+}

@@ -228,11 +228,15 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// path is never left torn: on error the previous checkpoint (if any) is
 /// still intact.
 pub fn save(path: &Path, journal: &Journal) -> Result<(), CheckpointError> {
+    let _span = elivagar_obs::span!("checkpoint_save", records = journal.len());
+    let sw = elivagar_obs::metrics::Stopwatch::start();
     let body = serde_json::to_string(journal).map_err(|e| CheckpointError::Corrupt {
         path: path.display().to_string(),
         reason: format!("journal failed to serialize: {e:?}"),
     })?;
     let content = format!("{body}\n{:08x}\n", crc32(body.as_bytes()));
+    elivagar_obs::metrics::CHECKPOINT_SAVES.add(1);
+    elivagar_obs::metrics::CHECKPOINT_BYTES.add(content.len() as u64);
 
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
@@ -262,6 +266,7 @@ pub fn save(path: &Path, journal: &Journal) -> Result<(), CheckpointError> {
         file.set_len(content.len() as u64 / 2)
             .map_err(|e| io_err(path, &e))?;
     }
+    sw.record(&elivagar_obs::metrics::CHECKPOINT_SAVE_NS);
     Ok(())
 }
 

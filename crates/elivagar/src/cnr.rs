@@ -61,6 +61,8 @@ pub fn cnr<R: Rng + ?Sized>(
     config: &SearchConfig,
     rng: &mut R,
 ) -> Result<CnrResult, NoiseModelError> {
+    let sw = elivagar_obs::metrics::Stopwatch::start();
+    elivagar_obs::metrics::CNR_EVALS.add(1);
     let physical = candidate.physical_circuit(device);
     let noise = circuit_noise(device, &physical)?;
     // Replicas are independent: split one RNG stream per replica off the
@@ -86,6 +88,7 @@ pub fn cnr<R: Rng + ?Sized>(
         .expect("clifford replica is clifford by construction");
         fidelity(&ideal, &noisy)
     });
+    sw.record(&elivagar_obs::metrics::CNR_EVAL_NS);
     Ok(CnrResult {
         cnr: fidelities.iter().sum::<f64>() / config.clifford_replicas as f64,
         executions: config.clifford_replicas as u64,
@@ -116,6 +119,8 @@ pub fn cnr_with_shots<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<CnrResult, NoiseModelError> {
     assert!(shots > 0, "need at least one shot");
+    let sw = elivagar_obs::metrics::Stopwatch::start();
+    elivagar_obs::metrics::CNR_EVALS.add(1);
     let physical = candidate.physical_circuit(device);
     let noise = circuit_noise(device, &physical)?;
     // Replicas are statistically independent, so they batch: each gets its
@@ -152,6 +157,7 @@ pub fn cnr_with_shots<R: Rng + ?Sized>(
         let noisy = elivagar_sim::counts_to_distribution(&noisy_counts);
         fidelity(&ideal, &noisy)
     });
+    sw.record(&elivagar_obs::metrics::CNR_EVAL_NS);
     Ok(CnrResult {
         cnr: fidelities.iter().sum::<f64>() / config.clifford_replicas as f64,
         executions: config.clifford_replicas as u64,

@@ -85,6 +85,8 @@ pub fn repcap<R: Rng + ?Sized>(
     assert!(!features.is_empty(), "repcap needs samples");
     assert_eq!(features.len(), labels.len(), "feature/label mismatch");
     assert!(!circuit.measured().is_empty(), "circuit must measure qubits");
+    let sw = elivagar_obs::metrics::Stopwatch::start();
+    elivagar_obs::metrics::REPCAP_EVALS.add(1);
     let d = features.len();
     let num_params = circuit.num_trainable_params();
     // Compile once: constant gates fuse here; per-theta binding below fuses
@@ -139,8 +141,15 @@ pub fn repcap<R: Rng + ?Sized>(
             frob += (r_c[i][j] - reference).powi(2);
         }
     }
+    let repcap = 1.0 - frob / (d * d) as f64;
+    sw.record(&elivagar_obs::metrics::REPCAP_EVAL_NS);
+    // Value distribution, not a latency: scores land in micro-units so the
+    // power-of-two buckets resolve the [0, 1] range.
+    if repcap.is_finite() && repcap > 0.0 {
+        elivagar_obs::metrics::REPCAP_SCORE_MICROS.observe((repcap * 1e6) as u64);
+    }
     RepCapResult {
-        repcap: 1.0 - frob / (d * d) as f64,
+        repcap,
         executions: (d * config.repcap_param_inits) as u64,
     }
 }

@@ -226,7 +226,7 @@ impl ExecutionBreakdown {
 
 /// Result of a search: the selected circuit plus the full evaluation
 /// trail.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct SearchResult {
     /// The selected candidate (local circuit + device placement).
     pub best: Candidate,
@@ -237,6 +237,22 @@ pub struct SearchResult {
     /// Candidates removed from the pool by faults, non-finite values, or
     /// budget exhaustion, sorted by candidate index.
     pub quarantined: Vec<QuarantineEntry>,
+    /// Telemetry summary: the candidate funnel (run-local, deterministic,
+    /// thread-count invariant) plus per-stage timing. All zeros when the
+    /// `telemetry` feature is compiled out.
+    pub stats: elivagar_obs::RunStats,
+}
+
+/// Equality deliberately ignores [`SearchResult::stats`]: the funnel is
+/// deterministic, but stage wall times never are, and crash-resume tests
+/// compare whole results bit for bit.
+impl PartialEq for SearchResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.best == other.best
+            && self.scored == other.scored
+            && self.executions == other.executions
+            && self.quarantined == other.quarantined
+    }
 }
 
 /// Runs the Elivagar search for a dataset on a device.
@@ -331,6 +347,14 @@ pub fn run_search(
         "config expects more features than the dataset has"
     );
 
+    let _run_span = elivagar_obs::span!("search", candidates = config.num_candidates);
+    let run_sw = elivagar_obs::metrics::Stopwatch::start();
+    // Stage timing comes from process-global histogram deltas; the funnel
+    // below is tallied run-locally so concurrent searches cannot pollute
+    // each other.
+    let metrics_before = elivagar_obs::metrics::snapshot();
+    let mut funnel = elivagar_obs::FunnelCounters::default();
+
     let fingerprint = Fingerprint::of(config);
     let mut journal = match &options.resume_from {
         Some(path) => {
@@ -360,10 +384,52 @@ pub fn run_search(
     // Step 1: candidate generation — always recomputed, never journaled:
     // it is a pure function of the seed, and replaying it keeps the main
     // RNG stream at the same position on fresh and resumed runs.
-    let candidates: Vec<Candidate> = (0..config.num_candidates)
-        .map(|_| generate_candidate(device, config, &mut rng))
-        .collect();
+    let candidates: Vec<Candidate> = {
+        let _stage = elivagar_obs::span!("generate_stage");
+        (0..config.num_candidates)
+            .map(|_| {
+                let sw = elivagar_obs::metrics::Stopwatch::start();
+                let c = generate_candidate(device, config, &mut rng);
+                sw.record(&elivagar_obs::metrics::GENERATE_NS);
+                c
+            })
+            .collect()
+    };
     let n = candidates.len();
+    elivagar_obs::metrics::CANDIDATES_GENERATED.add(n as u64);
+    funnel.generated = n as u64;
+    if elivagar_obs::compiled_in() {
+        // Funnel split: a candidate is "routed" when every two-qubit gate
+        // of its physical circuit lands on a coupled pair (device-aware
+        // candidates are routed by construction; device-unaware ones may
+        // violate the topology until a routing pass runs).
+        let topology = device.topology();
+        for c in &candidates {
+            let fits = c
+                .physical_circuit(device)
+                .instructions()
+                .iter()
+                .filter(|ins| ins.qubits.len() == 2)
+                .all(|ins| topology.are_coupled(ins.qubits[0], ins.qubits[1]));
+            if fits {
+                funnel.routed += 1;
+            } else {
+                funnel.unrouted += 1;
+            }
+        }
+        elivagar_obs::metrics::CANDIDATES_ROUTED.add(funnel.routed);
+        elivagar_obs::metrics::CANDIDATES_UNROUTED.add(funnel.unrouted);
+    }
+
+    let finish_stats =
+        |funnel: elivagar_obs::FunnelCounters| -> elivagar_obs::RunStats {
+            let delta = elivagar_obs::metrics::snapshot().since(&metrics_before);
+            elivagar_obs::RunStats {
+                funnel,
+                stages: elivagar_obs::RunStats::stages_from(&delta),
+                wall_ns: run_sw.elapsed_ns(),
+            }
+        };
 
     if config.selection == SelectionStrategy::Random {
         let pick = rng.random_range(0..n);
@@ -381,6 +447,7 @@ pub fn run_search(
             scored,
             executions: ExecutionBreakdown::default(),
             quarantined: Vec::new(),
+            stats: finish_stats(funnel),
         });
     }
 
@@ -395,6 +462,7 @@ pub fn run_search(
     // ablation). Pending candidates are evaluated in checkpoint-sized
     // chunks with per-task panic isolation.
     if config.selection == SelectionStrategy::Full {
+        let _stage = elivagar_obs::span!("cnr_stage");
         let cnr_cost = config.clifford_replicas as u64;
         let mut pending: Vec<usize> = Vec::new();
         let before = journal.len();
@@ -418,6 +486,7 @@ pub fn run_search(
         }
         for chunk in pending.chunks(chunk_size) {
             let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
+                let _span = elivagar_obs::span!("cnr_eval", candidate = i);
                 let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0xC14));
                 match config.cnr_shots {
                     Some(shots) => {
@@ -472,10 +541,17 @@ pub fn run_search(
             return Err(SearchError::NoViableCandidates { quarantined });
         }
         let values: Vec<f64> = healthy.iter().map(|&i| cnrs[i].expect("healthy")).collect();
-        reject_low_fidelity(&values, config.cnr_threshold, config.cnr_keep_fraction)
-            .into_iter()
-            .map(|k| healthy[k])
-            .collect()
+        let kept: Vec<usize> =
+            reject_low_fidelity(&values, config.cnr_threshold, config.cnr_keep_fraction)
+                .into_iter()
+                .map(|k| healthy[k])
+                .collect();
+        funnel.cnr_quarantined = quarantined.len() as u64;
+        funnel.cnr_accepted = kept.len() as u64;
+        funnel.cnr_rejected = (healthy.len() - kept.len()) as u64;
+        elivagar_obs::metrics::CNR_ACCEPTED.add(funnel.cnr_accepted);
+        elivagar_obs::metrics::CNR_REJECTED.add(funnel.cnr_rejected);
+        kept
     } else {
         (0..n).collect()
     };
@@ -485,6 +561,7 @@ pub fn run_search(
     let (samples, labels) = dataset.sample_per_class(config.repcap_samples_per_class, &mut rng);
     let repcap_cost = (samples.len() * config.repcap_param_inits) as u64;
     {
+        let _stage = elivagar_obs::span!("repcap_stage");
         let mut pending: Vec<usize> = Vec::new();
         let before = journal.len();
         for &i in &survivors {
@@ -510,6 +587,7 @@ pub fn run_search(
         }
         for chunk in pending.chunks(chunk_size) {
             let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
+                let _span = elivagar_obs::span!("repcap_eval", candidate = i);
                 elivagar_sim::faultpoint::hit("repcap::eval", i as u64);
                 let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0x4E9));
                 repcap(&candidates[i].circuit, &samples, &labels, config, &mut rng)
@@ -547,6 +625,7 @@ pub fn run_search(
                 stage: SearchStage::RepCap,
                 reason: reason.clone(),
             });
+            funnel.repcap_quarantined += 1;
         } else {
             repcaps[i] = rec.value_bits.map(f64::from_bits);
         }
@@ -567,6 +646,7 @@ pub fn run_search(
     // (possible only through data corruption or injected faults — both
     // predictors are finite here) quarantines the candidate instead of
     // poisoning the sort.
+    let _score_stage = elivagar_obs::span!("score_stage");
     let mut scored: Vec<ScoredCandidate> = candidates
         .into_iter()
         .enumerate()
@@ -586,6 +666,7 @@ pub fn run_search(
                         stage: SearchStage::Score,
                         reason: format!("non-finite composite score {s}"),
                     });
+                    funnel.score_quarantined += 1;
                     None
                 }
                 other => other,
@@ -615,11 +696,13 @@ pub fn run_search(
     // Order the trail by descending score for inspection convenience;
     // unscored (rejected or quarantined) candidates sort last.
     scored.sort_by(|a, b| score_order(b.score, a.score));
+    elivagar_obs::metrics::CANDIDATES_QUARANTINED.add(quarantined.len() as u64);
     Ok(SearchResult {
         best,
         scored,
         executions,
         quarantined,
+        stats: finish_stats(funnel),
     })
 }
 

@@ -152,6 +152,8 @@ fn train_attempt(
     let mut order: Vec<usize> = (0..n).collect();
     let mut batch_counter = 0u64;
     for epoch in 0..config.epochs {
+        let _epoch_span = elivagar_obs::span!("train_epoch", epoch = epoch);
+        let epoch_sw = elivagar_obs::metrics::Stopwatch::start();
         // Shuffle.
         for i in (1..n).rev() {
             let j = rng.random_range(0..=i);
@@ -196,6 +198,8 @@ fn train_attempt(
             batches += 1;
         }
         loss_history.push(epoch_loss / batches as f64);
+        elivagar_obs::metrics::TRAIN_EPOCHS.add(1);
+        epoch_sw.record(&elivagar_obs::metrics::TRAIN_EPOCH_NS);
     }
     Ok((params, loss_history))
 }
@@ -234,6 +238,10 @@ pub fn try_train(
         // fresh seed split with exponentially backed-off step sizes.
         let seed = if attempt == 0 { config.seed } else { reinit.seed(attempt) };
         let learning_rate = config.learning_rate * 0.5f64.powi(attempt as i32);
+        if attempt > 0 {
+            elivagar_obs::metrics::TRAIN_RETRIES.add(1);
+        }
+        let _attempt_span = elivagar_obs::span!("train_attempt", attempt = attempt);
         match train_attempt(model, data, config, seed, learning_rate, attempt, &mut executions) {
             Ok((params, loss_history)) => {
                 return Ok(TrainOutcome {

@@ -1,0 +1,291 @@
+//! End-of-run statistics: the candidate funnel, per-stage timing, and
+//! human-readable report rendering.
+//!
+//! [`FunnelCounters`] is **run-local** — `run_search` tallies it from its
+//! own data rather than diffing process-global metrics, so concurrent
+//! searches in one test binary cannot pollute each other and the funnel
+//! is bit-identical across thread counts. [`StageStats`] timing comes
+//! from global histogram snapshot deltas and is informational only —
+//! wall times are never compared across runs.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// The candidate-rejection funnel of one search run (paper Fig. 8).
+///
+/// Invariants (checked by [`FunnelCounters::invariant_violation`] and
+/// pinned by the determinism suite):
+///
+/// * `generated == routed + unrouted`
+/// * `routed == cnr_accepted + cnr_rejected + cnr_quarantined`
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FunnelCounters {
+    /// Candidates produced by the generator.
+    pub generated: u64,
+    /// Candidates whose physical circuit respects the device topology.
+    pub routed: u64,
+    /// Candidates with at least one two-qubit gate on uncoupled qubits.
+    pub unrouted: u64,
+    /// Routed candidates that survived CNR early rejection.
+    pub cnr_accepted: u64,
+    /// Routed candidates rejected by the CNR threshold / keep fraction.
+    pub cnr_rejected: u64,
+    /// Candidates quarantined during the CNR stage (panic, non-finite
+    /// value, or exhausted execution budget).
+    pub cnr_quarantined: u64,
+    /// CNR survivors quarantined during the RepCap stage.
+    pub repcap_quarantined: u64,
+    /// Fully evaluated candidates quarantined at scoring (non-finite
+    /// composite score).
+    pub score_quarantined: u64,
+}
+
+impl FunnelCounters {
+    /// Total quarantined candidates across all stages.
+    pub fn quarantined_total(&self) -> u64 {
+        self.cnr_quarantined + self.repcap_quarantined + self.score_quarantined
+    }
+
+    /// Returns a description of the first violated funnel invariant, or
+    /// `None` when the funnel is consistent.
+    pub fn invariant_violation(&self) -> Option<String> {
+        if self.generated != self.routed + self.unrouted {
+            return Some(format!(
+                "generated ({}) != routed ({}) + unrouted ({})",
+                self.generated, self.routed, self.unrouted
+            ));
+        }
+        if self.routed != self.cnr_accepted + self.cnr_rejected + self.cnr_quarantined {
+            return Some(format!(
+                "routed ({}) != cnr_accepted ({}) + cnr_rejected ({}) + cnr_quarantined ({})",
+                self.routed, self.cnr_accepted, self.cnr_rejected, self.cnr_quarantined
+            ));
+        }
+        None
+    }
+}
+
+/// Count and latency distribution of one pipeline stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageStats {
+    /// Stage label (histogram registry name, e.g. `cnr_eval`).
+    pub name: &'static str,
+    /// Observations recorded during the run.
+    pub count: u64,
+    /// Total wall time in nanoseconds (histogram sum). For value
+    /// distributions such as `repcap_score_micros` this is the value sum
+    /// rather than a duration.
+    pub total_ns: u64,
+    /// Median latency estimate (bucket upper bound).
+    pub p50_ns: u64,
+    /// 99th-percentile latency estimate (bucket upper bound).
+    pub p99_ns: u64,
+}
+
+impl StageStats {
+    /// Builds stage stats from a histogram delta; `None` when the stage
+    /// never ran.
+    pub fn from_snapshot(name: &'static str, h: &HistogramSnapshot) -> Option<StageStats> {
+        let count = h.count();
+        if count == 0 {
+            return None;
+        }
+        Some(StageStats {
+            name,
+            count,
+            total_ns: h.sum,
+            p50_ns: h.quantile(0.5),
+            p99_ns: h.quantile(0.99),
+        })
+    }
+}
+
+/// Telemetry summary of one search run, surfaced on `SearchResult` and
+/// printed by `elivagar-cli --stats`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// The candidate funnel (run-local, deterministic, thread-count
+    /// invariant).
+    pub funnel: FunnelCounters,
+    /// Per-stage counts and latency quantiles for stages that ran
+    /// (process-global histogram deltas; informational, never compared).
+    pub stages: Vec<StageStats>,
+    /// Wall time of the whole run in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl RunStats {
+    /// Extracts stage stats from a metrics delta (`now.since(&before)`).
+    pub fn stages_from(delta: &MetricsSnapshot) -> Vec<StageStats> {
+        delta
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| StageStats::from_snapshot(name, h))
+            .collect()
+    }
+
+    /// Renders the human-readable end-of-run report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== run stats ==");
+        let _ = writeln!(out, "wall time: {}", fmt_ns(self.wall_ns));
+        let f = &self.funnel;
+        let _ = writeln!(out, "funnel:");
+        let _ = writeln!(
+            out,
+            "  generated {:>6}  (routed {} / unrouted {})",
+            f.generated, f.routed, f.unrouted
+        );
+        let _ = writeln!(
+            out,
+            "  cnr       {:>6} accepted / {} rejected / {} quarantined",
+            f.cnr_accepted, f.cnr_rejected, f.cnr_quarantined
+        );
+        let _ = writeln!(
+            out,
+            "  repcap    {:>6} quarantined;  score {} quarantined;  total quarantined {}",
+            f.repcap_quarantined,
+            f.score_quarantined,
+            f.quarantined_total()
+        );
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10} {:>12} {:>12} {:>12}",
+                "stage", "count", "total", "p50", "p99"
+            );
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>10} {:>12} {:>12} {:>12}",
+                    s.name,
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.p50_ns),
+                    fmt_ns(s.p99_ns)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Renders every process-global counter and histogram — the "what did
+/// this whole process do" report (`elivagar-cli --stats` appends it after
+/// the run report).
+pub fn render_process_report(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== process counters ==");
+    for &(name, value) in &snapshot.counters {
+        if value != 0 {
+            let _ = writeln!(out, "{name:<32} {value:>12}");
+        }
+    }
+    let _ = writeln!(out, "== process histograms ==");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>12} {:>12} {:>12}",
+        "histogram", "count", "total", "p50", "p99"
+    );
+    for (name, h) in &snapshot.histograms {
+        if let Some(s) = StageStats::from_snapshot(name, h) {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10} {:>12} {:>12} {:>12}",
+                s.name,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.p50_ns),
+                fmt_ns(s.p99_ns)
+            );
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds with an adaptive unit (`837ns`, `4.2µs`, `1.3ms`,
+/// `2.50s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consistent_funnel() -> FunnelCounters {
+        FunnelCounters {
+            generated: 10,
+            routed: 8,
+            unrouted: 2,
+            cnr_accepted: 5,
+            cnr_rejected: 2,
+            cnr_quarantined: 1,
+            repcap_quarantined: 1,
+            score_quarantined: 0,
+        }
+    }
+
+    #[test]
+    fn consistent_funnel_has_no_violation() {
+        assert_eq!(consistent_funnel().invariant_violation(), None);
+        assert_eq!(consistent_funnel().quarantined_total(), 2);
+    }
+
+    #[test]
+    fn violations_are_reported_with_the_numbers() {
+        let mut f = consistent_funnel();
+        f.unrouted = 3;
+        let msg = f.invariant_violation().expect("generated invariant");
+        assert!(msg.contains("generated (10)"), "{msg}");
+
+        let mut f = consistent_funnel();
+        f.cnr_rejected = 9;
+        let msg = f.invariant_violation().expect("routed invariant");
+        assert!(msg.contains("routed (8)"), "{msg}");
+    }
+
+    #[test]
+    fn report_renders_funnel_and_stages() {
+        let stats = RunStats {
+            funnel: consistent_funnel(),
+            stages: vec![StageStats {
+                name: "cnr_eval",
+                count: 8,
+                total_ns: 8_000_000,
+                p50_ns: 1_048_575,
+                p99_ns: 2_097_151,
+            }],
+            wall_ns: 2_500_000_000,
+        };
+        let report = stats.render();
+        assert!(report.contains("generated     10"), "{report}");
+        assert!(report.contains("cnr_eval"), "{report}");
+        assert!(report.contains("2.50s"), "{report}");
+    }
+
+    #[test]
+    fn empty_stage_snapshots_are_dropped() {
+        let empty = HistogramSnapshot {
+            counts: [0; crate::metrics::HISTOGRAM_BUCKETS],
+            sum: 0,
+        };
+        assert_eq!(StageStats::from_snapshot("idle", &empty), None);
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(837), "837ns");
+        assert_eq!(fmt_ns(4_200), "4.2µs");
+        assert_eq!(fmt_ns(1_300_000), "1.3ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+}

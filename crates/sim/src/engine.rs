@@ -39,6 +39,14 @@ use elivagar_circuit::{Circuit, Gate, ParamExpr};
 /// than the arithmetic it parallelizes.
 pub const AMPLITUDE_PAR_MIN_QUBITS: usize = 16;
 
+/// Tallies a batch dispatch and starts its wall-time stopwatch; callers
+/// file the elapsed time into `ENGINE_BATCH_NS` when the batch drains.
+fn record_batch(samples: usize) -> elivagar_obs::metrics::Stopwatch {
+    elivagar_obs::metrics::ENGINE_BATCHES.add(1);
+    elivagar_obs::metrics::ENGINE_SAMPLES.add(samples as u64);
+    elivagar_obs::metrics::Stopwatch::start()
+}
+
 /// Tolerance used to drop fused unitaries that collapsed to the identity.
 const IDENTITY_TOL: f64 = 1e-14;
 
@@ -350,7 +358,10 @@ impl Program {
     /// parameter vector, parallelized across samples. Order-preserving:
     /// `run_batch(p, xs)[i] == run(p, &xs[i])` bit-for-bit.
     pub fn run_batch(&self, params: &[f64], features_batch: &[Vec<f64>]) -> Vec<StateVector> {
-        par_map(features_batch, |features| self.run(params, features))
+        let sw = record_batch(features_batch.len());
+        let out = par_map(features_batch, |features| self.run(params, features));
+        sw.record(&elivagar_obs::metrics::ENGINE_BATCH_NS);
+        out
     }
 
     fn initial_state(&self, features: &[f64]) -> StateVector {
@@ -438,7 +449,10 @@ impl BoundProgram {
     /// Executes the bound program over a batch of feature vectors,
     /// parallelized across samples (order-preserving).
     pub fn run_batch(&self, features_batch: &[Vec<f64>]) -> Vec<StateVector> {
-        par_map(features_batch, |features| self.run(features))
+        let sw = record_batch(features_batch.len());
+        let out = par_map(features_batch, |features| self.run(features));
+        sw.record(&elivagar_obs::metrics::ENGINE_BATCH_NS);
+        out
     }
 
     /// Executes over a batch and post-processes each final state in the
@@ -451,9 +465,12 @@ impl BoundProgram {
         T: Send,
         F: Fn(usize, &StateVector) -> T + Sync,
     {
-        par_map_index(features_batch.len(), |i| {
+        let sw = record_batch(features_batch.len());
+        let out = par_map_index(features_batch.len(), |i| {
             self.run_with(&features_batch[i], |psi| post(i, psi))
-        })
+        });
+        sw.record(&elivagar_obs::metrics::ENGINE_BATCH_NS);
+        out
     }
 
     /// Number of fused operations after binding.

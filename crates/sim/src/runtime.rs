@@ -186,7 +186,10 @@ impl Job {
                 .map(|k| &self.ranges[(my_index + k) % n])
                 .find_map(WorkRange::steal_back);
             match stolen {
-                Some((a, b)) => self.run_chunk(a, b),
+                Some((a, b)) => {
+                    elivagar_obs::metrics::POOL_STEALS.add(1);
+                    self.run_chunk(a, b);
+                }
                 None => return,
             }
         }
@@ -323,6 +326,7 @@ where
         done: Condvar::new(),
     });
 
+    elivagar_obs::metrics::POOL_DISPATCHES.add(1);
     {
         let mut jobs = pool.shared.jobs.lock().expect("runtime job list poisoned");
         jobs.push(Arc::clone(&job));
@@ -335,8 +339,14 @@ where
 
     let panic_payload = {
         let mut st = job.state.lock().expect("runtime state poisoned");
-        while st.finished < job.total {
-            st = job.done.wait(st).expect("runtime state poisoned");
+        if st.finished < job.total {
+            // Idle time: the submitter ran out of claimable work while
+            // workers still hold chunks.
+            let wait = elivagar_obs::metrics::Stopwatch::start();
+            while st.finished < job.total {
+                st = job.done.wait(st).expect("runtime state poisoned");
+            }
+            elivagar_obs::metrics::POOL_SUBMITTER_WAIT_NS.add(wait.elapsed_ns());
         }
         st.panic.take()
     };

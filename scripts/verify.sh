@@ -8,23 +8,83 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+# Runs a cargo test invocation, echoes how many tests actually passed,
+# and fails if the run matched zero tests: a typo in a `-p` name, test
+# binary, or filter would otherwise "pass" while verifying nothing.
+run_counted() {
+  local label="$1"
+  shift
+  local out
+  if ! out="$("$@" 2>&1)"; then
+    printf '%s\n' "$out"
+    echo "verify: FAIL — $label" >&2
+    return 1
+  fi
+  printf '%s\n' "$out"
+  local passed
+  passed="$(printf '%s\n' "$out" \
+    | sed -n 's/^test result: ok\. \([0-9][0-9]*\) passed.*/\1/p' \
+    | awk '{ s += $1 } END { print s + 0 }')"
+  echo "verify: $label — $passed tests passed"
+  if [ "$passed" -eq 0 ]; then
+    echo "verify: FAIL — $label matched zero tests (typo in a test name or filter?)" >&2
+    return 1
+  fi
+}
+
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+
+# Telemetry must also build and pass with the feature compiled out (the
+# disabled path is part of the obs crate's API contract, not dead code).
+cargo build -p elivagar-obs --no-default-features
+cargo test -q -p elivagar-obs --no-default-features
 
 # Thread-count determinism matrix: every predictor must produce
 # bit-identical f64s at any pool size. ELIVAGAR_THREADS is read once at
 # pool startup, so each setting needs its own process; 4 oversubscribes
 # small jobs, which exercises worker-id folding onto short range arrays.
 for t in 1 2 4; do
-  ELIVAGAR_THREADS="$t" cargo test -q -p elivagar-bench --test determinism
+  ELIVAGAR_THREADS="$t" run_counted "determinism @ $t threads" \
+    cargo test -q -p elivagar-bench --test determinism
 done
 
 # Chaos pass: compile the fault-injection registry in and drive injected
 # panics, NaNs, torn checkpoint writes, and kill+resume through the full
 # pipeline (crates/elivagar/tests/chaos.rs).
-cargo test -q -p elivagar --features fault-injection
-cargo test -q -p elivagar-ml --features fault-injection
+run_counted "chaos (elivagar)" cargo test -q -p elivagar --features fault-injection
+run_counted "chaos (elivagar-ml)" cargo test -q -p elivagar-ml --features fault-injection
+
+# Telemetry overhead gate: the instrumented search (counters live, span
+# tracing disabled) must stay within 5% of a build with telemetry
+# compiled out. Both builds produce the same `obs_overhead` path, so
+# each binary is copied aside before the next build overwrites it.
+cargo build --release -p elivagar-bench --bin obs_overhead
+cp target/release/obs_overhead target/release/obs_overhead_instrumented
+cargo build --release -p elivagar-bench --bin obs_overhead --no-default-features
+cp target/release/obs_overhead target/release/obs_overhead_bare
+
+# Best of 3 process runs (each itself best-of-20 searches) per build.
+best_ns() {
+  local bin="$1" best="" ns
+  for _ in 1 2 3; do
+    ns="$("$bin" 20 | sed -n 's/.*"best_wall_ns":\([0-9][0-9]*\).*/\1/p')"
+    if [ -z "$best" ] || [ "$ns" -lt "$best" ]; then best="$ns"; fi
+  done
+  echo "$best"
+}
+instrumented_ns="$(best_ns target/release/obs_overhead_instrumented)"
+bare_ns="$(best_ns target/release/obs_overhead_bare)"
+overhead="$(awk -v i="$instrumented_ns" -v b="$bare_ns" \
+  'BEGIN { printf "%.4f", i / b - 1.0 }')"
+printf '{"instrumented_best_ns":%s,"baseline_best_ns":%s,"overhead":%s}\n' \
+  "$instrumented_ns" "$bare_ns" "$overhead" > BENCH_obs.json
+echo "verify: telemetry overhead $overhead (instrumented $instrumented_ns ns vs bare $bare_ns ns)"
+awk -v i="$instrumented_ns" -v b="$bare_ns" 'BEGIN { exit !(i <= 1.05 * b) }' || {
+  echo "verify: FAIL — telemetry overhead exceeds 5%" >&2
+  exit 1
+}
 
 # Benches can't rot: compile them without running.
 cargo bench --no-run --workspace

@@ -3,6 +3,7 @@
 //! ```text
 //! elivagar-cli search --benchmark moons --device ibm-lagos [--candidates 24] [--seed 0]
 //!                     [--checkpoint journal.json] [--resume journal.json]
+//!                     [--stats] [--trace-out trace.jsonl]
 //! elivagar-cli devices
 //! elivagar-cli benchmarks
 //! ```
@@ -13,6 +14,12 @@
 //! evaluations so an interrupted run can be picked up with `--resume`
 //! (which implies checkpointing to the same file); the resumed search
 //! reproduces the uninterrupted ranking bit for bit.
+//!
+//! `--stats` prints the end-of-run telemetry report (candidate funnel,
+//! per-stage counts, wall time, p50/p99 latencies) to stderr; `--trace-out
+//! FILE` enables span tracing and writes a Chrome Trace Event JSON file
+//! loadable in `chrome://tracing` or Perfetto. QASM output on stdout is
+//! unaffected by either flag.
 
 use elivagar::{run_search, RunOptions, SearchConfig};
 use elivagar_circuit::to_qasm;
@@ -34,7 +41,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elivagar-cli search --benchmark <name> --device <name> \
          [--candidates N] [--params N] [--epochs N] [--seed N] \
-         [--checkpoint FILE] [--resume FILE]\n  \
+         [--checkpoint FILE] [--resume FILE] [--stats] [--trace-out FILE]\n  \
          elivagar-cli devices\n  elivagar-cli benchmarks"
     );
     ExitCode::FAILURE
@@ -97,6 +104,18 @@ fn main() -> ExitCode {
             config.repcap_samples_per_class = 8;
             config.seed = seed;
 
+            let want_stats = args.iter().any(|a| a == "--stats");
+            let trace_out = flag_value(&args, "--trace-out").map(std::path::PathBuf::from);
+            if trace_out.is_some() {
+                if !elivagar_obs::compiled_in() {
+                    eprintln!(
+                        "warning: --trace-out requested but this binary was built without \
+                         the `telemetry` feature; the trace will be empty"
+                    );
+                }
+                elivagar_obs::set_tracing(true);
+            }
+
             let checkpoint = flag_value(&args, "--checkpoint").map(std::path::PathBuf::from);
             let resume = flag_value(&args, "--resume").map(std::path::PathBuf::from);
             let options = RunOptions {
@@ -154,6 +173,35 @@ fn main() -> ExitCode {
                 "{}",
                 to_qasm(&best.circuit, &outcome.params, &dataset.test().features[0])
             );
+
+            if want_stats {
+                eprint!("{}", result.stats.render());
+                eprint!(
+                    "{}",
+                    elivagar_obs::stats::render_process_report(&elivagar_obs::metrics::snapshot())
+                );
+            }
+            if let Some(path) = trace_out {
+                elivagar_obs::set_tracing(false);
+                let events = elivagar_obs::drain();
+                if let Err(e) = elivagar_obs::validate_forest(&events) {
+                    eprintln!("warning: trace forest is malformed: {e}");
+                }
+                let write = std::fs::File::create(&path).and_then(|mut f| {
+                    elivagar_obs::write_chrome_trace(&events, &mut f)
+                });
+                match write {
+                    Ok(()) => eprintln!(
+                        "wrote {} trace events to {} (load in chrome://tracing)",
+                        events.len(),
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("failed to write trace to {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
         _ => usage(),

@@ -1,0 +1,61 @@
+//! End-to-end check of the CLI telemetry flags: `--stats` prints the
+//! end-of-run report to stderr and `--trace-out` writes a JSON trace file,
+//! while stdout stays pure QASM either way.
+
+use std::process::Command;
+
+#[test]
+fn cli_stats_and_trace_out_produce_report_and_json_trace() {
+    let mut trace_path = std::env::temp_dir();
+    trace_path.push(format!("elivagar-cli-stats-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_elivagar-cli"))
+        .args([
+            "search",
+            "--benchmark",
+            "moons",
+            "--device",
+            "ibm-lagos",
+            "--candidates",
+            "4",
+            "--epochs",
+            "2",
+            "--stats",
+            "--trace-out",
+        ])
+        .arg(&trace_path)
+        .output()
+        .expect("CLI binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "CLI failed.\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+
+    // Stats report on stderr: funnel, stage table, process counters.
+    assert!(stderr.contains("== run stats =="), "missing report header:\n{stderr}");
+    assert!(stderr.contains("generated"), "missing funnel line:\n{stderr}");
+    assert!(stderr.contains("stage"), "missing stage table:\n{stderr}");
+    assert!(stderr.contains("p99"), "missing latency columns:\n{stderr}");
+    assert!(
+        stderr.contains("trace events to"),
+        "missing trace confirmation:\n{stderr}"
+    );
+
+    // Stdout stays machine-readable QASM regardless of telemetry flags.
+    assert!(stdout.contains("OPENQASM"), "stdout is not QASM:\n{stdout}");
+
+    // The trace file is a JSON array with Begin/End duration events.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let trimmed = trace.trim();
+    assert!(trimmed.starts_with('['), "trace must be a JSON array");
+    assert!(trimmed.ends_with(']'), "trace must be a JSON array");
+    assert!(trace.contains("\"ph\":\"B\""), "trace has Begin events");
+    assert!(trace.contains("\"ph\":\"E\""), "trace has End events");
+    assert!(trace.contains("\"cat\":\"elivagar\""), "trace events carry the category");
+    assert!(trace.contains("\"name\":\"search\""), "trace covers the search span");
+
+    let _ = std::fs::remove_file(&trace_path);
+}
