@@ -11,7 +11,7 @@
 use elivagar_datasets::Split;
 use elivagar_ml::{cross_entropy, Adam, QuantumClassifier};
 use elivagar_sim::noise::CircuitNoise;
-use elivagar_sim::{adjoint_gradient, noisy_distribution, ZObservable};
+use elivagar_sim::{adjoint_gradient, noisy_distribution_auto, ZObservable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -263,7 +263,9 @@ pub fn qtn_vqc_noisy_accuracy<R: Rng + ?Sized>(
         .zip(&data.labels)
         .filter(|(x, &y)| {
             let angles = qtn.layer.forward(x);
-            let dist = noisy_distribution(
+            // Auto-dispatch: Clifford-parameterized models ride the
+            // bit-parallel Pauli-frame engine, others the state-vector path.
+            let dist = noisy_distribution_auto(
                 model.circuit(),
                 &qtn.params,
                 &angles,

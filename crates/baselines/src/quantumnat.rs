@@ -11,7 +11,7 @@
 use elivagar_datasets::Split;
 use elivagar_ml::{cross_entropy, Adam, QuantumClassifier};
 use elivagar_sim::noise::CircuitNoise;
-use elivagar_sim::{adjoint_gradient, noisy_distribution, ZObservable};
+use elivagar_sim::{adjoint_gradient, noisy_distribution_auto, ZObservable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -154,8 +154,10 @@ pub fn quantumnat_noisy_accuracy<R: Rng + ?Sized>(
         .iter()
         .zip(&data.labels)
         .filter(|(x, &y)| {
+            // Auto-dispatch: Clifford-parameterized models ride the
+            // bit-parallel Pauli-frame engine, others the state-vector path.
             let dist =
-                noisy_distribution(model.circuit(), &nat.params, x, noise, trajectories, rng);
+                noisy_distribution_auto(model.circuit(), &nat.params, x, noise, trajectories, rng);
             let expectations = model.expectations_from_distribution(&dist);
             let logits = model.logits_from_expectations(&expectations);
             elivagar_ml::argmax(&nat.normalize(&logits)) == y

@@ -1,0 +1,122 @@
+//! Records the CNR-engine trajectory point (`BENCH_cnr.json`): the
+//! per-shot tableau reference versus the bit-parallel Pauli-frame engine
+//! on the reference CNR workload — one 10-qubit Clifford replica of a
+//! search candidate on `ibmq_kolkata`, 1000 noise trajectories.
+//!
+//! Both engines are run from the same RNG seed and asserted bit-identical
+//! before timing, so the reported speedup is for *exactly* the same
+//! computation. `scripts/verify.sh` gates on `speedup >= 5.0`.
+
+use elivagar::{clifford_replica, generate_candidate, SearchConfig};
+use elivagar_device::circuit_noise;
+use elivagar_sim::{noisy_clifford_distribution, noisy_clifford_distribution_tableau};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const TRAJECTORIES: usize = 1000;
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    num_qubits: usize,
+    trajectories: usize,
+    tableau_median_ns: u64,
+    tableau_min_ns: u64,
+    frame_median_ns: u64,
+    frame_min_ns: u64,
+    /// Median-over-median tableau/frame ratio — the CNR throughput win.
+    speedup: f64,
+}
+
+/// Times `f` over `reps` runs (after `warmup` discarded runs) and returns
+/// `(median, min)` in nanoseconds.
+fn time_reps(warmup: usize, reps: usize, mut f: impl FnMut()) -> (u64, u64) {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_nanos()).expect("fits in u64 ns")
+        })
+        .collect();
+    times.sort_unstable();
+    (times[times.len() / 2], times[0])
+}
+
+fn main() {
+    // The same reference candidate `bench_runtime` uses for its
+    // RepCap-shaped batch: 10 qubits, 60-parameter budget, seed 3.
+    let device = elivagar_device::devices::ibmq_kolkata();
+    let config = SearchConfig::for_task(10, 60, 4, 4);
+    let mut rng = StdRng::seed_from_u64(3);
+    let candidate = generate_candidate(&device, &config, &mut rng);
+    let physical = candidate.physical_circuit(&device);
+    let noise = circuit_noise(&device, &physical).expect("candidate fits the device");
+    let replica = clifford_replica(&candidate.circuit, &mut rng);
+
+    // Exactness first: identical seeds must produce identical bits, or the
+    // timing comparison below is meaningless.
+    let mut rng_frame = StdRng::seed_from_u64(42);
+    let mut rng_tableau = StdRng::seed_from_u64(42);
+    let frame_dist =
+        noisy_clifford_distribution(&replica, &[], &[], &noise, TRAJECTORIES, &mut rng_frame)
+            .expect("clifford replica is clifford by construction");
+    let tableau_dist = noisy_clifford_distribution_tableau(
+        &replica,
+        &[],
+        &[],
+        &noise,
+        TRAJECTORIES,
+        &mut rng_tableau,
+    )
+    .expect("clifford replica is clifford by construction");
+    assert_eq!(frame_dist.len(), tableau_dist.len());
+    assert!(
+        frame_dist
+            .iter()
+            .zip(&tableau_dist)
+            .all(|(f, t)| f.to_bits() == t.to_bits()),
+        "frame and tableau engines disagree on the benchmark workload"
+    );
+
+    let (tableau_median_ns, tableau_min_ns) = time_reps(2, 15, || {
+        let mut rng = StdRng::seed_from_u64(42);
+        black_box(
+            noisy_clifford_distribution_tableau(
+                &replica,
+                &[],
+                &[],
+                &noise,
+                TRAJECTORIES,
+                &mut rng,
+            )
+            .unwrap(),
+        );
+    });
+    let (frame_median_ns, frame_min_ns) = time_reps(5, 30, || {
+        let mut rng = StdRng::seed_from_u64(42);
+        black_box(
+            noisy_clifford_distribution(&replica, &[], &[], &noise, TRAJECTORIES, &mut rng)
+                .unwrap(),
+        );
+    });
+
+    let report = Report {
+        threads: elivagar_sim::num_threads(),
+        num_qubits: replica.num_qubits(),
+        trajectories: TRAJECTORIES,
+        tableau_median_ns,
+        tableau_min_ns,
+        frame_median_ns,
+        frame_min_ns,
+        speedup: tableau_median_ns as f64 / frame_median_ns as f64,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_cnr.json", &json).expect("write BENCH_cnr.json");
+    println!("{json}");
+}

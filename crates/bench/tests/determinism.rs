@@ -22,7 +22,10 @@ use elivagar_circuit::{Circuit, Gate, ParamExpr};
 use elivagar_datasets::moons;
 use elivagar_device::devices::ibm_lagos;
 use elivagar_ml::{batch_gradient, GradientMethod, QuantumClassifier};
-use elivagar_sim::{noisy_clifford_distribution, noisy_distribution, CircuitNoise};
+use elivagar_sim::{
+    noisy_clifford_distribution, noisy_clifford_distribution_tableau, noisy_distribution,
+    CircuitNoise,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -163,6 +166,50 @@ fn clifford_trajectory_bits_are_thread_count_invariant() {
     assert_eq!(dist.len(), 4);
     for (i, (&d, &bits)) in dist.iter().zip(&DIST_BITS).enumerate() {
         assert_bits(d, bits, &format!("dist[{i}]"));
+    }
+}
+
+/// Post-runtime golden: the bit-parallel Pauli-frame engine on a workload
+/// spanning multiple 64-lane blocks plus a ragged tail. The same call with
+/// the same seed must land on these bits at every `ELIVAGAR_THREADS`
+/// setting (frame blocks are reduced in block order), and the per-shot
+/// tableau reference must produce the identical distribution — the frame
+/// engine's exactness contract, pinned on a fixed workload.
+#[test]
+fn frame_engine_bits_are_thread_count_invariant() {
+    const DIST_BITS: [u64; 8] = [
+        0x3fc8d8ec95bff046,
+        0x3fac9c4da9003eeb,
+        0x3fac9c4da9003eeb,
+        0x3fc8d8ec95bff046,
+        0x3fc8d8ec95bff046,
+        0x3fac9c4da9003eeb,
+        0x3fac9c4da9003eeb,
+        0x3fc8d8ec95bff046,
+    ];
+    let mut c = Circuit::new(5);
+    c.push_gate(Gate::H, &[0], &[]);
+    for q in 0..4 {
+        c.push_gate(Gate::Cx, &[q, q + 1], &[]);
+    }
+    c.push_gate(Gate::S, &[2], &[]);
+    c.push_gate(Gate::H, &[4], &[]);
+    c.set_measured(vec![0, 2, 4]);
+    let noise = CircuitNoise::uniform(&[1, 2, 2, 2, 2, 1, 1], 3, 0.03, 0.08, 0.02);
+    // 200 trajectories spans three full frame blocks plus a ragged tail.
+    let mut rng = StdRng::seed_from_u64(23);
+    let dist = noisy_clifford_distribution(&c, &[], &[], &noise, 200, &mut rng).unwrap();
+    assert_eq!(dist.len(), 8);
+    for (i, (&d, &bits)) in dist.iter().zip(&DIST_BITS).enumerate() {
+        assert_bits(d, bits, &format!("frame dist[{i}]"));
+    }
+    // Cross-engine: the tableau reference reproduces the frame engine's
+    // output bit-for-bit from the same seed.
+    let mut rng = StdRng::seed_from_u64(23);
+    let tableau =
+        noisy_clifford_distribution_tableau(&c, &[], &[], &noise, 200, &mut rng).unwrap();
+    for (i, (&f, &t)) in dist.iter().zip(&tableau).enumerate() {
+        assert_bits(t, f.to_bits(), &format!("tableau dist[{i}] vs frame"));
     }
 }
 

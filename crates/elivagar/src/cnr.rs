@@ -11,7 +11,10 @@ use crate::config::SearchConfig;
 use crate::generate::Candidate;
 use elivagar_circuit::{Circuit, ParamExpr};
 use elivagar_device::{circuit_noise, Device, NoiseModelError};
-use elivagar_sim::{fidelity, noisy_clifford_distribution, run_clifford};
+use elivagar_sim::{
+    fidelity, noisy_clifford_distribution, noisy_clifford_distribution_frames_with_ideal,
+    run_clifford,
+};
 use rand::{Rng, SeedableRng};
 
 /// Builds one Clifford replica: every parametric slot (trainable, data, or
@@ -74,10 +77,9 @@ pub fn cnr<R: Rng + ?Sized>(
         elivagar_sim::faultpoint::hit("cnr::replica", seeds.seed(r));
         let mut rng = seeds.rng(r);
         let replica = clifford_replica(&candidate.circuit, &mut rng);
-        let ideal = run_clifford(&replica, &[], &[])
-            .expect("clifford replica is clifford by construction")
-            .measurement_distribution(replica.measured());
-        let noisy = noisy_clifford_distribution(
+        // The frame engine runs the ideal Clifford once to reconstruct the
+        // noisy histogram, so one call yields both sides of the fidelity.
+        let d = noisy_clifford_distribution_frames_with_ideal(
             &replica,
             &[],
             &[],
@@ -86,7 +88,7 @@ pub fn cnr<R: Rng + ?Sized>(
             &mut rng,
         )
         .expect("clifford replica is clifford by construction");
-        fidelity(&ideal, &noisy)
+        fidelity(&d.ideal, &d.noisy)
     });
     sw.record(&elivagar_obs::metrics::CNR_EVAL_NS);
     Ok(CnrResult {

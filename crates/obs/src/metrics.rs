@@ -236,6 +236,12 @@ counters! {
     /// Candidate evaluations performed by baseline searches
     /// (QuantumSupernet, QuantumNAS).
     BASELINE_EVALS => "baselines.evals";
+    /// Noisy Clifford trajectories propagated by the bit-parallel
+    /// Pauli-frame engine (one per frame lane, across all blocks).
+    FRAME_TRAJECTORIES => "frame.trajectories";
+    /// Non-identity Pauli errors injected into frame lanes (each sampled
+    /// X/Y/Z hit at a noise site counts once).
+    FRAME_INJECTIONS => "frame.injections";
 }
 
 histograms! {
@@ -254,6 +260,9 @@ histograms! {
     CHECKPOINT_SAVE_NS => "checkpoint_save";
     /// Engine batch execution latency (ns).
     ENGINE_BATCH_NS => "engine_batch";
+    /// Per-block latency of the Pauli-frame engine (ns): one 64-lane
+    /// propagation through the compiled step stream.
+    FRAME_BLOCK_NS => "frame_block";
 }
 
 /// A started wall-clock measurement; [`Stopwatch::record`] files the

@@ -260,11 +260,15 @@ mod tests {
         let h = Gate::H.matrix1(&[]);
         let s = Gate::S.matrix1(&[]);
         let cx = Gate::Cx.matrix2(&[]);
+        let x = Gate::X.matrix1(&[]);
+        let z = Gate::Z.matrix1(&[]);
         for &op in ops {
             match op {
                 CliffordOp::H(q) => psi.apply_mat1(q, &h),
                 CliffordOp::S(q) => psi.apply_mat1(q, &s),
                 CliffordOp::Cx(a, b) => psi.apply_mat2(a, b, &cx),
+                CliffordOp::X(q) => psi.apply_mat1(q, &x),
+                CliffordOp::Z(q) => psi.apply_mat1(q, &z),
             }
         }
     }

@@ -82,6 +82,7 @@ pub mod clifford;
 pub mod density;
 pub mod engine;
 pub mod faultpoint;
+pub mod frame;
 pub mod noise;
 pub mod parallel;
 pub mod runtime;
@@ -104,4 +105,11 @@ pub use runtime::{num_threads, panic_message, TaskSeeds, THREADS_ENV};
 pub use sampling::{counts_to_distribution, fidelity, tvd};
 pub use stabilizer::{CliffordOp, Tableau};
 pub use statevector::{SimError, StateVector};
-pub use trajectory::{noisy_clifford_distribution, noisy_distribution};
+pub use frame::{
+    noisy_clifford_distribution_frames, noisy_clifford_distribution_frames_with_ideal,
+    FrameDistributions, FrameSimulator, FRAME_LANES,
+};
+pub use trajectory::{
+    noisy_clifford_distribution, noisy_clifford_distribution_tableau, noisy_distribution,
+    noisy_distribution_auto,
+};

@@ -173,6 +173,40 @@ where
     });
 }
 
+/// [`par_apply_blocks`] with the block index passed to `f` — for callers
+/// whose blocks are per-task output slots (e.g. the frame engine's
+/// per-block partial histograms) rather than homogeneous amplitude ranges.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`par_apply_blocks`].
+pub fn par_apply_blocks_indexed<T, F>(data: &mut [T], block: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        block > 0 && data.len().is_multiple_of(block),
+        "block size {block} does not divide data length {}",
+        data.len()
+    );
+    let num_blocks = data.len() / block;
+    if num_blocks < 2 {
+        for (i, chunk) in data.chunks_mut(block).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    runtime::par_index(num_blocks, move |i| {
+        // SAFETY: blocks are disjoint (`i * block .. (i+1) * block` within
+        // `data`), each claimed exactly once by the runtime, and `data` is
+        // mutably borrowed for the whole region.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(i * block), block) };
+        f(i, chunk);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +251,22 @@ mod tests {
                 }
             });
             assert!(data.iter().all(|&x| x == 1), "num_blocks {num_blocks}");
+        }
+    }
+
+    #[test]
+    fn indexed_blocks_see_their_own_index() {
+        for num_blocks in [1usize, 2, 5, 17] {
+            let block = 3;
+            let mut data = vec![0usize; num_blocks * block];
+            par_apply_blocks_indexed(&mut data, block, |i, chunk| {
+                for x in chunk {
+                    *x = i + 1;
+                }
+            });
+            for (j, &x) in data.iter().enumerate() {
+                assert_eq!(x, j / block + 1, "num_blocks {num_blocks}");
+            }
         }
     }
 

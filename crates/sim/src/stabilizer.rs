@@ -23,6 +23,12 @@ pub enum CliffordOp {
     S(usize),
     /// CNOT with `(control, target)`.
     Cx(usize, usize),
+    /// Pauli `X` on a qubit. Conjugation by a Pauli only flips row signs
+    /// (never the X/Z parts), so this is a sign sweep — the cheap form of
+    /// the `H S S H` expansion, used for noise injection.
+    X(usize),
+    /// Pauli `Z` on a qubit (sign-flip-only, like [`CliffordOp::X`]).
+    Z(usize),
 }
 
 /// A stabilizer tableau over `n` qubits, initialized to `|0...0>`.
@@ -81,6 +87,33 @@ impl Tableau {
         self.n
     }
 
+    /// Re-initializes this tableau to `|0...0>` over `n` qubits, reusing
+    /// the existing allocations. After a warmup at a given size this is
+    /// allocation-free, which is what lets the trajectory engines recycle
+    /// tableaus through the workspace pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn reset(&mut self, n: usize) {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let words = n.div_ceil(64);
+        let rows = 2 * n + 1;
+        self.n = n;
+        self.words = words;
+        self.x.clear();
+        self.x.resize(rows * words, 0);
+        self.z.clear();
+        self.z.resize(rows * words, 0);
+        self.r.clear();
+        self.r.resize(rows, false);
+        for i in 0..n {
+            let (w, b) = (i / 64, 1u64 << (i % 64));
+            self.x[i * words + w] |= b;
+            self.z[(n + i) * words + w] |= b;
+        }
+    }
+
     #[inline]
     fn idx(&self, row: usize, q: usize) -> (usize, u64) {
         (row * self.words + q / 64, 1u64 << (q % 64))
@@ -136,6 +169,24 @@ impl Tableau {
                     if zt {
                         self.z[ia] ^= ba;
                     }
+                }
+            }
+            CliffordOp::X(q) => {
+                // X P X = -P exactly when P anticommutes with X at q, i.e.
+                // when the row carries a Z or Y there (z-bit set).
+                assert!(q < self.n, "qubit {q} out of range");
+                for row in 0..2 * self.n {
+                    let (i, b) = self.idx(row, q);
+                    self.r[row] ^= self.z[i] & b != 0;
+                }
+            }
+            CliffordOp::Z(q) => {
+                // Z P Z flips the sign when the row carries an X or Y at q
+                // (x-bit set).
+                assert!(q < self.n, "qubit {q} out of range");
+                for row in 0..2 * self.n {
+                    let (i, b) = self.idx(row, q);
+                    self.r[row] ^= self.x[i] & b != 0;
                 }
             }
         }
@@ -265,14 +316,46 @@ impl Tableau {
     ///
     /// Panics if a qubit repeats or is out of range.
     pub fn measurement_distribution(&self, qubits: &[usize]) -> Vec<f64> {
-        let mut seen = vec![false; self.n];
-        for &q in qubits {
+        let mut dist = Vec::new();
+        self.clone().measurement_distribution_into(qubits, &mut dist);
+        dist
+    }
+
+    /// [`Tableau::measurement_distribution`] writing into a caller-supplied
+    /// buffer (cleared and resized to `2^qubits.len()`), with an in-place
+    /// fast path: when every listed qubit measures deterministically the
+    /// branch tree is a single leaf and no tableau is cloned, so a pooled
+    /// tableau plus a recycled buffer make the whole call allocation-free.
+    /// Only the scratch row is mutated; the stabilizer state is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit repeats or is out of range.
+    pub fn measurement_distribution_into(&mut self, qubits: &[usize], dist: &mut Vec<f64>) {
+        for (k, &q) in qubits.iter().enumerate() {
             assert!(q < self.n, "qubit {q} out of range");
-            assert!(!seen[q], "qubit {q} repeated");
-            seen[q] = true;
+            assert!(!qubits[..k].contains(&q), "qubit {q} repeated");
         }
-        let mut dist = vec![0.0; 1 << qubits.len()];
-        // Depth-first enumeration of measurement branches.
+        dist.clear();
+        dist.resize(1 << qubits.len(), 0.0);
+        let mut key = 0usize;
+        let mut probed = 0;
+        while probed < qubits.len() {
+            match self.deterministic_outcome(qubits[probed]) {
+                Some(bit) => {
+                    key |= (bit as usize) << probed;
+                    probed += 1;
+                }
+                None => break,
+            }
+        }
+        if probed == qubits.len() {
+            dist[key] = 1.0;
+            return;
+        }
+        // Depth-first enumeration of measurement branches. Each random
+        // measurement halves the weight, so every leaf probability is an
+        // exact dyadic 2^-r and the accumulation order cannot change bits.
         let mut stack: Vec<(Tableau, usize, usize, f64)> = vec![(self.clone(), 0, 0, 1.0)];
         while let Some((mut t, k, key, weight)) = stack.pop() {
             if k == qubits.len() {
@@ -294,7 +377,6 @@ impl Tableau {
                 }
             }
         }
-        dist
     }
 }
 
@@ -420,5 +502,93 @@ mod tests {
     #[should_panic(expected = "repeated")]
     fn distribution_rejects_repeated_qubits() {
         Tableau::new(2).measurement_distribution(&[0, 0]);
+    }
+
+    /// A pseudo-random Clifford state to exercise sign bookkeeping.
+    fn scrambled_tableau(n: usize, seed: u64) -> Tableau {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Tableau::new(n);
+        for _ in 0..24 {
+            let q = rng.random_range(0..n);
+            match rng.random_range(0..3u32) {
+                0 => t.apply(CliffordOp::H(q)),
+                1 => t.apply(CliffordOp::S(q)),
+                _ => {
+                    if n >= 2 {
+                        let mut p = rng.random_range(0..n);
+                        if p == q {
+                            p = (p + 1) % n;
+                        }
+                        t.apply(CliffordOp::Cx(q, p));
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn direct_pauli_ops_match_their_hs_expansions() {
+        for seed in 0..8 {
+            for q in 0..3 {
+                let t0 = scrambled_tableau(3, seed);
+                let mut direct = t0.clone();
+                direct.apply(CliffordOp::X(q));
+                let mut expanded = t0.clone();
+                expanded.apply_all(&[
+                    CliffordOp::H(q),
+                    CliffordOp::S(q),
+                    CliffordOp::S(q),
+                    CliffordOp::H(q),
+                ]);
+                assert_eq!(direct, expanded, "X({q}) seed {seed}");
+
+                let mut direct = t0.clone();
+                direct.apply(CliffordOp::Z(q));
+                let mut expanded = t0;
+                expanded.apply_all(&[CliffordOp::S(q), CliffordOp::S(q)]);
+                assert_eq!(direct, expanded, "Z({q}) seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_x_flips_measurement() {
+        let mut t = Tableau::new(2);
+        t.apply(CliffordOp::X(1));
+        assert_eq!(t.deterministic_outcome(0), Some(false));
+        assert_eq!(t.deterministic_outcome(1), Some(true));
+    }
+
+    #[test]
+    fn reset_matches_fresh_tableau_across_sizes() {
+        let mut t = scrambled_tableau(5, 7);
+        t.reset(5);
+        assert_eq!(t, Tableau::new(5));
+        // Shrinking and growing through the same buffers.
+        t.reset(2);
+        assert_eq!(t, Tableau::new(2));
+        t.reset(70);
+        assert_eq!(t, Tableau::new(70));
+    }
+
+    #[test]
+    fn distribution_into_matches_allocating_version() {
+        for seed in 0..6 {
+            let t = scrambled_tableau(4, seed);
+            let reference = t.measurement_distribution(&[0, 2, 3]);
+            let mut working = t.clone();
+            let mut dist = vec![9.0; 3]; // wrong size and contents on purpose
+            working.measurement_distribution_into(&[0, 2, 3], &mut dist);
+            assert_eq!(dist.len(), reference.len());
+            for (a, b) in dist.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+            }
+            // The probe must not disturb the stabilizer state: a second
+            // call sees the same distribution.
+            let mut again = Vec::new();
+            working.measurement_distribution_into(&[0, 2, 3], &mut again);
+            assert_eq!(dist, again);
+        }
     }
 }

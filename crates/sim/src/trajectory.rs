@@ -194,8 +194,11 @@ pub fn noisy_distribution<R: Rng + ?Sized>(
     apply_readout_error(&acc, &noise.readout)
 }
 
-/// Injects a sampled Pauli error into a tableau (X = H Z H, Z = S S).
-fn inject_pauli_tableau<R: Rng + ?Sized>(
+/// Injects a sampled Pauli error into a tableau as direct sign-flip ops
+/// ([`CliffordOp::X`]/[`CliffordOp::Z`]; a Y error is X then Z). Public so
+/// the differential suite can replay the exact per-trajectory tableau
+/// stream the frame engine must match.
+pub fn inject_pauli_tableau<R: Rng + ?Sized>(
     t: &mut Tableau,
     q: usize,
     e: &PauliError,
@@ -212,14 +215,10 @@ fn inject_pauli_tableau<R: Rng + ?Sized>(
         return;
     };
     if x {
-        t.apply(CliffordOp::H(q));
-        t.apply(CliffordOp::S(q));
-        t.apply(CliffordOp::S(q));
-        t.apply(CliffordOp::H(q));
+        t.apply(CliffordOp::X(q));
     }
     if z {
-        t.apply(CliffordOp::S(q));
-        t.apply(CliffordOp::S(q));
+        t.apply(CliffordOp::Z(q));
     }
 }
 
@@ -227,9 +226,12 @@ fn inject_pauli_tableau<R: Rng + ?Sized>(
 /// stabilizer trajectories with Pauli-twirled noise, including readout
 /// error. This is the execution engine behind CNR.
 ///
-/// Shots run in parallel across the work-stealing pool with per-shot RNG
-/// streams, exactly like [`noisy_distribution`] — results are independent
-/// of the thread count.
+/// Executed by the bit-parallel Pauli-frame engine
+/// ([`crate::frame::noisy_clifford_distribution_frames`]), which is
+/// bit-for-bit equal to the per-shot tableau path
+/// ([`noisy_clifford_distribution_tableau`]) under the same `rng` state —
+/// asserted per trajectory by `crates/sim/tests/frame_vs_tableau.rs` —
+/// and independent of the thread count.
 ///
 /// # Errors
 ///
@@ -240,6 +242,38 @@ fn inject_pauli_tableau<R: Rng + ?Sized>(
 ///
 /// Panics under the same shape mismatches as [`noisy_distribution`].
 pub fn noisy_clifford_distribution<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    params: &[f64],
+    features: &[f64],
+    noise: &CircuitNoise,
+    num_trajectories: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, LowerCliffordError> {
+    crate::frame::noisy_clifford_distribution_frames(
+        circuit,
+        params,
+        features,
+        noise,
+        num_trajectories,
+        rng,
+    )
+}
+
+/// The per-shot tableau implementation of [`noisy_clifford_distribution`]:
+/// every trajectory replays the full tableau and enumerates its own
+/// measurement distribution. Superseded by the frame engine as the
+/// production path; kept as the reference the differential suite and
+/// `bench_cnr` compare against.
+///
+/// # Errors
+///
+/// Returns [`LowerCliffordError`] if the circuit (with the given parameter
+/// values) is not Clifford.
+///
+/// # Panics
+///
+/// Panics under the same shape mismatches as [`noisy_distribution`].
+pub fn noisy_clifford_distribution_tableau<R: Rng + ?Sized>(
     circuit: &Circuit,
     params: &[f64],
     features: &[f64],
@@ -268,10 +302,12 @@ pub fn noisy_clifford_distribution<R: Rng + ?Sized>(
     let seeds = TaskSeeds::from_rng(rng);
     let partials = par_map_index(num_trajectories.div_ceil(SHOT_CHUNK), |c| {
         let mut acc = vec![0.0; dim];
+        let mut dist = workspace::acquire_real_buffer();
+        let mut t = workspace::acquire_tableau(circuit.num_qubits());
         let end = ((c + 1) * SHOT_CHUNK).min(num_trajectories);
         for shot in c * SHOT_CHUNK..end {
             let mut shot_rng = seeds.rng(shot);
-            let mut t = Tableau::new(circuit.num_qubits());
+            t.reset(circuit.num_qubits());
             for ((ins, ops), errs) in
                 circuit.instructions().iter().zip(&lowered).zip(&pauli_only)
             {
@@ -280,11 +316,13 @@ pub fn noisy_clifford_distribution<R: Rng + ?Sized>(
                     inject_pauli_tableau(&mut t, q, &errs[k], &mut shot_rng);
                 }
             }
-            let dist = t.measurement_distribution(circuit.measured());
+            t.measurement_distribution_into(circuit.measured(), &mut dist);
             for (a, d) in acc.iter_mut().zip(&dist) {
                 *a += d;
             }
         }
+        workspace::release_tableau(t);
+        workspace::release_real_buffer(dist);
         acc
     });
     let mut acc = vec![0.0; dim];
@@ -297,6 +335,45 @@ pub fn noisy_clifford_distribution<R: Rng + ?Sized>(
         *a /= num_trajectories as f64;
     }
     Ok(apply_readout_error(&acc, &noise.readout))
+}
+
+/// [`noisy_distribution`] through the fastest applicable engine: when the
+/// noise is purely Pauli (no damping) and the bound circuit lowers to
+/// Clifford, the bit-parallel frame engine runs it; otherwise the
+/// state-vector Monte-Carlo path does. The Clifford probe happens before
+/// any RNG draw, so the fallback consumes exactly the stream
+/// [`noisy_distribution`] would. Baseline noisy-accuracy scoring
+/// dispatches through this, which makes their (Clifford-heavy) scoring
+/// loops ride the frame engine for free.
+///
+/// # Panics
+///
+/// Panics under the same shape mismatches as [`noisy_distribution`].
+pub fn noisy_distribution_auto<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    params: &[f64],
+    features: &[f64],
+    noise: &CircuitNoise,
+    num_trajectories: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let pauli_noise_only = noise
+        .per_instruction
+        .iter()
+        .all(|n| n.damping.iter().all(|d| d.gamma == 0.0 && d.lambda == 0.0));
+    if pauli_noise_only {
+        if let Ok(dist) = crate::frame::noisy_clifford_distribution_frames(
+            circuit,
+            params,
+            features,
+            noise,
+            num_trajectories,
+            rng,
+        ) {
+            return dist;
+        }
+    }
+    noisy_distribution(circuit, params, features, noise, num_trajectories, rng)
 }
 
 #[cfg(test)]
@@ -365,6 +442,53 @@ mod tests {
             noisy_clifford_distribution(&c, &[], &[], &noise, 6000, &mut rng1).unwrap();
         let d_sv = noisy_distribution(&c, &[], &[], &noise, 6000, &mut rng2);
         assert!(tvd(&d_cliff, &d_sv) < 0.03, "{d_cliff:?} vs {d_sv:?}");
+    }
+
+    #[test]
+    fn frame_and_tableau_clifford_engines_agree_bit_for_bit() {
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::constant(PI / 2.0)]);
+        c.push_gate(Gate::Cz, &[0, 1], &[]);
+        c.set_measured(vec![0, 1]);
+        let noise = CircuitNoise::uniform(&[1, 1, 2], 2, 0.02, 0.05, 0.01);
+        let frame = noisy_clifford_distribution(
+            &c, &[], &[], &noise, 97, &mut StdRng::seed_from_u64(8),
+        )
+        .unwrap();
+        let tableau = noisy_clifford_distribution_tableau(
+            &c, &[], &[], &noise, 97, &mut StdRng::seed_from_u64(8),
+        )
+        .unwrap();
+        for (a, b) in frame.iter().zip(&tableau) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{frame:?} vs {tableau:?}");
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_falls_back_to_statevector_for_non_clifford() {
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::Rx, &[0], &[ParamExpr::constant(0.3)]);
+        c.set_measured(vec![0]);
+        let noise = CircuitNoise::uniform(&[1], 1, 0.02, 0.0, 0.0);
+        let auto = noisy_distribution_auto(
+            &c, &[], &[], &noise, 50, &mut StdRng::seed_from_u64(9),
+        );
+        let sv = noisy_distribution(&c, &[], &[], &noise, 50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(auto, sv);
+        // A Clifford circuit under Pauli-only noise takes the frame path.
+        let mut c = Circuit::new(1);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.set_measured(vec![0]);
+        let noise = CircuitNoise::uniform(&[1], 1, 0.02, 0.0, 0.0);
+        let auto = noisy_distribution_auto(
+            &c, &[], &[], &noise, 50, &mut StdRng::seed_from_u64(10),
+        );
+        let frame = noisy_clifford_distribution(
+            &c, &[], &[], &noise, 50, &mut StdRng::seed_from_u64(10),
+        )
+        .unwrap();
+        assert_eq!(auto, frame);
     }
 
     #[test]

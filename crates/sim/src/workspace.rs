@@ -14,6 +14,7 @@
 //! worker stays on that worker — exactly the cache-affinity the
 //! work-stealing runtime's chunked deques already encourage.
 
+use crate::stabilizer::Tableau;
 use crate::statevector::StateVector;
 use elivagar_circuit::math::C64;
 use std::cell::RefCell;
@@ -25,6 +26,8 @@ const MAX_POOLED: usize = 16;
 thread_local! {
     static AMP_BUFFERS: RefCell<Vec<Vec<C64>>> = const { RefCell::new(Vec::new()) };
     static REAL_BUFFERS: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+    static WORD_BUFFERS: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+    static TABLEAUS: RefCell<Vec<Tableau>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Takes an amplitude buffer from this thread's pool (empty but with
@@ -56,6 +59,47 @@ pub fn release_real_buffer(mut buf: Vec<f64>) {
         let mut pool = p.borrow_mut();
         if pool.len() < MAX_POOLED {
             pool.push(buf);
+        }
+    });
+}
+
+/// Takes a `u64` word buffer from this thread's pool (empty but with its
+/// previous capacity), or a fresh one. The Pauli-frame engine uses these
+/// for its bit-packed x/z trajectory words.
+pub fn acquire_word_buffer() -> Vec<u64> {
+    WORD_BUFFERS.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Returns a word buffer to this thread's pool.
+pub fn release_word_buffer(mut buf: Vec<u64>) {
+    buf.clear();
+    WORD_BUFFERS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+}
+
+/// A `|0...0>` tableau over `n` qubits backed by recycled row storage.
+/// Bit-identical to [`Tableau::new`]; after warmup at a stable qubit count
+/// the reset is allocation-free.
+pub fn acquire_tableau(n: usize) -> Tableau {
+    match TABLEAUS.with(|p| p.borrow_mut().pop()) {
+        Some(mut t) => {
+            t.reset(n);
+            t
+        }
+        None => Tableau::new(n),
+    }
+}
+
+/// Returns a tableau's storage to this thread's pool.
+pub fn release_tableau(t: Tableau) {
+    TABLEAUS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(t);
         }
     });
 }
@@ -117,6 +161,20 @@ mod tests {
         let buf = acquire_amp_buffer();
         assert!(buf.capacity() >= 1 << 6, "capacity {}", buf.capacity());
         release_amp_buffer(buf);
+    }
+
+    #[test]
+    fn recycled_tableaus_match_fresh_ones() {
+        let mut t = acquire_tableau(3);
+        t.apply(crate::stabilizer::CliffordOp::H(0));
+        release_tableau(t);
+        // The recycled tableau must come back reset, even at another size.
+        let t = acquire_tableau(2);
+        assert_eq!(t, Tableau::new(2));
+        release_tableau(t);
+        let buf = acquire_word_buffer();
+        assert!(buf.is_empty());
+        release_word_buffer(buf);
     }
 
     #[test]

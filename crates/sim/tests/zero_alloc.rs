@@ -14,7 +14,13 @@
 //! not per sample).
 
 use elivagar_circuit::{Circuit, Gate, ParamExpr};
-use elivagar_sim::{adjoint_gradient_into, Gradients, Program, ZObservable};
+use elivagar_sim::trajectory::inject_pauli_tableau;
+use elivagar_sim::{
+    adjoint_gradient_into, lower_instruction, workspace, CircuitNoise, CliffordOp,
+    FrameSimulator, Gradients, PauliError, Program, TaskSeeds, ZObservable, FRAME_LANES,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -106,5 +112,93 @@ fn steady_state_sample_path_does_not_allocate() {
     assert_eq!(
         delta, 0,
         "steady-state execute/gradient path allocated {delta} times in 100 iterations"
+    );
+}
+
+/// Clifford circuit whose measured outcomes are deterministic in every
+/// branch (Pauli injections only flip signs), so the tableau trajectory
+/// path stays on the clone-free fast path of
+/// `measurement_distribution_into`.
+fn deterministic_clifford_circuit() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.push_gate(Gate::X, &[0], &[]);
+    c.push_gate(Gate::Cx, &[0, 1], &[]);
+    c.push_gate(Gate::Cx, &[1, 2], &[]);
+    c.push_gate(Gate::X, &[3], &[]);
+    c.set_measured(vec![0, 1, 2, 3]);
+    c
+}
+
+#[test]
+fn steady_state_tableau_trajectory_shot_does_not_allocate() {
+    let c = deterministic_clifford_circuit();
+    let noise = CircuitNoise::uniform(&[1, 2, 2, 1], 4, 0.05, 0.03, 0.02);
+    let lowered: Vec<Vec<CliffordOp>> = c
+        .instructions()
+        .iter()
+        .map(|ins| lower_instruction(ins, &ins.resolve_params(&[], &[])).expect("clifford"))
+        .collect();
+    let pauli: Vec<Vec<PauliError>> = noise
+        .per_instruction
+        .iter()
+        .map(|n| n.as_pauli_only())
+        .collect();
+    let mut dist = Vec::new();
+    let run_shot = |seed: u64, dist: &mut Vec<f64>| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = workspace::acquire_tableau(c.num_qubits());
+        for ((ins, ops), errs) in c.instructions().iter().zip(&lowered).zip(&pauli) {
+            t.apply_all(ops);
+            for (k, &q) in ins.qubits.iter().enumerate() {
+                inject_pauli_tableau(&mut t, q, &errs[k], &mut rng);
+            }
+        }
+        t.measurement_distribution_into(c.measured(), dist);
+        workspace::release_tableau(t);
+    };
+
+    // Warmup: pool a tableau and size the distribution buffer.
+    for s in 0..3 {
+        run_shot(s, &mut dist);
+    }
+
+    let before = thread_allocations();
+    let mut acc = 0.0;
+    for s in 0..100 {
+        run_shot(s, &mut dist);
+        acc += dist.iter().sum::<f64>();
+    }
+    let delta = thread_allocations() - before;
+
+    assert!((acc - 100.0).abs() < 1e-9, "each shot is a distribution");
+    assert_eq!(
+        delta, 0,
+        "steady-state tableau trajectory shot allocated {delta} times in 100 shots"
+    );
+}
+
+#[test]
+fn steady_state_frame_block_does_not_allocate() {
+    let c = deterministic_clifford_circuit();
+    let noise = CircuitNoise::uniform(&[1, 2, 2, 1], 4, 0.05, 0.03, 0.02);
+    let sim = FrameSimulator::compile(&c, &[], &[], &noise).expect("clifford");
+    let seeds = TaskSeeds::from_base(7);
+    let mut masks = [0u64; FRAME_LANES];
+
+    // Warmup: pool the x/z word buffers.
+    sim.block_masks(&seeds, 0, FRAME_LANES, &mut masks);
+
+    let before = thread_allocations();
+    let mut acc = 0u64;
+    for block in 0..50 {
+        sim.block_masks(&seeds, block * FRAME_LANES, FRAME_LANES, &mut masks);
+        acc ^= masks[block % FRAME_LANES];
+    }
+    let delta = thread_allocations() - before;
+
+    assert!(acc < u64::MAX, "keep the work observable");
+    assert_eq!(
+        delta, 0,
+        "steady-state frame-block propagation allocated {delta} times in 50 blocks"
     );
 }

@@ -50,6 +50,24 @@ for t in 1 2 4; do
     cargo test -q -p elivagar-bench --test determinism
 done
 
+# Frame-engine exactness: the bit-parallel Pauli-frame engine must match
+# the per-shot tableau reference bit-for-bit, per trajectory, over random
+# Clifford circuits, noise strengths, and measured subsets.
+run_counted "frame vs tableau differential" \
+  cargo test -q -p elivagar-sim --test frame_vs_tableau
+
+# CNR throughput gate: the frame engine must beat the tableau reference
+# by at least 5x on the reference 10q/1000-trajectory CNR workload (the
+# binary also asserts the two engines are bit-identical before timing).
+cargo build --release -p elivagar-bench --bin bench_cnr
+./target/release/bench_cnr
+cnr_speedup="$(sed -n 's/.*"speedup":\([0-9.][0-9.]*\).*/\1/p' BENCH_cnr.json)"
+echo "verify: CNR frame-engine speedup ${cnr_speedup}x over tableau"
+awk -v s="$cnr_speedup" 'BEGIN { exit !(s >= 5.0) }' || {
+  echo "verify: FAIL — CNR frame-engine speedup ${cnr_speedup}x below the 5x gate" >&2
+  exit 1
+}
+
 # Chaos pass: compile the fault-injection registry in and drive injected
 # panics, NaNs, torn checkpoint writes, and kill+resume through the full
 # pipeline (crates/elivagar/tests/chaos.rs).
