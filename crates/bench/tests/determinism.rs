@@ -15,7 +15,7 @@
 //! RNG-stream split (their draw order changed, intentionally) and pin the
 //! new streams.
 
-use elivagar::config::SearchConfig;
+use elivagar::config::{Nsga2Config, SearchConfig};
 use elivagar::generate::generate_candidate;
 use elivagar::{cnr, repcap, search};
 use elivagar_circuit::{Circuit, Gate, ParamExpr};
@@ -297,12 +297,10 @@ fn search_kill_and_resume_reproduces_golden_ranking() {
             &device,
             &dataset,
             &config,
-            &search::RunOptions {
-                checkpoint_to: Some(path.clone()),
-                checkpoint_every: 2,
-                stop_after_records: Some(stop_after),
-                ..Default::default()
-            },
+            &search::RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_stop_after_records(stop_after),
         )
         .expect_err("stops mid-search");
         assert!(matches!(err, search::SearchError::Interrupted { .. }));
@@ -311,12 +309,10 @@ fn search_kill_and_resume_reproduces_golden_ranking() {
             &device,
             &dataset,
             &config,
-            &search::RunOptions {
-                checkpoint_to: Some(path.clone()),
-                checkpoint_every: 2,
-                resume_from: Some(path.clone()),
-                ..Default::default()
-            },
+            &search::RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_resume(path.clone()),
         )
         .expect("resumed run completes");
         assert_eq!(resumed, baseline, "kill after {stop_after} records");
@@ -325,6 +321,112 @@ fn search_kill_and_resume_reproduces_golden_ranking() {
                 a.score.map(f64::to_bits),
                 b.score.map(f64::to_bits),
                 "scored[{i}] after killing at {stop_after} records"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Composite score of the NSGA-II golden run's winner and its front size
+/// (see [`nsga2_front_bits_are_thread_count_invariant`]).
+const NSGA2_BEST_SCORE_BITS: u64 = 0x3fe8bcbfbe822053;
+const NSGA2_FRONT_SIZE: usize = 6;
+
+/// The golden search task evolved with NSGA-II: population 6 for 2
+/// generations (3 rounds × 6 candidates = 18 evaluations).
+fn golden_nsga2_task() -> (elivagar_device::Device, elivagar_datasets::Dataset, SearchConfig) {
+    let (device, dataset, config) = golden_search_task();
+    let config =
+        config.with_nsga2(Nsga2Config::default().with_population(6).with_generations(2));
+    (device, dataset, config)
+}
+
+/// NSGA-II golden: tournament selection, crossover/mutation, fast
+/// non-dominated sorting, and crowding distances all reduce over
+/// bit-identical f64s, so the evolved winner and the Pareto front are
+/// thread-count invariant (`scripts/verify.sh` reruns this at
+/// `ELIVAGAR_THREADS=1/2/4`).
+#[test]
+fn nsga2_front_bits_are_thread_count_invariant() {
+    let (device, dataset, config) = golden_nsga2_task();
+    let result = search::run_search(&device, &dataset, &config, &search::RunOptions::default())
+        .expect("nsga2 golden run");
+    assert_bits(
+        result.scored[0].score.expect("sorted by score"),
+        NSGA2_BEST_SCORE_BITS,
+        "nsga2 best composite score",
+    );
+    let front = result.pareto.expect("nsga2 surfaces a front");
+    assert_eq!(front.members.len(), NSGA2_FRONT_SIZE, "front size");
+    assert!(front.members.len() >= 2, "front must be non-degenerate");
+    for a in &front.members {
+        for b in &front.members {
+            assert!(
+                !a.objectives.dominates(&b.objectives),
+                "members {} and {} are not mutually non-dominated",
+                a.index,
+                b.index
+            );
+        }
+    }
+    assert_eq!(result.scored.len(), 18, "3 rounds x population 6");
+}
+
+/// Kill-and-resume across generation boundaries: interrupting the NSGA-II
+/// evolution at any journal size — mid-CNR of the initial population,
+/// exactly at a generation boundary, or mid-RepCap of a later generation
+/// — and resuming must replay the evolution bit for bit. The journal
+/// layout is 6 CNR + 6 RepCap records per round plus one `Generation`
+/// marker after rounds 0 and 1 (38 records total).
+#[test]
+fn nsga2_kill_and_resume_reproduces_golden_front() {
+    let (device, dataset, config) = golden_nsga2_task();
+    let baseline = search::run_search(&device, &dataset, &config, &search::RunOptions::default())
+        .expect("baseline");
+    assert_bits(
+        baseline.scored[0].score.expect("sorted by score"),
+        NSGA2_BEST_SCORE_BITS,
+        "nsga2 baseline best composite score",
+    );
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("elivagar-bench-nsga2-resume-{}", std::process::id()));
+    for stop_after in [3, 13, 15, 24, 30] {
+        let _ = std::fs::remove_file(&path);
+        let err = search::run_search(
+            &device,
+            &dataset,
+            &config,
+            &search::RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_stop_after_records(stop_after),
+        )
+        .expect_err("stops mid-evolution");
+        assert!(matches!(err, search::SearchError::Interrupted { .. }));
+
+        let resumed = search::run_search(
+            &device,
+            &dataset,
+            &config,
+            &search::RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_resume(path.clone()),
+        )
+        .expect("resumed evolution completes");
+        assert_eq!(resumed, baseline, "kill after {stop_after} records");
+        let (rf, bf) = (
+            resumed.pareto.as_ref().expect("front"),
+            baseline.pareto.as_ref().expect("front"),
+        );
+        assert_eq!(rf.members.len(), bf.members.len());
+        for (a, b) in rf.members.iter().zip(bf.members.iter()) {
+            assert_eq!(a.index, b.index, "front membership after killing at {stop_after}");
+            assert_eq!(
+                a.score.map(f64::to_bits),
+                b.score.map(f64::to_bits),
+                "front scores must be bit-identical after killing at {stop_after}"
             );
         }
     }

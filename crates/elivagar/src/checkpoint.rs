@@ -66,6 +66,19 @@ impl Fingerprint {
             config_hash,
         }
     }
+
+    /// Folds a label (e.g. the search strategy's name) into the config
+    /// hash, so journals written under different labels never resume
+    /// each other even when the configs agree.
+    pub fn salted(mut self, label: &str) -> Self {
+        let salt = label
+            .bytes()
+            .fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+        self.config_hash ^= salt;
+        self
+    }
 }
 
 /// One completed per-candidate stage evaluation.

@@ -6,6 +6,11 @@
 //! stabilizer engine with the device's Pauli-twirled noise), compare
 //! against the noiseless stabilizer output, and average `1 - TVD` over
 //! `M` replicas (Eq. 1-2).
+//!
+//! In the one-shot pipeline CNR gates early rejection and weights the
+//! composite score; under NSGA-II (`strategy::nsga2`) the same value is
+//! also the noise-robustness axis of `strategy::Objectives` (maximized),
+//! with rejection disabled so low-CNR circuits stay on the Pareto front.
 
 use crate::config::SearchConfig;
 use crate::generate::Candidate;

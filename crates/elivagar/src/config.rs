@@ -71,8 +71,76 @@ pub enum SelectionStrategy {
     Full,
 }
 
-/// All knobs of one Elivagar search.
+/// NSGA-II hyperparameters for the multi-objective evolutionary search
+/// mode ([`StrategyChoice::Nsga2`]).
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub struct Nsga2Config {
+    /// Population size per generation.
+    pub population: usize,
+    /// Offspring generations after the initial population.
+    pub generations: usize,
+    /// Probability that a child is produced by crossover (otherwise it is
+    /// a mutated clone of the first tournament winner).
+    pub crossover_rate: f64,
+    /// Probability that a child receives one mutation operator
+    /// application on top of crossover/cloning.
+    pub mutation_rate: f64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Nsga2Config {
+            population: 16,
+            generations: 8,
+            crossover_rate: 0.9,
+            mutation_rate: 0.9,
+        }
+    }
+}
+
+impl Nsga2Config {
+    /// Sets the population size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (tournaments need two members).
+    pub fn with_population(mut self, n: usize) -> Self {
+        assert!(n >= 2, "NSGA-II needs a population of at least 2");
+        self.population = n;
+        self
+    }
+
+    /// Sets the number of offspring generations.
+    pub fn with_generations(mut self, n: usize) -> Self {
+        self.generations = n;
+        self
+    }
+}
+
+/// Which search driver proposes and selects candidates.
+///
+/// `OneShot` is the paper's pipeline: sample `num_candidates` circuits
+/// once, rank by the composite CNR/RepCap score, pick the top one.
+/// `Nsga2` evolves candidates toward a Pareto front over
+/// (RepCap, CNR, two-qubit count, depth) with mutation/crossover over the
+/// candidate IR.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum StrategyChoice {
+    /// The paper's one-shot sample-and-rank pipeline.
+    #[default]
+    OneShot,
+    /// NSGA-II multi-objective evolutionary search.
+    Nsga2(Nsga2Config),
+}
+
+/// All knobs of one Elivagar search.
+///
+/// Construct with [`SearchConfig::for_task`] and refine through the
+/// `with_*` builders; the struct is `#[non_exhaustive]` so new knobs can
+/// be added without breaking downstream crates.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct SearchConfig {
     /// Candidate circuits to generate (`N_C`).
     pub num_candidates: usize,
@@ -128,6 +196,8 @@ pub struct SearchConfig {
     pub generation: GenerationStrategy,
     /// Selection strategy.
     pub selection: SelectionStrategy,
+    /// Search driver: the paper's one-shot pipeline or NSGA-II evolution.
+    pub strategy: StrategyChoice,
     /// RNG seed.
     pub seed: u64,
 }
@@ -171,6 +241,7 @@ impl SearchConfig {
             embedding: EmbeddingPolicy::default(),
             generation: GenerationStrategy::default(),
             selection: SelectionStrategy::default(),
+            strategy: StrategyChoice::default(),
             seed: 0,
         }
     }
@@ -218,6 +289,20 @@ impl SearchConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Selects the search driver: the paper's one-shot pipeline
+    /// ([`StrategyChoice::OneShot`]) or NSGA-II evolution.
+    pub fn with_strategy(mut self, strategy: StrategyChoice) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Switches the search to NSGA-II multi-objective evolution with the
+    /// given hyperparameters. Shorthand for
+    /// `with_strategy(StrategyChoice::Nsga2(params))`.
+    pub fn with_nsga2(self, params: Nsga2Config) -> Self {
+        self.with_strategy(StrategyChoice::Nsga2(params))
     }
 
     /// Caps the circuit executions any single candidate may spend across
@@ -272,6 +357,26 @@ mod tests {
     #[should_panic(expected = "at least one shot")]
     fn zero_shots_is_rejected() {
         let _ = SearchConfig::for_task(4, 20, 4, 2).with_shots(0);
+    }
+
+    #[test]
+    fn strategy_defaults_to_one_shot_and_builder_switches_it() {
+        let c = SearchConfig::for_task(4, 20, 4, 2);
+        assert_eq!(c.strategy, StrategyChoice::OneShot);
+        let evolved = c.with_nsga2(Nsga2Config::default().with_population(8).with_generations(4));
+        match &evolved.strategy {
+            StrategyChoice::Nsga2(p) => {
+                assert_eq!(p.population, 8);
+                assert_eq!(p.generations, 4);
+            }
+            other => panic!("unexpected strategy {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population of at least 2")]
+    fn degenerate_nsga2_population_is_rejected() {
+        let _ = Nsga2Config::default().with_population(1);
     }
 
     #[test]

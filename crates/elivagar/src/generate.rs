@@ -8,7 +8,7 @@
 
 use crate::config::{EmbeddingPolicy, GenerationStrategy, SearchConfig};
 use elivagar_circuit::templates::append_angle_embedding;
-use elivagar_circuit::{Circuit, Instruction, ParamExpr, ParamSource};
+use elivagar_circuit::{Circuit, Gate, Instruction, ParamExpr, ParamSource};
 use elivagar_device::{choose_subgraph, weighted_choice, Device};
 use rand::Rng;
 
@@ -181,7 +181,6 @@ fn append_subgraph_iqp_embedding(
     num_features: usize,
     edges: &[(usize, usize)],
 ) {
-    use elivagar_circuit::Gate;
     let n = circuit.num_qubits();
     for q in 0..n {
         circuit.push_gate(Gate::H, &[q], &[]);
@@ -253,6 +252,262 @@ fn designate_embedding_slots<R: Rng + ?Sized>(
                 }
             }
         }
+    }
+}
+
+// ---- Variation operators over the candidate IR ------------------------------
+//
+// The NSGA-II strategy (`crate::strategy::nsga2`) evolves candidates with
+// the operators below. All of them preserve the candidate invariants the
+// rest of the pipeline relies on: the trainable budget stays exactly
+// `config.param_budget` with contiguous indices, the measured set is
+// unchanged, and — for device-aware candidates — every two-qubit gate
+// stays on an edge of the placement subgraph, so offspring remain
+// routing-free exactly like freshly generated candidates.
+
+/// The local-index edges a candidate's two-qubit gates may legally use:
+/// the placement-induced device subgraph for device-aware candidates,
+/// all-to-all for device-unaware ones.
+pub fn candidate_edges(
+    candidate: &Candidate,
+    device: &Device,
+    config: &SearchConfig,
+) -> Vec<(usize, usize)> {
+    match config.generation {
+        GenerationStrategy::DeviceAware => {
+            device.topology().induced_edges(&candidate.placement)
+        }
+        GenerationStrategy::DeviceUnaware => {
+            let n = candidate.circuit.num_qubits();
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    edges.push((a, b));
+                }
+            }
+            edges
+        }
+    }
+}
+
+fn edge_legal(edges: &[(usize, usize)], a: usize, b: usize) -> bool {
+    edges.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+}
+
+/// Applies one randomly chosen mutation operator to a candidate:
+///
+/// * **gate swap** — replace one instruction's gate with another gate of
+///   the same arity and parameter count from the search gate set;
+/// * **edge rewire** — move a two-qubit gate onto a different edge of the
+///   placement subgraph (or a single-qubit gate onto a different qubit);
+/// * **parameter-slot reassignment** — re-point an embedding slot at a
+///   different input feature, or swap the indices of two trainable slots.
+///
+/// Operators that find no applicable site return the candidate unchanged
+/// (still consuming the same leading RNG draw, so the caller's stream
+/// stays deterministic).
+pub fn mutate_candidate<R: Rng + ?Sized>(
+    candidate: &Candidate,
+    device: &Device,
+    config: &SearchConfig,
+    rng: &mut R,
+) -> Candidate {
+    let mut mutant = candidate.clone();
+    match rng.random_range(0..3u32) {
+        0 => mutate_gate_swap(&mut mutant.circuit, config, rng),
+        1 => {
+            let edges = candidate_edges(candidate, device, config);
+            mutate_edge_rewire(&mut mutant.circuit, &edges, rng);
+        }
+        _ => mutate_param_slots(&mut mutant.circuit, config, rng),
+    }
+    mutant
+}
+
+fn mutate_gate_swap<R: Rng + ?Sized>(circuit: &mut Circuit, config: &SearchConfig, rng: &mut R) {
+    if circuit.is_empty() {
+        return;
+    }
+    let k = rng.random_range(0..circuit.len());
+    let ins = &circuit.instructions()[k];
+    let pool: &[Gate] = if ins.qubits.len() == 1 {
+        &config.gateset.one_qubit
+    } else {
+        &config.gateset.two_qubit
+    };
+    let alternatives: Vec<Gate> = pool
+        .iter()
+        .copied()
+        .filter(|g| {
+            g.num_qubits() == ins.qubits.len()
+                && g.num_params() == ins.params.len()
+                && *g != ins.gate
+        })
+        .collect();
+    if !alternatives.is_empty() {
+        let gate = alternatives[rng.random_range(0..alternatives.len())];
+        circuit.instructions_mut()[k].gate = gate;
+    }
+}
+
+fn mutate_edge_rewire<R: Rng + ?Sized>(
+    circuit: &mut Circuit,
+    edges: &[(usize, usize)],
+    rng: &mut R,
+) {
+    let two_qubit: Vec<usize> = circuit
+        .instructions()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.qubits.len() == 2)
+        .map(|(k, _)| k)
+        .collect();
+    if !two_qubit.is_empty() && !edges.is_empty() {
+        let k = two_qubit[rng.random_range(0..two_qubit.len())];
+        let (a, b) = edges[rng.random_range(0..edges.len())];
+        let qubits = if rng.random::<bool>() { vec![a, b] } else { vec![b, a] };
+        circuit.instructions_mut()[k].qubits = qubits;
+        return;
+    }
+    // No two-qubit gates (or no edges): move a single-qubit gate instead.
+    let one_qubit: Vec<usize> = circuit
+        .instructions()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.qubits.len() == 1)
+        .map(|(k, _)| k)
+        .collect();
+    if !one_qubit.is_empty() {
+        let k = one_qubit[rng.random_range(0..one_qubit.len())];
+        let q = rng.random_range(0..circuit.num_qubits());
+        circuit.instructions_mut()[k].qubits = vec![q];
+    }
+}
+
+fn mutate_param_slots<R: Rng + ?Sized>(circuit: &mut Circuit, config: &SearchConfig, rng: &mut R) {
+    let mut feature_slots: Vec<(usize, usize)> = Vec::new();
+    let mut trainable_slots: Vec<(usize, usize)> = Vec::new();
+    for (i, ins) in circuit.instructions().iter().enumerate() {
+        for (p, expr) in ins.params.iter().enumerate() {
+            match expr.source {
+                ParamSource::Feature(_) => feature_slots.push((i, p)),
+                ParamSource::Trainable(_) => trainable_slots.push((i, p)),
+                _ => {}
+            }
+        }
+    }
+    let retarget_feature =
+        !feature_slots.is_empty() && (trainable_slots.len() < 2 || rng.random::<bool>());
+    if retarget_feature {
+        let (i, p) = feature_slots[rng.random_range(0..feature_slots.len())];
+        let f = rng.random_range(0..config.feature_dim);
+        circuit.instructions_mut()[i].params[p].source = ParamSource::Feature(f);
+    } else if trainable_slots.len() >= 2 {
+        let a = trainable_slots[rng.random_range(0..trainable_slots.len())];
+        let b = trainable_slots[rng.random_range(0..trainable_slots.len())];
+        let ins = circuit.instructions_mut();
+        let ta = ins[a.0].params[a.1].source;
+        let tb = ins[b.0].params[b.1].source;
+        ins[a.0].params[a.1].source = tb;
+        ins[b.0].params[b.1].source = ta;
+    }
+}
+
+/// One-point crossover over two parents' instruction lists.
+///
+/// The child inherits parent `a`'s placement, measured set, and a random
+/// instruction prefix, spliced with a random instruction suffix of parent
+/// `b`. Suffix two-qubit gates that do not sit on `a`'s placement
+/// subgraph are rewired to a random legal edge, and the trainable budget
+/// is repaired to exactly `config.param_budget` (excess slots become
+/// constants; a shortfall is topped up by sampling fresh gates like the
+/// generation loop does).
+pub fn crossover_candidates<R: Rng + ?Sized>(
+    a: &Candidate,
+    b: &Candidate,
+    device: &Device,
+    config: &SearchConfig,
+    rng: &mut R,
+) -> Candidate {
+    assert_eq!(
+        a.circuit.num_qubits(),
+        b.circuit.num_qubits(),
+        "crossover parents must agree on qubit count"
+    );
+    let edges = candidate_edges(a, device, config);
+    let cut_a = rng.random_range(0..=a.circuit.len());
+    let cut_b = rng.random_range(0..=b.circuit.len());
+    let mut child = Circuit::new(a.circuit.num_qubits());
+    child.set_amplitude_embedding(a.circuit.amplitude_embedding());
+    for ins in &a.circuit.instructions()[..cut_a] {
+        child.push(ins.clone());
+    }
+    for ins in &b.circuit.instructions()[cut_b..] {
+        let mut ins = ins.clone();
+        if ins.qubits.len() == 2
+            && !edges.is_empty()
+            && !edge_legal(&edges, ins.qubits[0], ins.qubits[1])
+        {
+            let (x, y) = edges[rng.random_range(0..edges.len())];
+            ins.qubits = if rng.random::<bool>() { vec![x, y] } else { vec![y, x] };
+        }
+        child.push(ins);
+    }
+    child.set_measured(a.circuit.measured().to_vec());
+    repair_param_budget(&mut child, config, &edges, rng);
+    Candidate { circuit: child, placement: a.placement.clone() }
+}
+
+/// Renumbers trainable slots contiguously in circuit order and restores
+/// the exact parameter budget: slots beyond the budget become constant
+/// angles, and a shortfall is filled by sampling additional gates (two-
+/// qubit gates only on the provided legal edges).
+fn repair_param_budget<R: Rng + ?Sized>(
+    circuit: &mut Circuit,
+    config: &SearchConfig,
+    edges: &[(usize, usize)],
+    rng: &mut R,
+) {
+    let mut next = 0usize;
+    for ins in circuit.instructions_mut() {
+        for p in &mut ins.params {
+            if let ParamSource::Trainable(_) = p.source {
+                if next < config.param_budget {
+                    p.source = ParamSource::Trainable(next);
+                    next += 1;
+                } else {
+                    *p = ParamExpr::constant(0.0);
+                }
+            }
+        }
+    }
+    // Top up missing trainable slots, mirroring the generation loop
+    // (non-parametric entanglers may be pushed along the way).
+    while next < config.param_budget {
+        let remaining = config.param_budget - next;
+        let want_two_qubit = circuit.num_qubits() >= 2
+            && !edges.is_empty()
+            && rng.random::<f64>() < config.two_qubit_fraction;
+        let gate = if want_two_qubit {
+            config.gateset.two_qubit[rng.random_range(0..config.gateset.two_qubit.len())]
+        } else {
+            config.gateset.one_qubit[rng.random_range(0..config.gateset.one_qubit.len())]
+        };
+        if gate.num_params() > remaining {
+            continue;
+        }
+        let params: Vec<ParamExpr> = (0..gate.num_params())
+            .map(|k| ParamExpr::trainable(next + k))
+            .collect();
+        if gate.num_qubits() == 1 {
+            let q = rng.random_range(0..circuit.num_qubits());
+            circuit.push(Instruction::new(gate, vec![q], params));
+        } else {
+            let (a, b) = edges[rng.random_range(0..edges.len())];
+            let qubits = if rng.random::<bool>() { vec![a, b] } else { vec![b, a] };
+            circuit.push(Instruction::new(gate, qubits, params));
+        }
+        next += gate.num_params();
     }
 }
 
@@ -405,5 +660,110 @@ mod tests {
         let a = generate_candidate(&device, &config(), &mut rng);
         let b = generate_candidate(&device, &config(), &mut rng);
         assert_ne!(a.circuit, b.circuit);
+    }
+
+    fn assert_candidate_valid(c: &Candidate, device: &Device, cfg: &SearchConfig) {
+        assert_eq!(c.circuit.num_trainable_params(), cfg.param_budget);
+        assert!(c.circuit.num_features_used() <= cfg.feature_dim);
+        let physical = c.physical_circuit(device);
+        for ins in physical.instructions() {
+            if ins.qubits.len() == 2 {
+                assert!(
+                    device.topology().are_coupled(ins.qubits[0], ins.qubits[1]),
+                    "offspring gate on uncoupled pair"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_candidate_invariants() {
+        let device = ibmq_kolkata();
+        let cfg = config();
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let parent = generate_candidate(&device, &cfg, &mut rng);
+            let mutant = mutate_candidate(&parent, &device, &cfg, &mut rng);
+            assert_eq!(mutant.placement, parent.placement);
+            assert_eq!(mutant.circuit.measured(), parent.circuit.measured());
+            assert_candidate_valid(&mutant, &device, &cfg);
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let device = ibmq_kolkata();
+        let cfg = config();
+        let parent = generate_candidate(&device, &cfg, &mut StdRng::seed_from_u64(11));
+        let a = mutate_candidate(&parent, &device, &cfg, &mut StdRng::seed_from_u64(42));
+        let b = mutate_candidate(&parent, &device, &cfg, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutation_eventually_changes_the_circuit() {
+        let device = ibmq_kolkata();
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(12);
+        let parent = generate_candidate(&device, &cfg, &mut rng);
+        let changed = (0..20)
+            .map(|_| mutate_candidate(&parent, &device, &cfg, &mut rng))
+            .filter(|m| m.circuit != parent.circuit)
+            .count();
+        assert!(changed > 0, "20 mutations left the circuit untouched");
+    }
+
+    #[test]
+    fn crossover_preserves_candidate_invariants() {
+        let device = ibmq_kolkata();
+        let cfg = config();
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let a = generate_candidate(&device, &cfg, &mut rng);
+            let b = generate_candidate(&device, &cfg, &mut rng);
+            let child = crossover_candidates(&a, &b, &device, &cfg, &mut rng);
+            assert_eq!(child.placement, a.placement);
+            assert_eq!(child.circuit.measured(), a.circuit.measured());
+            assert_candidate_valid(&child, &device, &cfg);
+        }
+    }
+
+    #[test]
+    fn crossover_is_deterministic_per_seed() {
+        let device = ibmq_kolkata();
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = generate_candidate(&device, &cfg, &mut rng);
+        let b = generate_candidate(&device, &cfg, &mut rng);
+        let x = crossover_candidates(&a, &b, &device, &cfg, &mut StdRng::seed_from_u64(7));
+        let y = crossover_candidates(&a, &b, &device, &cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn repair_restores_exact_budget_after_heavy_splice() {
+        // Degenerate cut points stress the repair path: an empty prefix
+        // plus a full suffix, and vice versa.
+        let device = ibmq_kolkata();
+        let cfg = config();
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = generate_candidate(&device, &cfg, &mut rng);
+        let b = generate_candidate(&device, &cfg, &mut rng);
+        for seed in 0..50u64 {
+            let child =
+                crossover_candidates(&a, &b, &device, &cfg, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(child.circuit.num_trainable_params(), cfg.param_budget);
+            // Trainable indices are contiguous 0..budget in circuit order.
+            let mut seen = vec![false; cfg.param_budget];
+            for ins in child.circuit.instructions() {
+                for p in &ins.params {
+                    if let ParamSource::Trainable(t) = p.source {
+                        assert!(!seen[t], "duplicate trainable index {t}");
+                        seen[t] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
     }
 }

@@ -35,16 +35,26 @@ pub mod generate;
 pub mod metrics;
 pub mod repcap;
 pub mod search;
+pub mod strategy;
 pub mod vqe;
 
 pub use checkpoint::{CheckpointError, Fingerprint, Journal, StageRecord};
 pub use cnr::{clifford_replica, cnr, cnr_with_shots, reject_low_fidelity, CnrResult};
-pub use config::{EmbeddingPolicy, GateSet, GenerationStrategy, SearchConfig, SelectionStrategy};
-pub use generate::{generate_candidate, Candidate};
+pub use config::{
+    EmbeddingPolicy, GateSet, GenerationStrategy, Nsga2Config, SearchConfig, SelectionStrategy,
+    StrategyChoice,
+};
+pub use generate::{
+    candidate_edges, crossover_candidates, generate_candidate, mutate_candidate, Candidate,
+};
 pub use metrics::{entangling_capability, expressibility, meyer_wallach};
 pub use repcap::{repcap, RepCapResult};
 pub use search::{
-    composite_score, run_search, score_order, search, ExecutionBreakdown, QuarantineEntry,
-    RunOptions, ScoredCandidate, SearchError, SearchResult, SearchStage,
+    composite_score, run_search, run_search_with, score_order, search, ExecutionBreakdown,
+    QuarantineEntry, RunOptions, ScoredCandidate, SearchError, SearchResult, SearchStage,
+};
+pub use strategy::{
+    Decision, ElivagarStrategy, EvalPlan, Evaluation, FrontMember, Nsga2Strategy, Objectives,
+    ParetoFront, SearchStrategy, Selection, StrategyCtx,
 };
 pub use vqe::{optimize_ansatz, search_vqe_ansatz, TransverseFieldIsing, VqeOutcome, VqeSearchResult};

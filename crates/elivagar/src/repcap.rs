@@ -4,6 +4,10 @@
 //! measures how similar the circuit's output states are within a class and
 //! how separated they are across classes, using randomized-measurement
 //! classical approximations of the output states (Eq. 3-6).
+//!
+//! Besides driving the one-shot composite score, RepCap is the predicted-
+//! accuracy axis of `strategy::Objectives` (maximized) when the search
+//! runs under the NSGA-II strategy.
 
 use crate::config::SearchConfig;
 use elivagar_circuit::{Circuit, Gate};

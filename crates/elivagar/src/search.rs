@@ -16,13 +16,17 @@
 
 use crate::checkpoint::{self, CheckpointError, Fingerprint, Journal, StageRecord};
 use crate::cnr::{cnr, cnr_with_shots, reject_low_fidelity};
-use crate::config::{SearchConfig, SelectionStrategy};
-use crate::generate::{generate_candidate, Candidate};
+use crate::config::{SearchConfig, SelectionStrategy, StrategyChoice};
+use crate::generate::Candidate;
 use crate::repcap::repcap;
+use crate::strategy::{
+    Decision, ElivagarStrategy, EvalPlan, Evaluation, Nsga2Strategy, Objectives, ParetoFront,
+    SearchStrategy, StrategyCtx,
+};
 use elivagar_datasets::Dataset;
 use elivagar_device::Device;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
@@ -74,6 +78,11 @@ pub enum SearchStage {
     Score,
     /// Post-search parameter training.
     Train,
+    /// A completed strategy round (journaled by multi-round strategies
+    /// such as NSGA-II; `index` is the round number). Marks a
+    /// generation boundary so kill+resume replays the evolution
+    /// bit-identically.
+    Generation,
 }
 
 impl fmt::Display for SearchStage {
@@ -84,6 +93,7 @@ impl fmt::Display for SearchStage {
             SearchStage::RepCap => "RepCap",
             SearchStage::Score => "score",
             SearchStage::Train => "train",
+            SearchStage::Generation => "generation",
         };
         f.write_str(name)
     }
@@ -172,8 +182,11 @@ impl From<CheckpointError> for SearchError {
 /// Durability and resumption knobs for [`run_search`].
 ///
 /// The default options (no checkpointing, no resume) reproduce the plain
-/// in-memory search exactly.
+/// in-memory search exactly. Construct with [`RunOptions::new`] and the
+/// `with_*` builders; the struct is `#[non_exhaustive]` so new knobs can
+/// ship without breaking callers.
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct RunOptions {
     /// Journal completed evaluations to this path (atomic
     /// write-temp+fsync+rename with a CRC32 footer). `None` disables
@@ -190,6 +203,39 @@ pub struct RunOptions {
     /// many records — a deterministic stand-in for `kill -9` in
     /// crash-recovery tests.
     pub stop_after_records: Option<usize>,
+}
+
+impl RunOptions {
+    /// Default options: no checkpointing, no resume.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Journals completed evaluations to `path`.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_to = Some(path.into());
+        self
+    }
+
+    /// Sets the checkpoint cadence (candidates evaluated between saves).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resumes from a journal written by an interrupted run of the same
+    /// configuration and strategy.
+    pub fn with_resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Stops deterministically once the journal holds `records` entries
+    /// (the crash-recovery test knob).
+    pub fn with_stop_after_records(mut self, records: usize) -> Self {
+        self.stop_after_records = Some(records);
+        self
+    }
 }
 
 const DEFAULT_CHECKPOINT_EVERY: usize = 16;
@@ -237,6 +283,9 @@ pub struct SearchResult {
     /// Candidates removed from the pool by faults, non-finite values, or
     /// budget exhaustion, sorted by candidate index.
     pub quarantined: Vec<QuarantineEntry>,
+    /// The final Pareto front, for multi-objective strategies
+    /// (`--strategy nsga2`); `None` under single-objective selection.
+    pub pareto: Option<ParetoFront>,
     /// Telemetry summary: the candidate funnel (run-local, deterministic,
     /// thread-count invariant) plus per-stage timing. All zeros when the
     /// `telemetry` feature is compiled out.
@@ -252,6 +301,7 @@ impl PartialEq for SearchResult {
             && self.scored == other.scored
             && self.executions == other.executions
             && self.quarantined == other.quarantined
+            && self.pareto == other.pareto
     }
 }
 
@@ -310,7 +360,10 @@ fn commit_progress(
 }
 
 /// Runs the Elivagar search with fault isolation, per-candidate budgets,
-/// and crash-safe checkpointing.
+/// and crash-safe checkpointing, dispatching on
+/// [`SearchConfig::strategy`]: the paper's one-shot pipeline
+/// ([`ElivagarStrategy`]) by default, or NSGA-II evolution
+/// ([`Nsga2Strategy`]) when configured.
 ///
 /// Candidate evaluation order, per-candidate RNG streams, and the final
 /// ranking are deterministic functions of the config alone — independent
@@ -341,6 +394,40 @@ pub fn run_search(
     config: &SearchConfig,
     options: &RunOptions,
 ) -> Result<SearchResult, SearchError> {
+    match &config.strategy {
+        StrategyChoice::OneShot => {
+            run_search_with(device, dataset, config, options, &mut ElivagarStrategy::new())
+        }
+        StrategyChoice::Nsga2(params) => run_search_with(
+            device,
+            dataset,
+            config,
+            options,
+            &mut Nsga2Strategy::new(params.clone()),
+        ),
+    }
+}
+
+/// The search **engine**: drives an arbitrary [`SearchStrategy`] through
+/// `propose` → evaluate → `observe` rounds, owning everything the
+/// strategy should not have to care about — parallel fan-out with panic
+/// quarantine, per-candidate evaluation budgets, crash-safe journaling
+/// (each strategy round is a checkpoint boundary), and the telemetry
+/// funnel.
+///
+/// The strategy's name is folded into the journal fingerprint, so a
+/// checkpoint written under one strategy refuses to resume another.
+///
+/// # Errors / panics
+///
+/// Exactly as [`run_search`], which is a thin dispatcher over this.
+pub fn run_search_with(
+    device: &Device,
+    dataset: &Dataset,
+    config: &SearchConfig,
+    options: &RunOptions,
+    strategy: &mut dyn SearchStrategy,
+) -> Result<SearchResult, SearchError> {
     assert_eq!(config.num_classes, dataset.num_classes(), "class count mismatch");
     assert!(
         config.feature_dim <= dataset.feature_dim(),
@@ -355,7 +442,7 @@ pub fn run_search(
     let metrics_before = elivagar_obs::metrics::snapshot();
     let mut funnel = elivagar_obs::FunnelCounters::default();
 
-    let fingerprint = Fingerprint::of(config);
+    let fingerprint = Fingerprint::of(config).salted(strategy.name());
     let mut journal = match &options.resume_from {
         Some(path) => {
             let journal = checkpoint::load(path)?;
@@ -381,74 +468,201 @@ pub fn run_search(
 
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    // Step 1: candidate generation — always recomputed, never journaled:
-    // it is a pure function of the seed, and replaying it keeps the main
-    // RNG stream at the same position on fresh and resumed runs.
-    let candidates: Vec<Candidate> = {
-        let _stage = elivagar_obs::span!("generate_stage");
-        (0..config.num_candidates)
-            .map(|_| {
-                let sw = elivagar_obs::metrics::Stopwatch::start();
-                let c = generate_candidate(device, config, &mut rng);
-                sw.record(&elivagar_obs::metrics::GENERATE_NS);
-                c
-            })
-            .collect()
-    };
-    let n = candidates.len();
-    elivagar_obs::metrics::CANDIDATES_GENERATED.add(n as u64);
-    funnel.generated = n as u64;
-    if elivagar_obs::compiled_in() {
-        // Funnel split: a candidate is "routed" when every two-qubit gate
-        // of its physical circuit lands on a coupled pair (device-aware
-        // candidates are routed by construction; device-unaware ones may
-        // violate the topology until a routing pass runs).
-        let topology = device.topology();
-        for c in &candidates {
-            let fits = c
-                .physical_circuit(device)
-                .instructions()
-                .iter()
-                .filter(|ins| ins.qubits.len() == 2)
-                .all(|ins| topology.are_coupled(ins.qubits[0], ins.qubits[1]));
-            if fits {
-                funnel.routed += 1;
-            } else {
-                funnel.unrouted += 1;
+    let mut all: Vec<Candidate> = Vec::new();
+    let mut evals: Vec<Evaluation> = Vec::new();
+    let mut quarantined: Vec<QuarantineEntry> = Vec::new();
+    // RepCap's per-class sample is drawn lazily from the main RNG before
+    // the first RepCap evaluation — the same stream position the
+    // pre-trait pipeline used — then shared by every later round.
+    let mut samples: Option<(Vec<Vec<f64>>, Vec<usize>)> = None;
+    let mut round = 0usize;
+
+    let selection = loop {
+        let round_sw = elivagar_obs::metrics::Stopwatch::start();
+        // Candidate proposal — generation is recomputed on resume (it is
+        // a pure function of the RNG stream), never journaled.
+        let proposed = {
+            let mut ctx = StrategyCtx {
+                device,
+                dataset,
+                config,
+                rng: &mut rng,
+                round,
+                candidates: &all,
+            };
+            strategy.propose(&mut ctx)
+        };
+        let base = all.len();
+        elivagar_obs::metrics::CANDIDATES_GENERATED.add(proposed.len() as u64);
+        funnel.generated += proposed.len() as u64;
+        if elivagar_obs::compiled_in() {
+            // Funnel split: a candidate is "routed" when every two-qubit
+            // gate lands on a coupled pair under its placement
+            // (device-aware candidates are routed by construction;
+            // device-unaware ones may violate the topology until a
+            // routing pass runs). The placement maps local to physical
+            // qubits directly — no need to materialize the remapped
+            // circuit.
+            let topology = device.topology();
+            let (mut routed, mut unrouted) = (0u64, 0u64);
+            for c in &proposed {
+                let fits = c
+                    .circuit
+                    .instructions()
+                    .iter()
+                    .filter(|ins| ins.qubits.len() == 2)
+                    .all(|ins| {
+                        topology.are_coupled(c.placement[ins.qubits[0]], c.placement[ins.qubits[1]])
+                    });
+                if fits {
+                    routed += 1;
+                } else {
+                    unrouted += 1;
+                }
+            }
+            funnel.routed += routed;
+            funnel.unrouted += unrouted;
+            elivagar_obs::metrics::CANDIDATES_ROUTED.add(routed);
+            elivagar_obs::metrics::CANDIDATES_UNROUTED.add(unrouted);
+        }
+        all.extend(proposed);
+
+        let plan = strategy.plan(config);
+        evaluate_batch(
+            device,
+            dataset,
+            config,
+            options,
+            &plan,
+            &all,
+            base,
+            &mut journal,
+            &mut saves,
+            chunk_size,
+            &mut rng,
+            &mut samples,
+            &mut funnel,
+            &mut quarantined,
+            &mut evals,
+        )?;
+        round_sw.record(&elivagar_obs::metrics::STRATEGY_ROUND_NS);
+
+        let decision = {
+            let mut ctx = StrategyCtx {
+                device,
+                dataset,
+                config,
+                rng: &mut rng,
+                round,
+                candidates: &all,
+            };
+            strategy.observe(&mut ctx, &evals)
+        };
+        match decision {
+            Decision::Stop(selection) => break selection,
+            Decision::Continue => {
+                // Journal the generation boundary so a killed run knows
+                // which rounds completed; one-shot strategies stop at
+                // round 0 and leave the journal layout unchanged.
+                journal.push(StageRecord {
+                    stage: SearchStage::Generation,
+                    index: round,
+                    value_bits: None,
+                    executions: 0,
+                    quarantine: None,
+                });
+                commit_progress(&journal, options, &mut saves)?;
+                round += 1;
             }
         }
-        elivagar_obs::metrics::CANDIDATES_ROUTED.add(funnel.routed);
-        elivagar_obs::metrics::CANDIDATES_UNROUTED.add(funnel.unrouted);
+    };
+
+    // Accounting comes straight from the journal, so fresh and resumed
+    // runs report identical totals (quarantined evaluations count 0).
+    let mut executions = ExecutionBreakdown::default();
+    for r in &journal.records {
+        match r.stage {
+            SearchStage::Cnr => executions.cnr += r.executions,
+            SearchStage::RepCap => executions.repcap += r.executions,
+            _ => {}
+        }
     }
 
-    let finish_stats =
-        |funnel: elivagar_obs::FunnelCounters| -> elivagar_obs::RunStats {
-            let delta = elivagar_obs::metrics::snapshot().since(&metrics_before);
-            elivagar_obs::RunStats {
-                funnel,
-                stages: elivagar_obs::RunStats::stages_from(&delta),
-                wall_ns: run_sw.elapsed_ns(),
-            }
-        };
+    quarantined.sort_by_key(|q| q.index);
+    let Some(best_index) = selection.best else {
+        return Err(SearchError::NoViableCandidates { quarantined });
+    };
 
-    if config.selection == SelectionStrategy::Random {
-        let pick = rng.random_range(0..n);
-        let scored = candidates
-            .iter()
-            .map(|c| ScoredCandidate {
-                candidate: c.clone(),
-                cnr: None,
-                repcap: None,
-                score: None,
-            })
-            .collect();
-        return Ok(SearchResult {
-            best: candidates[pick].clone(),
-            scored,
-            executions: ExecutionBreakdown::default(),
-            quarantined: Vec::new(),
-            stats: finish_stats(funnel),
-        });
+    let finish_stats = |funnel: elivagar_obs::FunnelCounters| -> elivagar_obs::RunStats {
+        let delta = elivagar_obs::metrics::snapshot().since(&metrics_before);
+        elivagar_obs::RunStats {
+            funnel,
+            stages: elivagar_obs::RunStats::stages_from(&delta),
+            wall_ns: run_sw.elapsed_ns(),
+        }
+    };
+
+    let mut scored: Vec<ScoredCandidate> = all
+        .into_iter()
+        .zip(evals.iter())
+        .map(|(candidate, e)| ScoredCandidate {
+            candidate,
+            cnr: e.cnr,
+            repcap: e.repcap,
+            score: e.score,
+        })
+        .collect();
+    let best = scored[best_index].candidate.clone();
+    // Order the trail by descending score for inspection convenience;
+    // unscored (rejected or quarantined) candidates sort last.
+    scored.sort_by(|a, b| score_order(b.score, a.score));
+    elivagar_obs::metrics::CANDIDATES_QUARANTINED.add(quarantined.len() as u64);
+    Ok(SearchResult {
+        best,
+        scored,
+        executions,
+        quarantined,
+        pareto: selection.front,
+        stats: finish_stats(funnel),
+    })
+}
+
+/// Evaluates candidates `base..all.len()` through the CNR → rejection →
+/// RepCap → scoring funnel (per `plan`), journaling each completed
+/// evaluation, and appends one [`Evaluation`] per candidate (in index
+/// order) to `evals`.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_batch(
+    device: &Device,
+    dataset: &Dataset,
+    config: &SearchConfig,
+    options: &RunOptions,
+    plan: &EvalPlan,
+    all: &[Candidate],
+    base: usize,
+    journal: &mut Journal,
+    saves: &mut u64,
+    chunk_size: usize,
+    rng: &mut StdRng,
+    samples: &mut Option<(Vec<Vec<f64>>, Vec<usize>)>,
+    funnel: &mut elivagar_obs::FunnelCounters,
+    quarantined: &mut Vec<QuarantineEntry>,
+    evals: &mut Vec<Evaluation>,
+) -> Result<(), SearchError> {
+    let n = all.len();
+    let m = n - base; // batch size
+    if plan.selection == SelectionStrategy::Random {
+        // The random-selection ablation runs no predictors at all.
+        evals.extend((base..n).map(|i| Evaluation {
+            index: i,
+            cnr: None,
+            repcap: None,
+            score: None,
+            objectives: None,
+            rejected: false,
+            quarantined: false,
+        }));
+        return Ok(());
     }
 
     // Per-candidate seeds are pure functions of (search seed, index), so a
@@ -458,15 +672,15 @@ pub fn run_search(
         config.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (index as u64) << 17
     };
 
-    // Steps 2-3: CNR + early rejection (skipped in the RepCap-only
+    // CNR + optional early rejection (skipped in the RepCap-only
     // ablation). Pending candidates are evaluated in checkpoint-sized
     // chunks with per-task panic isolation.
-    if config.selection == SelectionStrategy::Full {
+    if plan.selection == SelectionStrategy::Full {
         let _stage = elivagar_obs::span!("cnr_stage");
         let cnr_cost = config.clifford_replicas as u64;
         let mut pending: Vec<usize> = Vec::new();
         let before = journal.len();
-        for i in 0..n {
+        for i in base..n {
             if journal.lookup(SearchStage::Cnr, i).is_some() {
                 continue;
             }
@@ -482,17 +696,15 @@ pub fn run_search(
             }
         }
         if journal.len() > before {
-            commit_progress(&journal, options, &mut saves)?;
+            commit_progress(journal, options, saves)?;
         }
         for chunk in pending.chunks(chunk_size) {
             let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
                 let _span = elivagar_obs::span!("cnr_eval", candidate = i);
                 let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0xC14));
                 match config.cnr_shots {
-                    Some(shots) => {
-                        cnr_with_shots(&candidates[i], device, config, shots, &mut rng)
-                    }
-                    None => cnr(&candidates[i], device, config, &mut rng),
+                    Some(shots) => cnr_with_shots(&all[i], device, config, shots, &mut rng),
+                    None => cnr(&all[i], device, config, &mut rng),
                 }
             });
             for (&i, outcome) in chunk.iter().zip(outcomes) {
@@ -514,19 +726,20 @@ pub fn run_search(
                 };
                 journal.push(record);
             }
-            commit_progress(&journal, options, &mut saves)?;
+            commit_progress(journal, options, saves)?;
         }
     }
 
-    let mut quarantined: Vec<QuarantineEntry> = Vec::new();
-    let mut cnrs: Vec<Option<f64>> = vec![None; n];
-    let survivors: Vec<usize> = if config.selection == SelectionStrategy::Full {
-        for (i, slot) in cnrs.iter_mut().enumerate() {
+    let mut batch_quarantined: Vec<QuarantineEntry> = Vec::new();
+    let mut cnrs: Vec<Option<f64>> = vec![None; m];
+    let survivors: Vec<usize> = if plan.selection == SelectionStrategy::Full {
+        for (k, slot) in cnrs.iter_mut().enumerate() {
+            let i = base + k;
             let rec = journal
                 .lookup(SearchStage::Cnr, i)
                 .expect("CNR stage completed for every candidate");
             if let Some(reason) = &rec.quarantine {
-                quarantined.push(QuarantineEntry {
+                batch_quarantined.push(QuarantineEntry {
                     index: i,
                     stage: SearchStage::Cnr,
                     reason: reason.clone(),
@@ -535,31 +748,40 @@ pub fn run_search(
                 *slot = rec.value_bits.map(f64::from_bits);
             }
         }
-        let healthy: Vec<usize> = (0..n).filter(|&i| cnrs[i].is_some()).collect();
+        let healthy: Vec<usize> = (base..n).filter(|&i| cnrs[i - base].is_some()).collect();
         if healthy.is_empty() {
+            quarantined.append(&mut batch_quarantined);
             quarantined.sort_by_key(|q| q.index);
-            return Err(SearchError::NoViableCandidates { quarantined });
+            return Err(SearchError::NoViableCandidates {
+                quarantined: std::mem::take(quarantined),
+            });
         }
-        let values: Vec<f64> = healthy.iter().map(|&i| cnrs[i].expect("healthy")).collect();
-        let kept: Vec<usize> =
+        let values: Vec<f64> = healthy.iter().map(|&i| cnrs[i - base].expect("healthy")).collect();
+        let kept: Vec<usize> = if plan.cnr_rejection {
             reject_low_fidelity(&values, config.cnr_threshold, config.cnr_keep_fraction)
                 .into_iter()
                 .map(|k| healthy[k])
-                .collect();
-        funnel.cnr_quarantined = quarantined.len() as u64;
-        funnel.cnr_accepted = kept.len() as u64;
-        funnel.cnr_rejected = (healthy.len() - kept.len()) as u64;
-        elivagar_obs::metrics::CNR_ACCEPTED.add(funnel.cnr_accepted);
-        elivagar_obs::metrics::CNR_REJECTED.add(funnel.cnr_rejected);
+                .collect()
+        } else {
+            healthy.clone()
+        };
+        funnel.cnr_quarantined += batch_quarantined.len() as u64;
+        funnel.cnr_accepted += kept.len() as u64;
+        funnel.cnr_rejected += (healthy.len() - kept.len()) as u64;
+        elivagar_obs::metrics::CNR_ACCEPTED.add(kept.len() as u64);
+        elivagar_obs::metrics::CNR_REJECTED.add((healthy.len() - kept.len()) as u64);
         kept
     } else {
-        (0..n).collect()
+        (base..n).collect()
     };
 
-    // Step 4: RepCap on the survivors (also parallel, seed-stable, and
+    // RepCap on the survivors (also parallel, seed-stable, and
     // panic-isolated).
-    let (samples, labels) = dataset.sample_per_class(config.repcap_samples_per_class, &mut rng);
-    let repcap_cost = (samples.len() * config.repcap_param_inits) as u64;
+    if samples.is_none() {
+        *samples = Some(dataset.sample_per_class(config.repcap_samples_per_class, rng));
+    }
+    let (sample_features, sample_labels) = samples.as_ref().expect("samples just drawn");
+    let repcap_cost = (sample_features.len() * config.repcap_param_inits) as u64;
     {
         let _stage = elivagar_obs::span!("repcap_stage");
         let mut pending: Vec<usize> = Vec::new();
@@ -583,14 +805,14 @@ pub fn run_search(
             }
         }
         if journal.len() > before {
-            commit_progress(&journal, options, &mut saves)?;
+            commit_progress(journal, options, saves)?;
         }
         for chunk in pending.chunks(chunk_size) {
             let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
                 let _span = elivagar_obs::span!("repcap_eval", candidate = i);
                 elivagar_sim::faultpoint::hit("repcap::eval", i as u64);
                 let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0x4E9));
-                repcap(&candidates[i].circuit, &samples, &labels, config, &mut rng)
+                repcap(&all[i].circuit, sample_features, sample_labels, config, &mut rng)
             });
             for (&i, outcome) in chunk.iter().zip(outcomes) {
                 let record = match outcome {
@@ -610,100 +832,83 @@ pub fn run_search(
                 };
                 journal.push(record);
             }
-            commit_progress(&journal, options, &mut saves)?;
+            commit_progress(journal, options, saves)?;
         }
     }
 
-    let mut repcaps: Vec<Option<f64>> = vec![None; n];
+    let mut repcaps: Vec<Option<f64>> = vec![None; m];
     for &i in &survivors {
         let rec = journal
             .lookup(SearchStage::RepCap, i)
             .expect("RepCap stage completed for every survivor");
         if let Some(reason) = &rec.quarantine {
-            quarantined.push(QuarantineEntry {
+            batch_quarantined.push(QuarantineEntry {
                 index: i,
                 stage: SearchStage::RepCap,
                 reason: reason.clone(),
             });
             funnel.repcap_quarantined += 1;
         } else {
-            repcaps[i] = rec.value_bits.map(f64::from_bits);
+            repcaps[i - base] = rec.value_bits.map(f64::from_bits);
         }
     }
 
-    // Accounting comes straight from the journal, so fresh and resumed
-    // runs report identical totals (quarantined evaluations count 0).
-    let mut executions = ExecutionBreakdown::default();
-    for r in &journal.records {
-        match r.stage {
-            SearchStage::Cnr => executions.cnr += r.executions,
-            SearchStage::RepCap => executions.repcap += r.executions,
-            _ => {}
-        }
-    }
-
-    // Step 5: composite scoring and selection. A non-finite composite
-    // (possible only through data corruption or injected faults — both
-    // predictors are finite here) quarantines the candidate instead of
-    // poisoning the sort.
+    // Composite scoring. A non-finite composite (possible only through
+    // data corruption or injected faults — both predictors are finite
+    // here) quarantines the candidate instead of poisoning the sort.
     let _score_stage = elivagar_obs::span!("score_stage");
-    let mut scored: Vec<ScoredCandidate> = candidates
-        .into_iter()
-        .enumerate()
-        .map(|(i, candidate)| {
-            let raw = match (config.selection, cnrs[i], repcaps[i]) {
-                (SelectionStrategy::Full, Some(c), Some(r)) => {
-                    Some(composite_score(c, r, config.alpha_cnr))
-                }
-                (SelectionStrategy::RepCapOnly, _, Some(r)) => Some(r.max(0.0)),
-                _ => None,
-            };
-            let raw = raw.map(|s| elivagar_sim::faultpoint::poison("search::score", i as u64, s));
-            let score = match raw {
-                Some(s) if !s.is_finite() => {
-                    quarantined.push(QuarantineEntry {
-                        index: i,
-                        stage: SearchStage::Score,
-                        reason: format!("non-finite composite score {s}"),
-                    });
-                    funnel.score_quarantined += 1;
-                    None
-                }
-                other => other,
-            };
-            ScoredCandidate {
-                candidate,
-                cnr: cnrs[i],
-                repcap: repcaps[i],
-                score,
-            }
-        })
-        .collect();
-
-    quarantined.sort_by_key(|q| q.index);
-
-    let best_index = scored
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.score.is_some())
-        .max_by(|(_, a), (_, b)| score_order(a.score, b.score))
-        .map(|(i, _)| i);
-    let Some(best_index) = best_index else {
-        return Err(SearchError::NoViableCandidates { quarantined });
+    let survivor_set: Vec<bool> = {
+        let mut set = vec![false; m];
+        for &i in &survivors {
+            set[i - base] = true;
+        }
+        set
     };
-
-    let best = scored[best_index].candidate.clone();
-    // Order the trail by descending score for inspection convenience;
-    // unscored (rejected or quarantined) candidates sort last.
-    scored.sort_by(|a, b| score_order(b.score, a.score));
-    elivagar_obs::metrics::CANDIDATES_QUARANTINED.add(quarantined.len() as u64);
-    Ok(SearchResult {
-        best,
-        scored,
-        executions,
-        quarantined,
-        stats: finish_stats(funnel),
-    })
+    for (k, candidate) in all[base..].iter().enumerate() {
+        let i = base + k;
+        let raw = match (plan.selection, cnrs[k], repcaps[k]) {
+            (SelectionStrategy::Full, Some(c), Some(r)) => {
+                Some(composite_score(c, r, config.alpha_cnr))
+            }
+            (SelectionStrategy::RepCapOnly, _, Some(r)) => Some(r.max(0.0)),
+            _ => None,
+        };
+        let raw = raw.map(|s| elivagar_sim::faultpoint::poison("search::score", i as u64, s));
+        let score = match raw {
+            Some(s) if !s.is_finite() => {
+                batch_quarantined.push(QuarantineEntry {
+                    index: i,
+                    stage: SearchStage::Score,
+                    reason: format!("non-finite composite score {s}"),
+                });
+                funnel.score_quarantined += 1;
+                None
+            }
+            other => other,
+        };
+        let objectives = match (cnrs[k], repcaps[k], score) {
+            (Some(c), Some(r), Some(_)) => Some(Objectives {
+                repcap: r,
+                cnr: c,
+                two_qubit_count: candidate.circuit.two_qubit_gate_count(),
+                depth: candidate.circuit.depth(),
+            }),
+            _ => None,
+        };
+        evals.push(Evaluation {
+            index: i,
+            cnr: cnrs[k],
+            repcap: repcaps[k],
+            score,
+            objectives,
+            rejected: plan.selection == SelectionStrategy::Full
+                && cnrs[k].is_some()
+                && !survivor_set[k],
+            quarantined: batch_quarantined.iter().any(|q| q.index == i),
+        });
+    }
+    quarantined.append(&mut batch_quarantined);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -932,6 +1137,162 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn nsga2_search_yields_nondegenerate_pareto_front() {
+        let (device, dataset, config) = setup();
+        let config = config.with_nsga2(
+            crate::config::Nsga2Config::default().with_population(6).with_generations(2),
+        );
+        let result = run_search(&device, &dataset, &config, &RunOptions::default())
+            .expect("nsga2 search completes");
+        let front = result.pareto.as_ref().expect("nsga2 surfaces a front");
+        assert!(
+            front.members.len() >= 2,
+            "front is degenerate: {} member(s)",
+            front.members.len()
+        );
+        for a in &front.members {
+            for b in &front.members {
+                assert!(
+                    !a.objectives.dominates(&b.objectives),
+                    "front members must be mutually non-dominated"
+                );
+            }
+        }
+        // `best` is the front member with the top composite score.
+        let best_member = front
+            .members
+            .iter()
+            .max_by(|a, b| score_order(a.score, b.score))
+            .expect("non-empty front");
+        assert_eq!(result.best, best_member.candidate);
+        // 3 rounds of 6 candidates (init + 2 offspring generations), all
+        // fully evaluated (no early rejection under NSGA-II).
+        assert_eq!(result.scored.len(), 18);
+        assert_eq!(result.executions.cnr, (18 * config.clifford_replicas) as u64);
+    }
+
+    #[test]
+    fn nsga2_search_is_deterministic_per_seed() {
+        let (device, dataset, config) = setup();
+        let config = config.with_nsga2(
+            crate::config::Nsga2Config::default().with_population(4).with_generations(2),
+        );
+        let a = run_search(&device, &dataset, &config, &RunOptions::default()).expect("first");
+        let b = run_search(&device, &dataset, &config, &RunOptions::default()).expect("second");
+        assert_eq!(a, b);
+        let front_a = a.pareto.expect("front");
+        let front_b = b.pareto.expect("front");
+        assert_eq!(front_a, front_b);
+    }
+
+    #[test]
+    fn nsga2_kill_and_resume_is_bit_identical() {
+        let (device, dataset, config) = setup();
+        let config = config.with_nsga2(
+            crate::config::Nsga2Config::default().with_population(4).with_generations(2),
+        );
+        let baseline =
+            run_search(&device, &dataset, &config, &RunOptions::default()).expect("baseline");
+        let path = scratch("nsga2-resume");
+        let _ = std::fs::remove_file(&path);
+        // Kill mid-evolution (after the first generation boundary) and
+        // resume: the journal replays every finished evaluation and the
+        // evolution continues bit-identically.
+        let err = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_stop_after_records(9),
+        )
+        .expect_err("stops mid-evolution");
+        assert!(matches!(err, SearchError::Interrupted { .. }));
+        let resumed = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions::new().with_checkpoint(path.clone()).with_resume(path.clone()),
+        )
+        .expect("resumed evolution completes");
+        assert_eq!(resumed, baseline);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oneshot_journal_does_not_resume_nsga2() {
+        let (device, dataset, config) = setup();
+        let path = scratch("strategy-mismatch");
+        let _ = std::fs::remove_file(&path);
+        let _ = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions::new().with_checkpoint(path.clone()),
+        )
+        .expect("one-shot checkpointed run");
+        let nsga2 = config.clone().with_nsga2(crate::config::Nsga2Config::default());
+        let err = run_search(
+            &device,
+            &dataset,
+            &nsga2,
+            &RunOptions::new().with_resume(path.clone()),
+        )
+        .expect_err("strategy fingerprint mismatch");
+        assert!(matches!(
+            err,
+            SearchError::Checkpoint(CheckpointError::Mismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn custom_strategy_runs_through_the_engine() {
+        // A minimal third-party strategy: propose a fixed-size pool,
+        // then pick the *lowest*-scoring candidate (worst-case probe).
+        struct WorstCase;
+        impl crate::strategy::SearchStrategy for WorstCase {
+            fn name(&self) -> &'static str {
+                "worst-case"
+            }
+            fn propose(
+                &mut self,
+                ctx: &mut crate::strategy::StrategyCtx<'_>,
+            ) -> Vec<Candidate> {
+                (0..4).map(|_| crate::generate_candidate(ctx.device, ctx.config, ctx.rng)).collect()
+            }
+            fn observe(
+                &mut self,
+                _ctx: &mut crate::strategy::StrategyCtx<'_>,
+                evals: &[crate::strategy::Evaluation],
+            ) -> crate::strategy::Decision {
+                let worst = evals
+                    .iter()
+                    .filter(|e| e.score.is_some())
+                    .min_by(|a, b| score_order(a.score, b.score))
+                    .map(|e| e.index);
+                crate::strategy::Decision::Stop(crate::strategy::Selection {
+                    best: worst,
+                    front: None,
+                })
+            }
+        }
+        let (device, dataset, config) = setup();
+        let result =
+            run_search_with(&device, &dataset, &config, &RunOptions::default(), &mut WorstCase)
+                .expect("custom strategy completes");
+        assert_eq!(result.scored.len(), 4);
+        let worst = result
+            .scored
+            .iter()
+            .filter(|s| s.score.is_some())
+            .min_by(|a, b| score_order(a.score, b.score))
+            .expect("someone scored");
+        assert_eq!(result.best, worst.candidate);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! The paper's one-shot sample-and-rank pipeline as a
+//! [`SearchStrategy`].
+
+use super::{Decision, Evaluation, SearchStrategy, Selection, StrategyCtx};
+use crate::config::SelectionStrategy;
+use crate::generate::Candidate;
+use crate::search::score_order;
+use rand::Rng;
+
+/// Elivagar's one-shot strategy (paper Section 3): generate
+/// `num_candidates` circuits in a single round, evaluate them all, and
+/// select the maximum composite score.
+///
+/// Run through the engine this is bit-identical to the original
+/// monolithic `run_search` — candidate generation order, RNG stream
+/// positions, journal layout, and the last-maximum tie-break are all
+/// preserved, which the determinism goldens enforce.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ElivagarStrategy;
+
+impl ElivagarStrategy {
+    /// Creates the one-shot paper strategy.
+    pub fn new() -> Self {
+        ElivagarStrategy
+    }
+}
+
+impl SearchStrategy for ElivagarStrategy {
+    fn name(&self) -> &'static str {
+        "elivagar"
+    }
+
+    fn propose(&mut self, ctx: &mut StrategyCtx<'_>) -> Vec<Candidate> {
+        debug_assert_eq!(ctx.round, 0, "one-shot strategy proposes exactly once");
+        super::generate_pool(ctx, ctx.config.num_candidates)
+    }
+
+    fn observe(&mut self, ctx: &mut StrategyCtx<'_>, evals: &[Evaluation]) -> Decision {
+        if ctx.config.selection == SelectionStrategy::Random {
+            // The random-selection ablation draws its pick from the main
+            // RNG right after generation, exactly like the pre-trait
+            // pipeline did.
+            let pick = ctx.rng.random_range(0..evals.len());
+            return Decision::Stop(Selection {
+                best: Some(pick),
+                front: None,
+            });
+        }
+        // `max_by` keeps the *last* maximal element, matching the
+        // original selection's tie-break bit for bit.
+        let best = evals
+            .iter()
+            .filter(|e| e.score.is_some())
+            .max_by(|a, b| score_order(a.score, b.score))
+            .map(|e| e.index);
+        Decision::Stop(Selection { best, front: None })
+    }
+}

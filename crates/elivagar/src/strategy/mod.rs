@@ -1,0 +1,238 @@
+//! Pluggable search strategies over the fault-tolerant engine.
+//!
+//! [`crate::search::run_search_with`] splits the search into an
+//! **engine** and a **strategy**. The engine owns everything a long
+//! unattended run needs — fault isolation, per-candidate budgets,
+//! crash-safe checkpointing, and the observability funnel — while the
+//! strategy decides *which circuits to try next* and *when to stop*:
+//!
+//! ```text
+//! loop {
+//!     candidates = strategy.propose(ctx)      // new circuits this round
+//!     evals      = engine.evaluate(candidates) // CNR/RepCap, journaled
+//!     match strategy.observe(ctx, evals) {
+//!         Continue   => next round,
+//!         Stop(sel)  => return sel,
+//!     }
+//! }
+//! ```
+//!
+//! Two strategies ship with the crate:
+//!
+//! * [`ElivagarStrategy`] — the paper's one-shot sample-and-rank
+//!   pipeline (generate a pool, evaluate, pick the best composite
+//!   score). Running it through the engine is bit-identical to the
+//!   pre-trait `run_search`, which the determinism goldens enforce.
+//! * [`Nsga2Strategy`] — NSGA-II multi-objective evolution over the
+//!   candidate IR, maximizing [`Objectives::repcap`] and
+//!   [`Objectives::cnr`] while minimizing circuit cost, surfacing the
+//!   final Pareto front on [`crate::SearchResult::pareto`].
+//!
+//! All strategy randomness draws from the engine's single sequential
+//! RNG (via [`StrategyCtx::rng`]), so a run is a deterministic function
+//! of the seed at any thread count; the parallel CNR/RepCap fan-out
+//! uses per-candidate seeds owned by the engine.
+
+mod elivagar;
+mod nsga2;
+
+pub use elivagar::ElivagarStrategy;
+pub use nsga2::Nsga2Strategy;
+
+use crate::config::{SearchConfig, SelectionStrategy};
+use crate::generate::{generate_candidate, Candidate};
+use elivagar_datasets::Dataset;
+use elivagar_device::Device;
+use rand::rngs::StdRng;
+
+/// Shared state the engine lends a strategy for one `propose`/`observe`
+/// call.
+pub struct StrategyCtx<'a> {
+    /// The target device (topology + calibration).
+    pub device: &'a Device,
+    /// The classification dataset being searched for.
+    pub dataset: &'a Dataset,
+    /// The search configuration.
+    pub config: &'a SearchConfig,
+    /// The engine's sequential RNG. Every draw a strategy makes here is
+    /// replayed identically on resume, so strategies must consume it
+    /// deterministically (no draw may depend on wall time or thread
+    /// scheduling).
+    pub rng: &'a mut StdRng,
+    /// The current round (0 for the first `propose`).
+    pub round: usize,
+    /// Every candidate proposed so far, indexed by [`Evaluation::index`].
+    pub candidates: &'a [Candidate],
+}
+
+/// How the engine should evaluate a proposed batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalPlan {
+    /// Which predictors run (Full = CNR + RepCap, RepCapOnly, Random =
+    /// no evaluation at all).
+    pub selection: SelectionStrategy,
+    /// Whether CNR early rejection (threshold + keep-fraction) filters
+    /// the batch before RepCap. Evolutionary strategies disable this so
+    /// every healthy candidate gets a complete objective vector.
+    pub cnr_rejection: bool,
+}
+
+/// One candidate's evaluation outcome, handed to
+/// [`SearchStrategy::observe`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Global candidate index (position in [`StrategyCtx::candidates`]).
+    pub index: usize,
+    /// Clifford Noise Resilience, if evaluated.
+    pub cnr: Option<f64>,
+    /// Representational Capacity, if evaluated.
+    pub repcap: Option<f64>,
+    /// Composite score (Eq. 7), if both predictors produced finite
+    /// values.
+    pub score: Option<f64>,
+    /// The multi-objective view, present iff both predictors ran and
+    /// the composite score is finite.
+    pub objectives: Option<Objectives>,
+    /// True when CNR early rejection removed the candidate before
+    /// RepCap.
+    pub rejected: bool,
+    /// True when any stage quarantined the candidate (panic, non-finite
+    /// value, or budget exhaustion).
+    pub quarantined: bool,
+}
+
+/// Typed objective vector for multi-objective selection: maximize the
+/// two predictors, minimize the two circuit-cost terms.
+///
+/// The predictor values are extracted from the journaled
+/// [`crate::cnr::cnr`] / [`crate::repcap::repcap`] evaluations; the
+/// cost terms are structural properties of the candidate circuit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Objectives {
+    /// Representational capacity (maximize).
+    pub repcap: f64,
+    /// Clifford noise resilience (maximize).
+    pub cnr: f64,
+    /// Two-qubit gate count (minimize — the dominant error source on
+    /// hardware).
+    pub two_qubit_count: usize,
+    /// Circuit depth (minimize).
+    pub depth: usize,
+}
+
+impl Objectives {
+    /// Pareto dominance: no objective is worse and at least one is
+    /// strictly better.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.repcap >= other.repcap
+            && self.cnr >= other.cnr
+            && self.two_qubit_count <= other.two_qubit_count
+            && self.depth <= other.depth;
+        let strictly_better = self.repcap > other.repcap
+            || self.cnr > other.cnr
+            || self.two_qubit_count < other.two_qubit_count
+            || self.depth < other.depth;
+        no_worse && strictly_better
+    }
+
+    /// The `k`-th objective as a float (for crowding-distance sorting;
+    /// direction does not matter there).
+    pub(crate) fn key(&self, k: usize) -> f64 {
+        match k {
+            0 => self.repcap,
+            1 => self.cnr,
+            2 => self.two_qubit_count as f64,
+            _ => self.depth as f64,
+        }
+    }
+
+    /// Number of objective dimensions.
+    pub(crate) const DIMS: usize = 4;
+}
+
+/// One circuit on the final Pareto front.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontMember {
+    /// Global candidate index.
+    pub index: usize,
+    /// The candidate circuit and placement.
+    pub candidate: Candidate,
+    /// Its objective vector.
+    pub objectives: Objectives,
+    /// Its composite score (for comparison with one-shot selection).
+    pub score: Option<f64>,
+}
+
+/// The set of mutually non-dominated circuits an evolutionary strategy
+/// converged to, sorted by candidate index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParetoFront {
+    /// Front members, each non-dominated by every other.
+    pub members: Vec<FrontMember>,
+}
+
+/// What a strategy hands back from its final `observe`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Selection {
+    /// Global index of the selected candidate, or `None` if nothing
+    /// viable survived (the engine turns that into
+    /// [`crate::SearchError::NoViableCandidates`]).
+    pub best: Option<usize>,
+    /// The Pareto front, for multi-objective strategies.
+    pub front: Option<ParetoFront>,
+}
+
+/// Verdict after observing a round of evaluations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Run another `propose`/evaluate round.
+    Continue,
+    /// The search is finished.
+    Stop(Selection),
+}
+
+/// A pluggable candidate proposal/selection policy driven by the search
+/// engine ([`crate::search::run_search_with`]).
+///
+/// Determinism contract: `propose` may only draw randomness from
+/// [`StrategyCtx::rng`], and `observe` must be a pure function of its
+/// inputs and prior state — the engine replays both on crash-resume and
+/// expects the identical candidate stream.
+pub trait SearchStrategy {
+    /// Stable strategy name, folded into the checkpoint fingerprint so
+    /// a journal written by one strategy cannot resume another.
+    fn name(&self) -> &'static str;
+
+    /// Proposes the next batch of candidates. Returning an empty batch
+    /// is allowed (the engine proceeds straight to `observe`).
+    fn propose(&mut self, ctx: &mut StrategyCtx<'_>) -> Vec<Candidate>;
+
+    /// How the engine should evaluate the proposed batch. The default
+    /// mirrors the paper pipeline: predictors per
+    /// [`SearchConfig::selection`] with CNR early rejection on.
+    fn plan(&self, config: &SearchConfig) -> EvalPlan {
+        EvalPlan {
+            selection: config.selection,
+            cnr_rejection: true,
+        }
+    }
+
+    /// Digests the evaluations of *all* rounds so far (`evals[i]`
+    /// corresponds to `ctx.candidates[i]`) and decides whether to
+    /// continue.
+    fn observe(&mut self, ctx: &mut StrategyCtx<'_>, evals: &[Evaluation]) -> Decision;
+}
+
+/// Generates `count` fresh candidates via Algorithm 1, with the same
+/// spans and metrics the one-shot pipeline records.
+pub(crate) fn generate_pool(ctx: &mut StrategyCtx<'_>, count: usize) -> Vec<Candidate> {
+    let _stage = elivagar_obs::span!("generate_stage");
+    (0..count)
+        .map(|_| {
+            let sw = elivagar_obs::metrics::Stopwatch::start();
+            let c = generate_candidate(ctx.device, ctx.config, ctx.rng);
+            sw.record(&elivagar_obs::metrics::GENERATE_NS);
+            c
+        })
+        .collect()
+}

@@ -1,0 +1,362 @@
+//! NSGA-II multi-objective evolutionary search over the candidate IR.
+//!
+//! Standard NSGA-II (Deb et al., 2002) adapted to quantum circuit
+//! search, following the noise-aware architecture-search line of work:
+//! the population evolves under gate-swap / edge-rewire / parameter-slot
+//! mutations and one-point crossover (see [`crate::generate`]), ranked
+//! by fast non-dominated sorting over [`Objectives`] with
+//! crowding-distance diversity pressure, under elitist (μ+λ) survival.
+//!
+//! Every comparison uses total orders with candidate-index tie-breaks
+//! and all randomness comes from the engine's sequential RNG, so the
+//! evolution is bit-reproducible at any thread count and across
+//! kill+resume (evaluations replay from the checkpoint journal).
+
+use super::{
+    Decision, Evaluation, EvalPlan, FrontMember, Objectives, ParetoFront, SearchStrategy,
+    Selection, StrategyCtx,
+};
+use crate::config::{Nsga2Config, SearchConfig, SelectionStrategy};
+use crate::generate::{crossover_candidates, mutate_candidate, Candidate};
+use crate::search::score_order;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// One population slot: a candidate plus its evaluation and NSGA-II
+/// ranking state.
+#[derive(Clone, Debug)]
+struct Member {
+    index: usize,
+    candidate: Candidate,
+    objectives: Objectives,
+    score: Option<f64>,
+    rank: usize,
+    crowding: f64,
+}
+
+/// Binary-tournament / survival preference: lower rank first, then
+/// larger crowding distance, then lower candidate index (a total order,
+/// so selection never depends on sort stability).
+fn selection_order(a: &Member, b: &Member) -> Ordering {
+    a.rank
+        .cmp(&b.rank)
+        .then_with(|| b.crowding.total_cmp(&a.crowding))
+        .then_with(|| a.index.cmp(&b.index))
+}
+
+/// NSGA-II evolutionary strategy: an initial Algorithm-1 population,
+/// then [`Nsga2Config::generations`] rounds of tournament-selected
+/// crossover + mutation, keeping the best `population` members by
+/// (non-domination rank, crowding distance) each round.
+///
+/// Evaluation always runs the full CNR + RepCap pipeline with early
+/// rejection disabled, so every healthy candidate carries a complete
+/// objective vector; [`SearchConfig::num_candidates`] is ignored in
+/// favor of [`Nsga2Config::population`].
+#[derive(Clone, Debug)]
+pub struct Nsga2Strategy {
+    params: Nsga2Config,
+    population: Vec<Member>,
+    /// Evaluations already folded into the population (everything in
+    /// `evals[..seen]`).
+    seen: usize,
+}
+
+impl Nsga2Strategy {
+    /// Creates the strategy with the given evolution parameters.
+    pub fn new(params: Nsga2Config) -> Self {
+        Nsga2Strategy {
+            params,
+            population: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    fn tournament(&self, rng: &mut StdRng) -> usize {
+        let n = self.population.len();
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if selection_order(&self.population[j], &self.population[i]) == Ordering::Less {
+            j
+        } else {
+            i
+        }
+    }
+}
+
+impl SearchStrategy for Nsga2Strategy {
+    fn name(&self) -> &'static str {
+        "nsga2"
+    }
+
+    fn plan(&self, _config: &SearchConfig) -> EvalPlan {
+        EvalPlan {
+            selection: SelectionStrategy::Full,
+            cnr_rejection: false,
+        }
+    }
+
+    fn propose(&mut self, ctx: &mut StrategyCtx<'_>) -> Vec<Candidate> {
+        if ctx.round == 0 || self.population.is_empty() {
+            // Initial population (or a defensive restart if every member
+            // was quarantined away).
+            return super::generate_pool(ctx, self.params.population);
+        }
+        let _stage = elivagar_obs::span!("evolve_stage", round = ctx.round);
+        let mut offspring = Vec::with_capacity(self.params.population);
+        for _ in 0..self.params.population {
+            let a = self.tournament(ctx.rng);
+            let b = self.tournament(ctx.rng);
+            let mut child = if ctx.rng.random::<f64>() < self.params.crossover_rate {
+                crossover_candidates(
+                    &self.population[a].candidate,
+                    &self.population[b].candidate,
+                    ctx.device,
+                    ctx.config,
+                    ctx.rng,
+                )
+            } else {
+                self.population[a].candidate.clone()
+            };
+            if ctx.rng.random::<f64>() < self.params.mutation_rate {
+                child = mutate_candidate(&child, ctx.device, ctx.config, ctx.rng);
+            }
+            offspring.push(child);
+        }
+        elivagar_obs::metrics::NSGA2_OFFSPRING.add(offspring.len() as u64);
+        offspring
+    }
+
+    fn observe(&mut self, ctx: &mut StrategyCtx<'_>, evals: &[Evaluation]) -> Decision {
+        elivagar_obs::metrics::NSGA2_GENERATIONS.add(1);
+
+        // μ+λ pool: the surviving population plus this round's healthy
+        // offspring (quarantined or objective-less candidates drop out).
+        let mut pool: Vec<Member> = std::mem::take(&mut self.population);
+        for e in &evals[self.seen..] {
+            if let Some(objectives) = e.objectives {
+                pool.push(Member {
+                    index: e.index,
+                    candidate: ctx.candidates[e.index].clone(),
+                    objectives,
+                    score: e.score,
+                    rank: 0,
+                    crowding: 0.0,
+                });
+            }
+        }
+        self.seen = evals.len();
+        if pool.is_empty() {
+            return Decision::Stop(Selection {
+                best: None,
+                front: None,
+            });
+        }
+        pool.sort_by_key(|m| m.index);
+        assign_ranks_and_crowding(&mut pool);
+        pool.sort_by(selection_order);
+        pool.truncate(self.params.population);
+        self.population = pool;
+
+        if ctx.round < self.params.generations {
+            return Decision::Continue;
+        }
+        // Final generation: surface the rank-0 front and pick the
+        // member with the best composite score as `best` (so NSGA-II
+        // results remain comparable with one-shot selection).
+        let mut members: Vec<FrontMember> = self
+            .population
+            .iter()
+            .filter(|m| m.rank == 0)
+            .map(|m| FrontMember {
+                index: m.index,
+                candidate: m.candidate.clone(),
+                objectives: m.objectives,
+                score: m.score,
+            })
+            .collect();
+        members.sort_by_key(|m| m.index);
+        let best = members
+            .iter()
+            .max_by(|a, b| score_order(a.score, b.score))
+            .map(|m| m.index);
+        Decision::Stop(Selection {
+            best,
+            front: Some(ParetoFront { members }),
+        })
+    }
+}
+
+/// Deb's fast non-dominated sort plus per-front crowding distances.
+/// `pool` must be sorted by candidate index so the domination scan order
+/// (and therefore every tie-break) is deterministic.
+fn assign_ranks_and_crowding(pool: &mut [Member]) {
+    let n = pool.len();
+    let mut dominator_count = vec![0usize; n];
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if pool[i].objectives.dominates(&pool[j].objectives) {
+                dominated[i].push(j);
+                dominator_count[j] += 1;
+            } else if pool[j].objectives.dominates(&pool[i].objectives) {
+                dominated[j].push(i);
+                dominator_count[i] += 1;
+            }
+        }
+    }
+    let mut front: Vec<usize> = (0..n).filter(|&i| dominator_count[i] == 0).collect();
+    let mut rank = 0;
+    while !front.is_empty() {
+        for &i in &front {
+            pool[i].rank = rank;
+        }
+        crowding_distances(pool, &front);
+        let mut next = Vec::new();
+        for &i in &front {
+            for &j in &dominated[i] {
+                dominator_count[j] -= 1;
+                if dominator_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        front = next;
+        rank += 1;
+    }
+}
+
+/// Crowding distance within one front (Deb et al., 2002): boundary
+/// members get infinity; interior members sum normalized neighbor gaps
+/// per objective. Sorting uses `total_cmp` with index tie-breaks so the
+/// distances are bit-reproducible.
+fn crowding_distances(pool: &mut [Member], front: &[usize]) {
+    for &i in front {
+        pool[i].crowding = 0.0;
+    }
+    if front.len() <= 2 {
+        for &i in front {
+            pool[i].crowding = f64::INFINITY;
+        }
+        return;
+    }
+    for k in 0..Objectives::DIMS {
+        let mut order: Vec<usize> = front.to_vec();
+        order.sort_by(|&a, &b| {
+            pool[a]
+                .objectives
+                .key(k)
+                .total_cmp(&pool[b].objectives.key(k))
+                .then_with(|| pool[a].index.cmp(&pool[b].index))
+        });
+        let lo = pool[order[0]].objectives.key(k);
+        let hi = pool[*order.last().expect("front is non-empty")].objectives.key(k);
+        pool[order[0]].crowding = f64::INFINITY;
+        pool[*order.last().expect("front is non-empty")].crowding = f64::INFINITY;
+        if hi - lo <= 0.0 {
+            continue;
+        }
+        for w in 1..order.len() - 1 {
+            let i = order[w];
+            if pool[i].crowding.is_finite() {
+                let gap = pool[order[w + 1]].objectives.key(k) - pool[order[w - 1]].objectives.key(k);
+                pool[i].crowding += gap / (hi - lo);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(repcap: f64, cnr: f64, two_qubit: usize, depth: usize) -> Objectives {
+        Objectives {
+            repcap,
+            cnr,
+            two_qubit_count: two_qubit,
+            depth,
+        }
+    }
+
+    fn member(index: usize, objectives: Objectives) -> Member {
+        Member {
+            index,
+            candidate: Candidate {
+                circuit: elivagar_circuit::Circuit::new(1),
+                placement: vec![0],
+            },
+            objectives,
+            score: None,
+            rank: usize::MAX,
+            crowding: -1.0,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = obj(0.9, 0.9, 4, 10);
+        let better = obj(0.95, 0.9, 4, 10);
+        let tradeoff = obj(0.8, 0.95, 4, 10);
+        assert!(better.dominates(&a));
+        assert!(!a.dominates(&better));
+        assert!(!a.dominates(&a), "equal vectors do not dominate");
+        assert!(!tradeoff.dominates(&a));
+        assert!(!a.dominates(&tradeoff));
+    }
+
+    #[test]
+    fn cost_objectives_are_minimized() {
+        let cheap = obj(0.9, 0.9, 2, 5);
+        let costly = obj(0.9, 0.9, 6, 9);
+        assert!(cheap.dominates(&costly));
+        assert!(!costly.dominates(&cheap));
+    }
+
+    #[test]
+    fn fast_nondominated_sort_layers_fronts() {
+        let mut pool = vec![
+            member(0, obj(0.9, 0.9, 2, 5)),  // rank 0
+            member(1, obj(0.8, 0.95, 2, 5)), // rank 0 (trade-off)
+            member(2, obj(0.7, 0.7, 4, 8)),  // dominated by 0 → rank 1
+            member(3, obj(0.6, 0.6, 6, 9)),  // dominated by 2 → rank 2
+        ];
+        assign_ranks_and_crowding(&mut pool);
+        assert_eq!(pool[0].rank, 0);
+        assert_eq!(pool[1].rank, 0);
+        assert_eq!(pool[2].rank, 1);
+        assert_eq!(pool[3].rank, 2);
+    }
+
+    #[test]
+    fn boundary_members_get_infinite_crowding() {
+        let mut pool = vec![
+            member(0, obj(0.5, 0.9, 2, 5)),
+            member(1, obj(0.7, 0.7, 2, 5)),
+            member(2, obj(0.9, 0.5, 2, 5)),
+        ];
+        assign_ranks_and_crowding(&mut pool);
+        assert!(pool.iter().all(|m| m.rank == 0));
+        assert!(pool[0].crowding.is_infinite());
+        assert!(pool[2].crowding.is_infinite());
+        assert!(pool[1].crowding.is_finite());
+        assert!(pool[1].crowding > 0.0);
+    }
+
+    #[test]
+    fn selection_order_prefers_rank_then_crowding_then_index() {
+        let mut a = member(5, obj(0.9, 0.9, 2, 5));
+        let mut b = member(3, obj(0.9, 0.9, 2, 5));
+        a.rank = 0;
+        b.rank = 1;
+        a.crowding = 0.1;
+        b.crowding = f64::INFINITY;
+        assert_eq!(selection_order(&a, &b), Ordering::Less);
+        b.rank = 0;
+        assert_eq!(selection_order(&a, &b), Ordering::Greater);
+        b.crowding = 0.1;
+        assert_eq!(selection_order(&a, &b), Ordering::Greater, "index breaks ties");
+    }
+}

@@ -15,7 +15,7 @@
 #![cfg(feature = "fault-injection")]
 
 use elivagar::checkpoint::CheckpointError;
-use elivagar::config::SearchConfig;
+use elivagar::config::{Nsga2Config, SearchConfig};
 use elivagar::search::{run_search, RunOptions, SearchError, SearchStage};
 use elivagar_circuit::{Circuit, Gate, ParamExpr};
 use elivagar_datasets::{moons, Dataset};
@@ -260,12 +260,12 @@ fn torn_checkpoint_write_is_detected_on_resume() {
 
     // The run itself completes: truncation models a crash *after* the
     // rename made the (torn) file visible.
-    let options = RunOptions { checkpoint_to: Some(path.clone()), ..RunOptions::default() };
+    let options = RunOptions::new().with_checkpoint(path.clone());
     run_search(&device, &dataset, &config, &options).expect("run completes");
     assert!(faultpoint::fired("checkpoint::commit") > 0);
 
     faultpoint::disarm_all();
-    let resume = RunOptions { resume_from: Some(path.clone()), ..RunOptions::default() };
+    let resume = RunOptions::new().with_resume(path.clone());
     let err = run_search(&device, &dataset, &config, &resume).expect_err("journal is torn");
     assert!(matches!(
         err,
@@ -303,11 +303,7 @@ fn kill_and_resume_under_fire_is_bit_identical() {
         let _ = std::fs::remove_file(&path);
         arm_ambient();
         faultpoint::arm_on_key("search::checkpoint", FaultKind::Panic, kill_after);
-        let options = RunOptions {
-            checkpoint_to: Some(path.clone()),
-            checkpoint_every: 2,
-            ..RunOptions::default()
-        };
+        let options = RunOptions::new().with_checkpoint(path.clone()).with_checkpoint_every(2);
         let killed = catch_unwind(AssertUnwindSafe(|| {
             run_search(&device, &dataset, &config, &options)
         }));
@@ -327,12 +323,10 @@ fn kill_and_resume_under_fire_is_bit_identical() {
             &device,
             &dataset,
             &config,
-            &RunOptions {
-                checkpoint_to: Some(path.clone()),
-                checkpoint_every: 2,
-                resume_from: Some(path.clone()),
-                ..RunOptions::default()
-            },
+            &RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_resume(path.clone()),
         )
         .expect("resumed run completes");
         assert_eq!(resumed, baseline, "kill after save {kill_after}");
@@ -341,6 +335,85 @@ fn kill_and_resume_under_fire_is_bit_identical() {
                 a.score.map(f64::to_bits),
                 b.score.map(f64::to_bits),
                 "resume must be bit-identical (kill after save {kill_after})"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    faultpoint::disarm_all();
+}
+
+/// The evolutionary analogue of [`kill_and_resume_under_fire_is_bit_identical`]:
+/// NSGA-II (population 6, 2 generations, 18 evaluations) with an ambient
+/// RepCap panic quarantining one founder, killed right after checkpoint
+/// saves that land mid-CNR, exactly on a generation boundary, and
+/// mid-RepCap of a later generation. Every resume must reproduce the
+/// uninterrupted run's ranking *and* Pareto front bit for bit.
+#[test]
+fn nsga2_kill_and_resume_under_fire_is_bit_identical() {
+    let _g = lock();
+    silence_faultpoint_panics();
+    let (device, dataset, config) = setup();
+    let config = config.with_nsga2(Nsga2Config::default().with_population(6).with_generations(2));
+    let path = scratch("nsga2-kill-resume");
+
+    // Ambient fault: founder candidate 2's RepCap evaluation always
+    // panics (offspring carry global indices >= 6, so exactly one
+    // evaluation faults across the whole evolution).
+    let arm_ambient = || {
+        faultpoint::disarm_all();
+        faultpoint::arm_on_key("repcap::eval", FaultKind::Panic, 2);
+    };
+
+    arm_ambient();
+    let baseline = run_search(&device, &dataset, &config, &RunOptions::default())
+        .expect("uninterrupted faulted evolution");
+    assert_eq!(baseline.quarantined.len(), 1);
+    assert_eq!(baseline.quarantined[0].index, 2);
+    let baseline_front = baseline.pareto.as_ref().expect("nsga2 surfaces a front");
+    assert!(baseline_front.members.len() >= 2, "front must be non-degenerate");
+
+    // With checkpoint_every = 2 each round saves 3 CNR chunks and 3
+    // RepCap chunks, and rounds 0/1 add a generation-marker save: kill
+    // after saves 2 (mid-CNR, round 0), 7 (generation boundary), 11
+    // (mid-RepCap, round 1), and 16 (mid-CNR, round 2).
+    for kill_after in [2u64, 7, 11, 16] {
+        let _ = std::fs::remove_file(&path);
+        arm_ambient();
+        faultpoint::arm_on_key("search::checkpoint", FaultKind::Panic, kill_after);
+        let options = RunOptions::new().with_checkpoint(path.clone()).with_checkpoint_every(2);
+        let killed = catch_unwind(AssertUnwindSafe(|| {
+            run_search(&device, &dataset, &config, &options)
+        }));
+        let payload = killed.expect_err("the kill faultpoint fires");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("faultpoint 'search::checkpoint' fired"),
+            "unexpected panic: {msg}"
+        );
+
+        arm_ambient();
+        let resumed = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_resume(path.clone()),
+        )
+        .expect("resumed evolution completes");
+        assert_eq!(resumed, baseline, "kill after save {kill_after}");
+        let front = resumed.pareto.as_ref().expect("front survives resume");
+        assert_eq!(front.members.len(), baseline_front.members.len());
+        for (a, b) in front.members.iter().zip(baseline_front.members.iter()) {
+            assert_eq!(a.index, b.index, "front membership (kill after save {kill_after})");
+            assert_eq!(
+                a.score.map(f64::to_bits),
+                b.score.map(f64::to_bits),
+                "front scores must be bit-identical (kill after save {kill_after})"
             );
         }
     }

@@ -242,6 +242,10 @@ counters! {
     /// Non-identity Pauli errors injected into frame lanes (each sampled
     /// X/Y/Z hit at a noise site counts once).
     FRAME_INJECTIONS => "frame.injections";
+    /// NSGA-II generations observed (population merges + survivals).
+    NSGA2_GENERATIONS => "nsga2.generations";
+    /// NSGA-II offspring produced by crossover/mutation.
+    NSGA2_OFFSPRING => "nsga2.offspring";
 }
 
 histograms! {
@@ -263,6 +267,9 @@ histograms! {
     /// Per-block latency of the Pauli-frame engine (ns): one 64-lane
     /// propagation through the compiled step stream.
     FRAME_BLOCK_NS => "frame_block";
+    /// Per-round search-strategy latency (ns): one propose + evaluate
+    /// cycle of the engine/strategy loop.
+    STRATEGY_ROUND_NS => "strategy_round";
 }
 
 /// A started wall-clock measurement; [`Stopwatch::record`] files the

@@ -68,6 +68,21 @@ awk -v s="$cnr_speedup" 'BEGIN { exit !(s >= 5.0) }' || {
   exit 1
 }
 
+# Search-strategy pass: the determinism matrix above already reruns the
+# NSGA-II goldens (winner bits, front size, kill+resume) at 1/2/4
+# threads; here the one-shot-vs-evolution comparison runs at matched
+# evaluation budgets and gates on every Pareto front being
+# non-degenerate (>= 2 mutually non-dominated circuits).
+cargo build --release -p elivagar-bench --bin bench_search
+./target/release/bench_search
+min_front="$(tr ',' '\n' < BENCH_search.json \
+  | sed -n 's/.*"front_size":\([0-9][0-9]*\).*/\1/p' | sort -n | head -1)"
+echo "verify: NSGA-II smallest Pareto front has ${min_front} members"
+if [ -z "$min_front" ] || [ "$min_front" -lt 2 ]; then
+  echo "verify: FAIL — NSGA-II produced a degenerate Pareto front" >&2
+  exit 1
+fi
+
 # Chaos pass: compile the fault-injection registry in and drive injected
 # panics, NaNs, torn checkpoint writes, and kill+resume through the full
 # pipeline (crates/elivagar/tests/chaos.rs).

@@ -2,11 +2,19 @@
 //!
 //! ```text
 //! elivagar-cli search --benchmark moons --device ibm-lagos [--candidates 24] [--seed 0]
+//!                     [--strategy oneshot|nsga2] [--population N] [--generations N]
 //!                     [--checkpoint journal.json] [--resume journal.json]
 //!                     [--stats] [--trace-out trace.jsonl]
 //! elivagar-cli devices
 //! elivagar-cli benchmarks
 //! ```
+//!
+//! `--strategy nsga2` replaces the one-shot sample-and-rank pipeline
+//! with NSGA-II evolution (`--population` circuits per generation,
+//! `--generations` rounds); the final Pareto front — every mutually
+//! non-dominated circuit over (RepCap, CNR, two-qubit count, depth) —
+//! is printed to stderr, and the front member with the best composite
+//! score is trained like a one-shot winner.
 //!
 //! `search` runs the full pipeline (search, train, noisy evaluation) and
 //! prints the selected circuit as OpenQASM with the trained angles bound
@@ -21,7 +29,7 @@
 //! loadable in `chrome://tracing` or Perfetto. QASM output on stdout is
 //! unaffected by either flag.
 
-use elivagar::{run_search, RunOptions, SearchConfig};
+use elivagar::{run_search, Nsga2Config, RunOptions, SearchConfig};
 use elivagar_circuit::to_qasm;
 use elivagar_datasets::{load_sized, spec, BENCHMARKS};
 use elivagar_device::{all_devices, circuit_noise, device_by_name};
@@ -41,6 +49,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  elivagar-cli search --benchmark <name> --device <name> \
          [--candidates N] [--params N] [--epochs N] [--seed N] \
+         [--strategy oneshot|nsga2] [--population N] [--generations N] \
          [--checkpoint FILE] [--resume FILE] [--stats] [--trace-out FILE]\n  \
          elivagar-cli devices\n  elivagar-cli benchmarks"
     );
@@ -103,6 +112,20 @@ fn main() -> ExitCode {
             config.repcap_param_inits = 8;
             config.repcap_samples_per_class = 8;
             config.seed = seed;
+            match flag_value(&args, "--strategy").as_deref() {
+                None | Some("oneshot") => {}
+                Some("nsga2") => {
+                    let defaults = Nsga2Config::default();
+                    let params = Nsga2Config::default()
+                        .with_population(parse("--population", defaults.population))
+                        .with_generations(parse("--generations", defaults.generations));
+                    config = config.with_nsga2(params);
+                }
+                Some(other) => {
+                    eprintln!("unknown strategy {other}; expected oneshot or nsga2");
+                    return ExitCode::FAILURE;
+                }
+            }
 
             let want_stats = args.iter().any(|a| a == "--stats");
             let trace_out = flag_value(&args, "--trace-out").map(std::path::PathBuf::from);
@@ -118,15 +141,25 @@ fn main() -> ExitCode {
 
             let checkpoint = flag_value(&args, "--checkpoint").map(std::path::PathBuf::from);
             let resume = flag_value(&args, "--resume").map(std::path::PathBuf::from);
-            let options = RunOptions {
-                // --resume without --checkpoint keeps journaling to the
-                // same file, so a second interruption is also resumable.
-                checkpoint_to: checkpoint.or_else(|| resume.clone()),
-                resume_from: resume,
-                ..Default::default()
-            };
+            let mut options = RunOptions::new();
+            // --resume without --checkpoint keeps journaling to the
+            // same file, so a second interruption is also resumable.
+            if let Some(path) = checkpoint.or_else(|| resume.clone()) {
+                options = options.with_checkpoint(path);
+            }
+            if let Some(path) = resume {
+                options = options.with_resume(path);
+            }
 
-            eprintln!("searching {candidates} candidates on {} ...", device.name());
+            match &config.strategy {
+                elivagar::StrategyChoice::Nsga2(p) => eprintln!(
+                    "evolving population {} for {} generations on {} ...",
+                    p.population,
+                    p.generations,
+                    device.name()
+                ),
+                _ => eprintln!("searching {candidates} candidates on {} ...", device.name()),
+            }
             let result = match run_search(&device, &dataset, &config, &options) {
                 Ok(result) => result,
                 Err(e) => {
@@ -136,6 +169,20 @@ fn main() -> ExitCode {
             };
             for q in &result.quarantined {
                 eprintln!("warning: {q}");
+            }
+            if let Some(front) = &result.pareto {
+                eprintln!("Pareto front ({} non-dominated circuits):", front.members.len());
+                for m in &front.members {
+                    eprintln!(
+                        "  #{:<4} repcap {:.4}  cnr {:.4}  2q-gates {:>3}  depth {:>3}  score {}",
+                        m.index,
+                        m.objectives.repcap,
+                        m.objectives.cnr,
+                        m.objectives.two_qubit_count,
+                        m.objectives.depth,
+                        m.score.map_or_else(|| "-".into(), |s| format!("{s:.4}")),
+                    );
+                }
             }
             let best = &result.best;
             eprintln!(
