@@ -198,6 +198,13 @@ pub struct SearchConfig {
     pub selection: SelectionStrategy,
     /// Search driver: the paper's one-shot pipeline or NSGA-II evolution.
     pub strategy: StrategyChoice,
+    /// Post-search cohort training: train the top
+    /// [`elivagar_ml::TrainConfig::cohort`] candidates together through
+    /// fused cross-candidate dispatches (with optional successive-halving
+    /// early termination via
+    /// [`elivagar_ml::TrainConfig::halving_rungs`]). `None` (the default)
+    /// skips training, the historical behavior.
+    pub train: Option<elivagar_ml::TrainConfig>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -242,6 +249,7 @@ impl SearchConfig {
             generation: GenerationStrategy::default(),
             selection: SelectionStrategy::default(),
             strategy: StrategyChoice::default(),
+            train: None,
             seed: 0,
         }
     }
@@ -303,6 +311,14 @@ impl SearchConfig {
     /// `with_strategy(StrategyChoice::Nsga2(params))`.
     pub fn with_nsga2(self, params: Nsga2Config) -> Self {
         self.with_strategy(StrategyChoice::Nsga2(params))
+    }
+
+    /// Trains the top [`elivagar_ml::TrainConfig::cohort`] candidates
+    /// after selection, as one fused cohort. Shorthand for setting
+    /// [`SearchConfig::train`].
+    pub fn with_train(mut self, train: elivagar_ml::TrainConfig) -> Self {
+        self.train = Some(train);
+        self
     }
 
     /// Caps the circuit executions any single candidate may spend across

@@ -52,6 +52,7 @@ pub use repcap::{repcap, RepCapResult};
 pub use search::{
     composite_score, run_search, run_search_with, score_order, search, ExecutionBreakdown,
     QuarantineEntry, RunOptions, ScoredCandidate, SearchError, SearchResult, SearchStage,
+    TrainedCandidate,
 };
 pub use strategy::{
     Decision, ElivagarStrategy, EvalPlan, Evaluation, FrontMember, Nsga2Strategy, Objectives,

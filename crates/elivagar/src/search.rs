@@ -240,6 +240,22 @@ impl RunOptions {
 
 const DEFAULT_CHECKPOINT_EVERY: usize = 16;
 
+/// One candidate trained by the post-search cohort stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainedCandidate {
+    /// Index of the candidate in the generated pool.
+    pub index: usize,
+    /// Trained parameter values (at the prune point for pruned members).
+    pub params: Vec<f64>,
+    /// Mean training loss per completed epoch.
+    pub loss_history: Vec<f64>,
+    /// The epoch count after which successive halving pruned this
+    /// candidate; `None` if it trained to completion.
+    pub pruned_at_epoch: Option<usize>,
+    /// Circuit executions the training consumed.
+    pub executions: u64,
+}
+
 /// Per-candidate evaluation record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScoredCandidate {
@@ -276,6 +292,9 @@ impl ExecutionBreakdown {
 pub struct SearchResult {
     /// The selected candidate (local circuit + device placement).
     pub best: Candidate,
+    /// Index of the selected candidate in the generated pool — the key
+    /// that matches [`TrainedCandidate::index`] for the winner's entry.
+    pub best_index: usize,
     /// Every generated candidate with its predictor values.
     pub scored: Vec<ScoredCandidate>,
     /// Circuit-execution accounting (quarantined evaluations count 0).
@@ -286,6 +305,13 @@ pub struct SearchResult {
     /// The final Pareto front, for multi-objective strategies
     /// (`--strategy nsga2`); `None` under single-objective selection.
     pub pareto: Option<ParetoFront>,
+    /// Post-search cohort training results, the selected winner first
+    /// (match entries to candidates via [`TrainedCandidate::index`] and
+    /// [`SearchResult::best_index`]); empty unless
+    /// [`SearchConfig::train`] is set. Candidates whose
+    /// training failed appear in [`SearchResult::quarantined`] at
+    /// [`SearchStage::Train`] instead.
+    pub trained: Vec<TrainedCandidate>,
     /// Telemetry summary: the candidate funnel (run-local, deterministic,
     /// thread-count invariant) plus per-stage timing. All zeros when the
     /// `telemetry` feature is compiled out.
@@ -298,10 +324,12 @@ pub struct SearchResult {
 impl PartialEq for SearchResult {
     fn eq(&self, other: &Self) -> bool {
         self.best == other.best
+            && self.best_index == other.best_index
             && self.scored == other.scored
             && self.executions == other.executions
             && self.quarantined == other.quarantined
             && self.pareto == other.pareto
+            && self.trained == other.trained
     }
 }
 
@@ -593,11 +621,76 @@ pub fn run_search_with(
         return Err(SearchError::NoViableCandidates { quarantined });
     };
 
+    // Post-search cohort training: the top-k candidates (by descending
+    // score, candidate index as tie-break, always including the selected
+    // winner) train together through fused cross-candidate dispatches.
+    let mut trained: Vec<TrainedCandidate> = Vec::new();
+    if let Some(train_config) = &config.train {
+        let _train_stage = elivagar_obs::span!("train_stage");
+        let k = train_config.cohort.max(1);
+        let mut ranked: Vec<usize> = evals
+            .iter()
+            .filter(|e| e.score.is_some())
+            .map(|e| e.index)
+            .collect();
+        ranked.sort_by(|&a, &b| score_order(evals[b].score, evals[a].score).then(a.cmp(&b)));
+        let mut cohort: Vec<usize> = ranked.into_iter().take(k).collect();
+        if !cohort.contains(&best_index) {
+            cohort.insert(0, best_index);
+            cohort.truncate(k);
+        }
+        let mut members: Vec<usize> = Vec::with_capacity(cohort.len());
+        let mut models: Vec<elivagar_ml::QuantumClassifier> = Vec::with_capacity(cohort.len());
+        for &i in &cohort {
+            match elivagar_ml::QuantumClassifier::try_new(
+                all[i].circuit.clone(),
+                config.num_classes,
+            ) {
+                Ok(model) => {
+                    members.push(i);
+                    models.push(model);
+                }
+                Err(e) => quarantined.push(QuarantineEntry {
+                    index: i,
+                    stage: SearchStage::Train,
+                    reason: e.to_string(),
+                }),
+            }
+        }
+        for (&i, outcome) in members
+            .iter()
+            .zip(elivagar_ml::train_cohort(&models, dataset.train(), train_config))
+        {
+            match outcome {
+                Ok(c) => trained.push(TrainedCandidate {
+                    index: i,
+                    params: c.outcome.params,
+                    loss_history: c.outcome.loss_history,
+                    pruned_at_epoch: c.pruned_at_epoch,
+                    executions: c.outcome.executions,
+                }),
+                Err(e) => quarantined.push(QuarantineEntry {
+                    index: i,
+                    stage: SearchStage::Train,
+                    reason: e.to_string(),
+                }),
+            }
+        }
+        quarantined.sort_by_key(|q| q.index);
+        // Surface the selected winner first even when a multi-objective
+        // strategy picked a candidate that is not the top composite score.
+        if let Some(pos) = trained.iter().position(|t| t.index == best_index) {
+            let winner = trained.remove(pos);
+            trained.insert(0, winner);
+        }
+    }
+
     let finish_stats = |funnel: elivagar_obs::FunnelCounters| -> elivagar_obs::RunStats {
         let delta = elivagar_obs::metrics::snapshot().since(&metrics_before);
         elivagar_obs::RunStats {
             funnel,
             stages: elivagar_obs::RunStats::stages_from(&delta),
+            counters: elivagar_obs::RunStats::counters_from(&delta),
             wall_ns: run_sw.elapsed_ns(),
         }
     };
@@ -619,10 +712,12 @@ pub fn run_search_with(
     elivagar_obs::metrics::CANDIDATES_QUARANTINED.add(quarantined.len() as u64);
     Ok(SearchResult {
         best,
+        best_index,
         scored,
         executions,
         quarantined,
         pareto: selection.front,
+        trained,
         stats: finish_stats(funnel),
     })
 }
@@ -1293,6 +1388,62 @@ mod tests {
             .min_by(|a, b| score_order(a.score, b.score))
             .expect("someone scored");
         assert_eq!(result.best, worst.candidate);
+    }
+
+    #[test]
+    fn cohort_training_surfaces_trained_candidates() {
+        let (device, dataset, config) = setup();
+        let config = config.with_train(elivagar_ml::TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            cohort: 3,
+            ..Default::default()
+        });
+        let result = search(&device, &dataset, &config);
+        assert_eq!(result.trained.len(), 3);
+        // Winner first, every member fully trained.
+        let best_trained = &result.trained[0];
+        assert_eq!(best_trained.index, result.best_index);
+        assert_eq!(
+            best_trained.params.len(),
+            result.best.circuit.num_trainable_params()
+        );
+        for t in &result.trained {
+            assert_eq!(t.loss_history.len(), 2);
+            assert_eq!(t.pruned_at_epoch, None);
+            assert!(t.executions > 0);
+        }
+        // The same search without training changes nothing else.
+        let (device2, dataset2, plain_config) = setup();
+        let plain = search(&device2, &dataset2, &plain_config);
+        assert_eq!(plain.best, result.best);
+        assert_eq!(plain.scored, result.scored);
+        assert!(plain.trained.is_empty());
+    }
+
+    #[test]
+    fn cohort_training_with_halving_prunes_deterministically() {
+        let (device, dataset, config) = setup();
+        let config = config.with_train(elivagar_ml::TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            cohort: 3,
+            halving_rungs: 2,
+            ..Default::default()
+        });
+        let a = search(&device, &dataset, &config);
+        let b = search(&device, &dataset, &config);
+        assert_eq!(a, b);
+        // Rungs fire after epochs 2 and 4: 3 -> 2 -> 1 alive.
+        let pruned: Vec<Option<usize>> =
+            a.trained.iter().map(|t| t.pruned_at_epoch).collect();
+        assert_eq!(pruned.iter().filter(|p| p.is_none()).count(), 1);
+        assert_eq!(pruned.iter().filter(|p| **p == Some(2)).count(), 1);
+        assert_eq!(pruned.iter().filter(|p| **p == Some(4)).count(), 1);
+        for t in &a.trained {
+            let expected = t.pruned_at_epoch.unwrap_or(8);
+            assert_eq!(t.loss_history.len(), expected);
+        }
     }
 
     #[test]

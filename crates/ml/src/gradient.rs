@@ -7,11 +7,14 @@
 //! executions through the parameter-shift rule — which is exactly why
 //! training-based QCS methods scale so poorly.
 
-use crate::loss::cross_entropy;
+use crate::loss::{cross_entropy, cross_entropy_into};
 use crate::model::QuantumClassifier;
 use elivagar_circuit::{Gate, ParamSource};
 use elivagar_sim::parallel::par_map;
-use elivagar_sim::{adjoint_gradient_into, Gradients, Program, ZObservable};
+use elivagar_sim::{
+    adjoint_gradient_into, Gradients, MultiItem, MultiProgram, Program, StateVector, ZObservable,
+};
+use std::cell::RefCell;
 use std::f64::consts::{FRAC_PI_2, SQRT_2};
 
 /// How gradients are computed.
@@ -87,6 +90,13 @@ fn weighted_expectation(
 /// Where a trainable parameter is used in the circuit.
 fn usage_sites(model: &QuantumClassifier, index: usize) -> Vec<(usize, f64)> {
     let mut sites = Vec::new();
+    usage_sites_into(model, index, &mut sites);
+    sites
+}
+
+/// [`usage_sites`] into a caller-recycled buffer (cleared and refilled).
+fn usage_sites_into(model: &QuantumClassifier, index: usize, sites: &mut Vec<(usize, f64)>) {
+    sites.clear();
     for (i, ins) in model.circuit().instructions().iter().enumerate() {
         for p in &ins.params {
             if let ParamSource::Trainable(t) = p.source {
@@ -96,7 +106,6 @@ fn usage_sites(model: &QuantumClassifier, index: usize) -> Vec<(usize, f64)> {
             }
         }
     }
-    sites
 }
 
 /// Computes loss and gradient for one sample. The forward pass runs the
@@ -213,6 +222,170 @@ pub fn batch_gradient(
         *g /= n;
     }
     BatchGradient { loss, gradient, executions }
+}
+
+/// Per-worker scratch for the cohort gradient path: every intermediate the
+/// per-sample pipeline needs, recycled across calls so the steady state
+/// allocates nothing.
+struct GradScratch {
+    expectations: Vec<f64>,
+    logits: Vec<f64>,
+    dlogits: Vec<f64>,
+    weights: Vec<(usize, f64)>,
+    obs: ZObservable,
+    g: Gradients,
+    sites: Vec<(usize, f64)>,
+    shifted_plus: Vec<f64>,
+    shifted_minus: Vec<f64>,
+}
+
+thread_local! {
+    static GRAD_SCRATCH: RefCell<GradScratch> = RefCell::new(GradScratch {
+        expectations: Vec::new(),
+        logits: Vec::new(),
+        dlogits: Vec::new(),
+        weights: Vec::new(),
+        obs: ZObservable::new(Vec::new()),
+        g: Gradients { expectation: 0.0, params: Vec::new(), features: Vec::new() },
+        sites: Vec::new(),
+        shifted_plus: Vec::new(),
+        shifted_minus: Vec::new(),
+    });
+}
+
+/// [`sample_gradient`] for the fused cohort path: the forward state `psi`
+/// has already been produced by the multi-program dispatch, and the
+/// gradient is written into `grad_out` (the caller's arena slice) instead
+/// of a fresh vector. Every float op runs in the same order on the same
+/// values as [`sample_gradient`], so the loss and gradient are bit-for-bit
+/// identical; with [`GradientMethod::Adjoint`] the steady state performs no
+/// heap allocation.
+#[allow(clippy::too_many_arguments)]
+fn cohort_sample_gradient(
+    model: &QuantumClassifier,
+    program: &Program,
+    params: &[f64],
+    features: &[f64],
+    label: usize,
+    method: GradientMethod,
+    psi: &StateVector,
+    grad_out: &mut [f64],
+) -> (f64, u64) {
+    GRAD_SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        model.expectations_from_state_into(psi, &mut s.expectations);
+        model.logits_from_expectations_into(&s.expectations, &mut s.logits);
+        let loss = cross_entropy_into(&s.logits, label, &mut s.dlogits);
+        model.observable_weights_into(&s.dlogits, &mut s.weights);
+        match method {
+            GradientMethod::Adjoint => {
+                s.obs.reset_terms(s.weights.iter().copied());
+                adjoint_gradient_into(model.circuit(), params, features, &s.obs, &mut s.g);
+                grad_out[..params.len()].copy_from_slice(&s.g.params);
+                (loss, 1)
+            }
+            GradientMethod::ParameterShift => {
+                let grad = &mut grad_out[..params.len()];
+                grad.fill(0.0);
+                let mut executions = 1u64; // the forward pass
+                for (i, g) in grad.iter_mut().enumerate() {
+                    usage_sites_into(model, i, &mut s.sites);
+                    if s.sites.is_empty() {
+                        continue;
+                    }
+                    let single_plain_site = s.sites.len() == 1
+                        && (s.sites[0].1.abs() - 1.0).abs() < 1e-12
+                        && shift_rule(model.circuit().instructions()[s.sites[0].0].gate)
+                            .is_some();
+                    if single_plain_site {
+                        let gate = model.circuit().instructions()[s.sites[0].0].gate;
+                        let rule = shift_rule(gate).expect("checked above");
+                        let sign = s.sites[0].1; // +1 or -1
+                        for &(shift, coeff) in rule {
+                            s.shifted_plus.clear();
+                            s.shifted_plus.extend_from_slice(params);
+                            s.shifted_plus[i] += sign * shift;
+                            *g += sign * coeff
+                                * weighted_expectation(
+                                    program,
+                                    &s.shifted_plus,
+                                    features,
+                                    &s.weights,
+                                );
+                            executions += 1;
+                        }
+                    } else {
+                        // Shared or scaled parameter: central difference
+                        // (still two executions, like a shift).
+                        let h = 1e-4;
+                        s.shifted_plus.clear();
+                        s.shifted_plus.extend_from_slice(params);
+                        s.shifted_minus.clear();
+                        s.shifted_minus.extend_from_slice(params);
+                        s.shifted_plus[i] += h;
+                        s.shifted_minus[i] -= h;
+                        let ep =
+                            weighted_expectation(program, &s.shifted_plus, features, &s.weights);
+                        let em =
+                            weighted_expectation(program, &s.shifted_minus, features, &s.weights);
+                        *g += (ep - em) / (2.0 * h);
+                        executions += 2;
+                    }
+                }
+                (loss, executions)
+            }
+        }
+    })
+}
+
+/// Fused gradient dispatch over a cohort of candidates: one pass through the
+/// work-stealing pool computes every `(member, sample)` pair in `items`,
+/// writing each pair's gradient into its `stride`-wide arena slice and its
+/// `(loss, executions)` into `out[i]`. Returns the arena stride (the widest
+/// member's parameter count).
+///
+/// Per pair, the float sequence is identical to [`batch_gradient`]'s
+/// per-sample path, so reducing member `m`'s slices in item order
+/// reproduces its solo minibatch gradient bit-for-bit. Once `arena` and
+/// `out` have grown to capacity the steady state performs no heap
+/// allocation (with [`GradientMethod::Adjoint`]).
+///
+/// # Panics
+///
+/// Panics if `models`, `multi`, and `params` disagree on the cohort size,
+/// if features/labels lengths differ, or if an item indexes out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn cohort_batch_gradients(
+    models: &[QuantumClassifier],
+    multi: &MultiProgram,
+    params: &[Vec<f64>],
+    features: &[Vec<f64>],
+    labels: &[usize],
+    items: &[MultiItem],
+    method: GradientMethod,
+    arena: &mut Vec<f64>,
+    out: &mut Vec<(f64, u64)>,
+) -> usize {
+    assert_eq!(models.len(), multi.len(), "model/program mismatch");
+    assert_eq!(models.len(), params.len(), "model/params mismatch");
+    assert_eq!(features.len(), labels.len(), "feature/label mismatch");
+    let stride = params.iter().map(Vec::len).max().unwrap_or(0).max(1);
+    arena.clear();
+    arena.resize(items.len() * stride, 0.0);
+    multi.batch_execute_multi(params, features, items, arena, stride, out, |_, item, psi, slice| {
+        let m = item.member as usize;
+        cohort_sample_gradient(
+            &models[m],
+            multi.program(m),
+            &params[m],
+            &features[item.sample as usize],
+            labels[item.sample as usize],
+            method,
+            psi,
+            slice,
+        )
+    });
+    stride
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod accounting;
+pub mod cohort;
 pub mod diagnostics;
 pub mod gradient;
 pub mod loss;
@@ -37,8 +38,11 @@ pub mod optim;
 pub mod train;
 
 pub use accounting::{elivagar_default_cost, ElivagarCost, SuperCircuitCost};
+pub use cohort::{train_cohort, CohortOutcome};
 pub use diagnostics::{gradient_variance, GradientVariance};
-pub use gradient::{batch_gradient, shift_rule, BatchGradient, GradientMethod};
+pub use gradient::{
+    batch_gradient, cohort_batch_gradients, shift_rule, BatchGradient, GradientMethod,
+};
 pub use loss::{cross_entropy, softmax};
 pub use model::{argmax, ModelError, QuantumClassifier};
 pub use optim::Adam;

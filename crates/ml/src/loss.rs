@@ -15,15 +15,35 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `label` is out of range.
 pub fn cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
-    assert!(label < logits.len(), "label {label} out of range");
-    let probs = softmax(logits);
-    let loss = -(probs[label].max(1e-12)).ln();
-    let grad = probs
-        .iter()
-        .enumerate()
-        .map(|(k, &p)| p - if k == label { 1.0 } else { 0.0 })
-        .collect();
+    let mut grad = Vec::new();
+    let loss = cross_entropy_into(logits, label, &mut grad);
     (loss, grad)
+}
+
+/// [`cross_entropy`] writing the logit gradient into a caller-recycled
+/// buffer (cleared and refilled). The float sequence — stabilized exps,
+/// their sum, the normalized probabilities, loss, and `softmax - onehot`
+/// — is identical to [`cross_entropy`], so results are bit-for-bit equal;
+/// once the buffer's capacity has grown, the call performs no allocation.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn cross_entropy_into(logits: &[f64], label: usize, grad: &mut Vec<f64>) -> f64 {
+    assert!(label < logits.len(), "label {label} out of range");
+    grad.clear();
+    grad.reserve(logits.len());
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    grad.extend(logits.iter().map(|&l| (l - max).exp()));
+    let sum: f64 = grad.iter().sum();
+    for e in grad.iter_mut() {
+        *e /= sum;
+    }
+    let loss = -(grad[label].max(1e-12)).ln();
+    for (k, p) in grad.iter_mut().enumerate() {
+        *p -= if k == label { 1.0 } else { 0.0 };
+    }
+    loss
 }
 
 #[cfg(test)]
@@ -64,6 +84,24 @@ mod tests {
             minus[k] -= h;
             let fd = (cross_entropy(&plus, 2).0 - cross_entropy(&minus, 2).0) / (2.0 * h);
             assert!((grad[k] - fd).abs() < 1e-6, "slot {k}");
+        }
+    }
+
+    #[test]
+    fn into_variant_is_bit_identical_and_recycles() {
+        let mut grad = Vec::new();
+        for (logits, label) in [
+            (vec![0.3, -0.7, 1.2], 2usize),
+            (vec![10.0, -10.0], 0),
+            (vec![0.1, 0.2, 0.3, 0.4], 1),
+        ] {
+            let (loss, reference) = cross_entropy(&logits, label);
+            let loss_into = cross_entropy_into(&logits, label, &mut grad);
+            assert_eq!(loss.to_bits(), loss_into.to_bits());
+            assert_eq!(reference.len(), grad.len());
+            for (a, b) in reference.iter().zip(&grad) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

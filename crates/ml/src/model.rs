@@ -135,11 +135,16 @@ impl QuantumClassifier {
 
     /// Per-measured-qubit `<Z>` expectations read off an output state.
     pub fn expectations_from_state(&self, psi: &StateVector) -> Vec<f64> {
-        self.circuit
-            .measured()
-            .iter()
-            .map(|&q| psi.expectation_z(q))
-            .collect()
+        let mut out = Vec::new();
+        self.expectations_from_state_into(psi, &mut out);
+        out
+    }
+
+    /// [`Self::expectations_from_state`] into a caller-recycled buffer
+    /// (cleared and refilled; bit-identical, allocation-free once warm).
+    pub fn expectations_from_state_into(&self, psi: &StateVector, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.circuit.measured().iter().map(|&q| psi.expectation_z(q)));
     }
 
     /// Per-measured-qubit `<Z>` expectations for a whole batch of samples
@@ -188,11 +193,21 @@ impl QuantumClassifier {
 
     /// Maps expectations to class logits.
     pub fn logits_from_expectations(&self, expectations: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.logits_from_expectations_into(expectations, &mut out);
+        out
+    }
+
+    /// [`Self::logits_from_expectations`] into a caller-recycled buffer
+    /// (cleared and refilled; bit-identical, allocation-free once warm).
+    pub fn logits_from_expectations_into(&self, expectations: &[f64], out: &mut Vec<f64>) {
+        out.clear();
         if self.num_classes == 2 {
             let e = expectations.iter().sum::<f64>() / expectations.len() as f64;
-            vec![e, -e]
+            out.push(e);
+            out.push(-e);
         } else {
-            expectations[..self.num_classes].to_vec()
+            out.extend_from_slice(&expectations[..self.num_classes]);
         }
     }
 
@@ -215,17 +230,27 @@ impl QuantumClassifier {
     /// measured qubits, yielding `(qubit, weight)` terms for one adjoint
     /// pass (`dL/dtheta = sum_q w_q * d<Z_q>/dtheta`).
     pub fn observable_weights(&self, dloss_dlogits: &[f64]) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.observable_weights_into(dloss_dlogits, &mut out);
+        out
+    }
+
+    /// [`Self::observable_weights`] into a caller-recycled buffer
+    /// (cleared and refilled; bit-identical, allocation-free once warm).
+    pub fn observable_weights_into(&self, dloss_dlogits: &[f64], out: &mut Vec<(usize, f64)>) {
+        out.clear();
         let measured = self.circuit.measured();
         if self.num_classes == 2 {
             let de = (dloss_dlogits[0] - dloss_dlogits[1]) / measured.len() as f64;
-            measured.iter().map(|&q| (q, de)).collect()
+            out.extend(measured.iter().map(|&q| (q, de)));
         } else {
-            measured
-                .iter()
-                .take(self.num_classes)
-                .enumerate()
-                .map(|(k, &q)| (q, dloss_dlogits[k]))
-                .collect()
+            out.extend(
+                measured
+                    .iter()
+                    .take(self.num_classes)
+                    .enumerate()
+                    .map(|(k, &q)| (q, dloss_dlogits[k])),
+            );
         }
     }
 }

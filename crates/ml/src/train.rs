@@ -35,6 +35,16 @@ pub struct TrainConfig {
     /// Hard cap on circuit executions across all attempts; exceeding it
     /// aborts with [`TrainError::BudgetExhausted`]. `None` is unlimited.
     pub max_executions: Option<u64>,
+    /// Candidates trained together per fused dispatch by the cohort path
+    /// ([`crate::cohort::train_cohort`]); the search engine trains its top
+    /// `cohort` candidates as one batch. `1` trains candidates alone.
+    pub cohort: usize,
+    /// Successive-halving rungs for cohort early termination: rung `r` of
+    /// `R` (0-based) fires after epoch `epochs >> (R - r)` and keeps the
+    /// better half of the still-alive cohort, ranked by last-epoch mean
+    /// loss. `0` disables early termination, making every cohort member's
+    /// training bit-identical to [`try_train`].
+    pub halving_rungs: usize,
 }
 
 impl Default for TrainConfig {
@@ -47,6 +57,8 @@ impl Default for TrainConfig {
             seed: 0,
             nan_retries: 2,
             max_executions: None,
+            cohort: 1,
+            halving_rungs: 0,
         }
     }
 }

@@ -42,7 +42,7 @@ pub mod metrics;
 pub mod stats;
 pub mod trace;
 
-pub use stats::{FunnelCounters, RunStats, StageStats};
+pub use stats::{FunnelCounters, RunStats, StageStats, REPORTED_COUNTERS};
 pub use trace::{
     drain, validate_forest, write_chrome_trace, Event, EventKind, ForestSummary, SpanGuard,
 };

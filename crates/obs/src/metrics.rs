@@ -217,6 +217,11 @@ counters! {
     TRAIN_RETRIES => "train.retries";
     /// Training epochs completed.
     TRAIN_EPOCHS => "train.epochs";
+    /// Candidates dispatched through fused cross-candidate training
+    /// batches (one count per still-alive cohort member per dispatch).
+    TRAIN_BATCHED_CANDIDATES => "train.batched_candidates";
+    /// Cohort members pruned by successive-halving early termination.
+    TRAIN_PRUNED => "train.pruned";
     /// Checkpoint journal saves.
     CHECKPOINT_SAVES => "checkpoint.saves";
     /// Bytes written across all checkpoint saves (payload + CRC footer).
@@ -260,6 +265,9 @@ histograms! {
     REPCAP_SCORE_MICROS => "repcap_score_micros";
     /// Per-epoch training latency (ns).
     TRAIN_EPOCH_NS => "train_epoch";
+    /// Fused cross-candidate minibatch dispatch latency (ns): one
+    /// multi-program pass over every alive cohort member's chunk.
+    TRAIN_BATCH_NS => "train_batch";
     /// Checkpoint save latency (ns), serialization through fsync+rename.
     CHECKPOINT_SAVE_NS => "checkpoint_save";
     /// Engine batch execution latency (ns).

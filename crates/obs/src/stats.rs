@@ -110,9 +110,21 @@ pub struct RunStats {
     /// Per-stage counts and latency quantiles for stages that ran
     /// (process-global histogram deltas; informational, never compared).
     pub stages: Vec<StageStats>,
+    /// Run-delta values of reported per-run counters (see
+    /// [`RunStats::counters_from`]); zero-valued counters are dropped.
+    pub counters: Vec<(&'static str, u64)>,
     /// Wall time of the whole run in nanoseconds.
     pub wall_ns: u64,
 }
+
+/// Counters surfaced per run on [`RunStats`] (beyond the funnel, which is
+/// tallied run-locally): the cohort-training activity of the run.
+pub const REPORTED_COUNTERS: &[&str] = &[
+    "train.batched_candidates",
+    "train.pruned",
+    "train.epochs",
+    "train.retries",
+];
 
 impl RunStats {
     /// Extracts stage stats from a metrics delta (`now.since(&before)`).
@@ -121,6 +133,17 @@ impl RunStats {
             .histograms
             .iter()
             .filter_map(|(name, h)| StageStats::from_snapshot(name, h))
+            .collect()
+    }
+
+    /// Extracts the nonzero [`REPORTED_COUNTERS`] from a metrics delta
+    /// (`now.since(&before)`).
+    pub fn counters_from(delta: &MetricsSnapshot) -> Vec<(&'static str, u64)> {
+        delta
+            .counters
+            .iter()
+            .filter(|&&(name, value)| value != 0 && REPORTED_COUNTERS.contains(&name))
+            .copied()
             .collect()
     }
 
@@ -148,6 +171,12 @@ impl RunStats {
             f.score_quarantined,
             f.quarantined_total()
         );
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "training:");
+            for &(name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<32} {value:>10}");
+            }
+        }
         if !self.stages.is_empty() {
             let _ = writeln!(
                 out,
@@ -264,12 +293,31 @@ mod tests {
                 p50_ns: 1_048_575,
                 p99_ns: 2_097_151,
             }],
+            counters: vec![("train.batched_candidates", 48), ("train.pruned", 3)],
             wall_ns: 2_500_000_000,
         };
         let report = stats.render();
         assert!(report.contains("generated     10"), "{report}");
         assert!(report.contains("cnr_eval"), "{report}");
         assert!(report.contains("2.50s"), "{report}");
+        assert!(report.contains("train.batched_candidates"), "{report}");
+        assert!(report.contains("train.pruned"), "{report}");
+    }
+
+    #[test]
+    fn counters_from_keeps_only_nonzero_reported_counters() {
+        let delta = MetricsSnapshot {
+            counters: vec![
+                ("train.batched_candidates", 12),
+                ("train.pruned", 0),
+                ("engine.batches", 99),
+            ],
+            histograms: Vec::new(),
+        };
+        assert_eq!(
+            RunStats::counters_from(&delta),
+            vec![("train.batched_candidates", 12)]
+        );
     }
 
     #[test]

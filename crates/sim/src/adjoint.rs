@@ -39,6 +39,17 @@ impl ZObservable {
         ZObservable::new(vec![(qubit, 1.0)])
     }
 
+    /// Clears and refills the single-Z terms in place, dropping any ZZ
+    /// terms and offset — recycles the observable's allocations so hot
+    /// loops (e.g. per-sample classifier gradients) can rebuild the
+    /// effective observable without heap traffic.
+    pub fn reset_terms(&mut self, terms: impl IntoIterator<Item = (usize, f64)>) {
+        self.terms.clear();
+        self.terms.extend(terms);
+        self.zz_terms.clear();
+        self.offset = 0.0;
+    }
+
     /// Adds a `w * Z_a Z_b` coupling term.
     ///
     /// # Panics

@@ -28,7 +28,7 @@
 //! [`StateVector::run`] to well below 1e-10 (see the crate tests and
 //! `tests/properties.rs`).
 
-use crate::parallel::{par_apply_blocks, par_map, par_map_index};
+use crate::parallel::{par_apply_blocks, par_map, par_map_index, par_map_index_into, SendPtr};
 use crate::statevector::StateVector;
 use crate::workspace;
 use elivagar_circuit::math::{C64, Mat2, Mat4};
@@ -484,6 +484,125 @@ impl BoundProgram {
     }
 }
 
+/// One work item of a fused multi-candidate dispatch: candidate
+/// `member`'s program executed on sample `sample` of the shared feature
+/// pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiItem {
+    /// Index of the candidate's program in the [`MultiProgram`].
+    pub member: u32,
+    /// Index of the feature vector in the shared batch.
+    pub sample: u32,
+}
+
+/// Compiled programs for a whole candidate cohort, executed in fused
+/// batches: every `(member, sample)` work item of one dispatch flows
+/// through the work-stealing pool together, so a cohort of k candidates
+/// saturates the pool with one dispatch instead of k sequential ones.
+/// Work items are index-addressed, which keeps per-candidate reductions
+/// bit-for-bit identical to running each candidate alone.
+#[derive(Clone, Debug)]
+pub struct MultiProgram {
+    programs: Vec<Program>,
+}
+
+impl MultiProgram {
+    /// Compiles one program per candidate circuit.
+    pub fn compile<'a>(circuits: impl IntoIterator<Item = &'a Circuit>) -> MultiProgram {
+        MultiProgram {
+            programs: circuits.into_iter().map(Program::compile).collect(),
+        }
+    }
+
+    /// Wraps already-compiled programs.
+    pub fn from_programs(programs: Vec<Program>) -> MultiProgram {
+        MultiProgram { programs }
+    }
+
+    /// Number of member programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the cohort is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Member `m`'s compiled program.
+    pub fn program(&self, member: usize) -> &Program {
+        &self.programs[member]
+    }
+
+    /// Executes every `(member, sample)` item in one fused pool dispatch.
+    ///
+    /// Item `i` runs `programs[items[i].member]` with that member's
+    /// parameter vector on `features_batch[items[i].sample]`, then hands
+    /// `post` the item index, the item, the final state (recycled through
+    /// the worker's workspace pool afterwards), and the item's disjoint
+    /// `stride`-wide slice of `arena` — callers lay the arena out so each
+    /// candidate's items occupy a contiguous block, giving per-candidate
+    /// arena slices for gradient accumulation. Results land in `out` in
+    /// item order; with warmed capacities the call performs no heap
+    /// allocation beyond what `post` itself does.
+    ///
+    /// Per-item results are index-addressed and reductions are the
+    /// caller's (sequential, item-order) responsibility, so outputs are
+    /// bit-identical at any thread count and to per-candidate execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the member count, an item
+    /// indexes out of range, or `arena` is shorter than
+    /// `items.len() * stride`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_execute_multi<T, F>(
+        &self,
+        params: &[Vec<f64>],
+        features_batch: &[Vec<f64>],
+        items: &[MultiItem],
+        arena: &mut [f64],
+        stride: usize,
+        out: &mut Vec<T>,
+        post: F,
+    ) where
+        T: Send,
+        F: Fn(usize, MultiItem, &StateVector, &mut [f64]) -> T + Sync,
+    {
+        assert_eq!(params.len(), self.programs.len(), "one parameter vector per member");
+        assert!(
+            arena.len() >= items.len() * stride,
+            "arena holds {} f64s, need {} ({} items x stride {})",
+            arena.len(),
+            items.len() * stride,
+            items.len(),
+            stride
+        );
+        for item in items {
+            assert!((item.member as usize) < self.programs.len(), "member out of range");
+            assert!((item.sample as usize) < features_batch.len(), "sample out of range");
+        }
+        let sw = record_batch(items.len());
+        let base = SendPtr(arena.as_mut_ptr());
+        par_map_index_into(items.len(), out, |i| {
+            let item = items[i];
+            // SAFETY: item slices `i * stride .. (i+1) * stride` are
+            // disjoint, in-bounds (asserted above), each index is claimed
+            // exactly once by the runtime, and `arena` stays mutably
+            // borrowed for the whole region.
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(i * stride), stride) };
+            let m = item.member as usize;
+            self.programs[m].run_with(
+                &params[m],
+                &features_batch[item.sample as usize],
+                |psi| post(i, item, psi, slice),
+            )
+        });
+        sw.record(&elivagar_obs::metrics::ENGINE_BATCH_NS);
+    }
+}
+
 /// Resolves up to three angle slots into a stack buffer (no gate takes
 /// more than three parameters, so dynamic ops never heap-allocate).
 #[inline]
@@ -791,6 +910,51 @@ mod tests {
         let reference = StateVector::run(&c, &params, &features);
         let bound = Program::compile(&c).bind(&params);
         assert_states_match(&bound.run(&features), &reference, 1e-12);
+    }
+
+    #[test]
+    fn multi_program_matches_per_candidate_execution() {
+        let c0 = mixed_circuit();
+        let mut c1 = Circuit::new(3);
+        c1.push_gate(Gate::Ry, &[0], &[ParamExpr::feature(0)]);
+        c1.push_gate(Gate::Cx, &[0, 2], &[]);
+        c1.push_gate(Gate::Rz, &[2], &[ParamExpr::trainable(0)]);
+        c1.set_measured(vec![0, 2]);
+        let multi = MultiProgram::compile([&c0, &c1]);
+        assert_eq!(multi.len(), 2);
+        let params: Vec<Vec<f64>> = vec![vec![0.7, -1.1], vec![0.25]];
+        let features: Vec<Vec<f64>> = vec![vec![0.3], vec![-0.9], vec![1.4]];
+        // Member-major items, including a member/sample subset.
+        let items: Vec<MultiItem> = (0..2u32)
+            .flat_map(|m| (0..3u32).map(move |s| MultiItem { member: m, sample: s }))
+            .collect();
+        let mut arena = vec![0.0; items.len() * 2];
+        let mut out: Vec<f64> = Vec::new();
+        multi.batch_execute_multi(
+            &params,
+            &features,
+            &items,
+            &mut arena,
+            2,
+            &mut out,
+            |i, item, psi, slice| {
+                slice[0] = i as f64;
+                slice[1] = psi.expectation_z(0);
+                psi.expectation_z(item.member as usize)
+            },
+        );
+        assert_eq!(out.len(), items.len());
+        for (i, item) in items.iter().enumerate() {
+            let m = item.member as usize;
+            let reference = multi.program(m).run_with(
+                &params[m],
+                &features[item.sample as usize],
+                |psi| (psi.expectation_z(0), psi.expectation_z(m)),
+            );
+            assert_eq!(out[i].to_bits(), reference.1.to_bits(), "item {i}");
+            assert_eq!(arena[i * 2], i as f64);
+            assert_eq!(arena[i * 2 + 1].to_bits(), reference.0.to_bits());
+        }
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! # Lane layout
 //!
 //! A frame is one Pauli string, stored as an x-bit and a z-bit per qubit.
-//! The engine packs [`FRAME_LANES`] = 64 independent trajectories into
-//! one `u64` x-word and one `u64` z-word per qubit: bit-lane `l` of every
-//! word belongs to trajectory `lane0 + l`. Each primitive Clifford then
-//! conjugates all 64 frames with O(1) word ops:
+//! The engine packs independent trajectories into [`FrameWords`]`<W>`
+//! bit planes — `W` `u64` x-words and `W` z-words per qubit, lane `l` in
+//! bit `l % 64` of word `l / 64`, so a block covers `W * 64` trajectories
+//! ([`DEFAULT_FRAME_WORDS`] = 4 → 256 lanes per pass; `W` = 1 is the
+//! original single-word layout and a bit-for-bit prefix of every wider
+//! one). Each primitive Clifford conjugates all lanes with `W` word ops:
 //!
 //! * `H(q)`: swap `x[q]` and `z[q]`  (H X H = Z, H Z H = X)
 //! * `S(q)`: `z[q] ^= x[q]`          (S X S† = Y, S Z S† = Z)
@@ -43,7 +45,7 @@
 //! [`TaskSeeds`]-split generator (asserted per trajectory by
 //! `crates/sim/tests/frame_vs_tableau.rs`).
 //!
-//! Blocks of 64 lanes dispatch as tasks over the work-stealing pool into
+//! Blocks of `W * 64` lanes dispatch as tasks over the work-stealing pool into
 //! index-addressed partial histograms, reduced in block order — results
 //! are bit-identical at any thread count. Frame words and partials come
 //! from the per-thread workspace arenas, so steady-state propagation
@@ -58,9 +60,85 @@ use crate::workspace;
 use elivagar_circuit::Circuit;
 use elivagar_obs::metrics::{Stopwatch, FRAME_BLOCK_NS, FRAME_INJECTIONS, FRAME_TRAJECTORIES};
 use rand::Rng;
+use std::cell::RefCell;
 
-/// Trajectories per frame block: the bit width of the x/z words.
+/// Trajectories per frame word: the bit width of one `u64` lane word.
 pub const FRAME_LANES: usize = 64;
+
+/// Word count of the default block width used by the distribution path:
+/// 4 words = 256 trajectories per pass. Wider blocks amortize the step
+/// stream over more lanes and keep the word loops SIMD-friendly; results
+/// are bit-identical at any width because lane seeding depends only on
+/// the absolute trajectory index.
+pub const DEFAULT_FRAME_WORDS: usize = 4;
+
+/// A block-wide bit plane: `W` `u64` words holding one bit for each of
+/// `W * 64` trajectory lanes. Lane `l` lives in bit `l % 64` of word
+/// `l / 64`, so a `FrameWords<1>` plane is exactly the single-word layout
+/// and wider planes are its bit-for-bit prefix extension. The per-word
+/// loops compile to straight-line word ops (SIMD-friendly for `W` = 4/8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameWords<const W: usize> {
+    words: [u64; W],
+}
+
+impl<const W: usize> FrameWords<W> {
+    /// Trajectory lanes covered by one plane.
+    pub const LANES: usize = FRAME_LANES * W;
+
+    /// The all-zero plane.
+    pub const ZERO: Self = FrameWords { words: [0; W] };
+
+    /// The underlying lane words.
+    pub fn words(&self) -> &[u64; W] {
+        &self.words
+    }
+
+    /// Sets lane `l`'s bit.
+    #[inline]
+    pub fn set(&mut self, lane: usize) {
+        self.words[lane / FRAME_LANES] |= 1 << (lane % FRAME_LANES);
+    }
+
+    /// Lane `l`'s bit as 0/1.
+    #[inline]
+    pub fn get(&self, lane: usize) -> u64 {
+        (self.words[lane / FRAME_LANES] >> (lane % FRAME_LANES)) & 1
+    }
+
+    /// Population count across all lanes.
+    #[inline]
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Lane-wise OR.
+    #[inline]
+    #[must_use]
+    pub fn or(&self, rhs: &Self) -> Self {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(&rhs.words) {
+            *a |= b;
+        }
+        out
+    }
+
+    /// XORs this plane into a `W`-word slice of a strided buffer.
+    #[inline]
+    fn xor_into(&self, dst: &mut [u64]) {
+        for (d, w) in dst.iter_mut().zip(&self.words) {
+            *d ^= w;
+        }
+    }
+}
+
+thread_local! {
+    /// Pooled per-lane generators. A block is up to `W * 64` lanes wide —
+    /// too many `StdRng`s for the stack at `W` > 1 — so each worker keeps
+    /// one growable buffer whose capacity persists across blocks; the
+    /// steady-state propagation path performs no heap allocation.
+    static LANE_RNGS: RefCell<Vec<rand::rngs::StdRng>> = const { RefCell::new(Vec::new()) };
+}
 
 /// One step of a compiled frame program. Unitary steps update all 64
 /// lanes with word ops; injection steps draw one `f64` per lane.
@@ -158,9 +236,10 @@ impl FrameSimulator {
         t.measurement_distribution(&self.measured)
     }
 
-    /// Propagates frame lanes `lane0 .. lane0 + count` and writes each
-    /// lane's measured-qubit x-mask (bit `k` = flip of `measured[k]`) into
-    /// `out[..count]`; the remaining lanes are zeroed. Lane `l` draws from
+    /// Propagates frame lanes `lane0 .. lane0 + count` through a single
+    /// `u64`-word block and writes each lane's measured-qubit x-mask
+    /// (bit `k` = flip of `measured[k]`) into `out[..count]`; the
+    /// remaining lanes are zeroed. Lane `l` draws from
     /// `seeds.rng(lane0 + l)`, consuming exactly the per-trajectory stream
     /// the tableau path would. Allocation-free after workspace warmup.
     pub fn block_masks(
@@ -170,51 +249,92 @@ impl FrameSimulator {
         count: usize,
         out: &mut [u64; FRAME_LANES],
     ) {
-        assert!((1..=FRAME_LANES).contains(&count), "bad lane count {count}");
+        self.block_masks_words::<1>(seeds, lane0, count, out);
+    }
+
+    /// [`Self::block_masks`] generalized to `W`-word blocks of
+    /// `W * 64` lanes. `out` must be exactly `W * 64` masks long. Lane
+    /// seeding depends only on the absolute trajectory index
+    /// (`lane0 + l`), and each lane's draws happen in step order from its
+    /// own generator, so a `W`-word block produces bit-for-bit the masks
+    /// of `W` consecutive single-word blocks — the single-word result is
+    /// a prefix of every wider layout. Allocation-free after warmup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is not in `1..=W * 64` or `out` has the wrong
+    /// length.
+    pub fn block_masks_words<const W: usize>(
+        &self,
+        seeds: &TaskSeeds,
+        lane0: usize,
+        count: usize,
+        out: &mut [u64],
+    ) {
+        let lanes = FrameWords::<W>::LANES;
+        assert!((1..=lanes).contains(&count), "bad lane count {count} for {W}-word block");
+        assert_eq!(out.len(), lanes, "mask buffer length mismatch");
         let sw = Stopwatch::start();
         let n = self.num_qubits;
+        // Per-qubit planes live in strided workspace buffers: qubit `q`'s
+        // x-plane is `x[q * W .. (q + 1) * W]`.
         let mut x = workspace::acquire_word_buffer();
-        x.resize(n, 0);
+        x.resize(n * W, 0);
         let mut z = workspace::acquire_word_buffer();
-        z.resize(n, 0);
-        // Per-lane generators live on the stack; unused tail lanes are
-        // constructed but never drawn from.
-        let mut rngs: [rand::rngs::StdRng; FRAME_LANES] =
-            std::array::from_fn(|l| seeds.rng(lane0 + l));
+        z.resize(n * W, 0);
         let mut hits = 0u64;
-        for step in &self.steps {
-            match *step {
-                FrameStep::H(q) => std::mem::swap(&mut x[q as usize], &mut z[q as usize]),
-                FrameStep::S(q) => z[q as usize] ^= x[q as usize],
-                FrameStep::Cx(a, b) => {
-                    x[b as usize] ^= x[a as usize];
-                    z[a as usize] ^= z[b as usize];
-                }
-                FrameStep::Inject { qubit, tx, txy, txyz } => {
-                    let mut xw = 0u64;
-                    let mut zw = 0u64;
-                    for (lane, rng) in rngs[..count].iter_mut().enumerate() {
-                        let u: f64 = rng.random();
-                        if u < tx {
-                            xw |= 1 << lane;
-                        } else if u < txy {
-                            xw |= 1 << lane;
-                            zw |= 1 << lane;
-                        } else if u < txyz {
-                            zw |= 1 << lane;
+        LANE_RNGS.with(|cell| {
+            let mut rngs = cell.borrow_mut();
+            rngs.clear();
+            rngs.extend((0..count).map(|l| seeds.rng(lane0 + l)));
+            for step in &self.steps {
+                match *step {
+                    FrameStep::H(q) => {
+                        let q = q as usize * W;
+                        for w in 0..W {
+                            std::mem::swap(&mut x[q + w], &mut z[q + w]);
                         }
                     }
-                    x[qubit as usize] ^= xw;
-                    z[qubit as usize] ^= zw;
-                    hits += (xw | zw).count_ones() as u64;
+                    FrameStep::S(q) => {
+                        let q = q as usize * W;
+                        for w in 0..W {
+                            z[q + w] ^= x[q + w];
+                        }
+                    }
+                    FrameStep::Cx(a, b) => {
+                        let (a, b) = (a as usize * W, b as usize * W);
+                        for w in 0..W {
+                            x[b + w] ^= x[a + w];
+                            z[a + w] ^= z[b + w];
+                        }
+                    }
+                    FrameStep::Inject { qubit, tx, txy, txyz } => {
+                        let mut xw = FrameWords::<W>::ZERO;
+                        let mut zw = FrameWords::<W>::ZERO;
+                        for (lane, rng) in rngs.iter_mut().enumerate() {
+                            let u: f64 = rng.random();
+                            if u < tx {
+                                xw.set(lane);
+                            } else if u < txy {
+                                xw.set(lane);
+                                zw.set(lane);
+                            } else if u < txyz {
+                                zw.set(lane);
+                            }
+                        }
+                        let q = qubit as usize * W;
+                        xw.xor_into(&mut x[q..q + W]);
+                        zw.xor_into(&mut z[q..q + W]);
+                        hits += xw.or(&zw).count_ones();
+                    }
                 }
             }
-        }
+        });
         out.fill(0);
         for (k, &q) in self.measured.iter().enumerate() {
-            let xw = x[q];
+            let xws = &x[q * W..(q + 1) * W];
             for (lane, mask) in out[..count].iter_mut().enumerate() {
-                *mask |= ((xw >> lane) & 1) << k;
+                *mask |= ((xws[lane / FRAME_LANES] >> (lane % FRAME_LANES)) & 1) << k;
             }
         }
         workspace::release_word_buffer(x);
@@ -227,10 +347,21 @@ impl FrameSimulator {
     /// Measured-qubit x-masks for trajectories `0..num_trajectories` —
     /// the per-trajectory view used by the differential test suite.
     pub fn trajectory_masks(&self, seeds: &TaskSeeds, num_trajectories: usize) -> Vec<u64> {
+        self.trajectory_masks_words::<1>(seeds, num_trajectories)
+    }
+
+    /// [`Self::trajectory_masks`] computed through `W`-word blocks — by
+    /// the prefix property the result is identical for every `W`.
+    pub fn trajectory_masks_words<const W: usize>(
+        &self,
+        seeds: &TaskSeeds,
+        num_trajectories: usize,
+    ) -> Vec<u64> {
+        let lanes = FrameWords::<W>::LANES;
         let mut masks = vec![0u64; num_trajectories];
-        for (c, chunk) in masks.chunks_mut(FRAME_LANES).enumerate() {
-            let mut block = [0u64; FRAME_LANES];
-            self.block_masks(seeds, c * FRAME_LANES, chunk.len(), &mut block);
+        let mut block = vec![0u64; lanes];
+        for (c, chunk) in masks.chunks_mut(lanes).enumerate() {
+            self.block_masks_words::<W>(seeds, c * lanes, chunk.len(), &mut block);
             chunk.copy_from_slice(&block[..chunk.len()]);
         }
         masks
@@ -310,14 +441,19 @@ pub fn noisy_clifford_distribution_frames_with_ideal<R: Rng + ?Sized>(
     // One u64 draw, exactly like the tableau path: downstream consumers of
     // `rng` see the same stream whichever engine ran.
     let seeds = TaskSeeds::from_rng(rng);
-    let blocks = num_trajectories.div_ceil(FRAME_LANES);
+    // Wide blocks: 4 words = 256 lanes per pass. Lane seeding is keyed on
+    // the absolute trajectory index and the dyadic addends sum exactly in
+    // any order, so the histogram is bit-identical to the single-word
+    // block structure (and to the tableau path).
+    const BLOCK_LANES: usize = FRAME_LANES * DEFAULT_FRAME_WORDS;
+    let blocks = num_trajectories.div_ceil(BLOCK_LANES);
     let mut partials = workspace::acquire_real_buffer();
     partials.resize(blocks * dim, 0.0);
     par_apply_blocks_indexed(&mut partials, dim, |c, acc| {
-        let lane0 = c * FRAME_LANES;
-        let count = FRAME_LANES.min(num_trajectories - lane0);
-        let mut masks = [0u64; FRAME_LANES];
-        sim.block_masks(&seeds, lane0, count, &mut masks);
+        let lane0 = c * BLOCK_LANES;
+        let count = BLOCK_LANES.min(num_trajectories - lane0);
+        let mut masks = [0u64; BLOCK_LANES];
+        sim.block_masks_words::<DEFAULT_FRAME_WORDS>(&seeds, lane0, count, &mut masks);
         // Histogram the distinct masks so each permutation of the ideal
         // distribution is applied once with an integer weight. The sort is
         // in-place on the stack array; reordering lanes cannot change the
@@ -414,6 +550,19 @@ mod tests {
         );
         let mut before = before;
         assert_eq!(rng.random::<u64>(), before.random::<u64>());
+    }
+
+    #[test]
+    fn wide_blocks_match_single_word_blocks() {
+        let c = clifford_circuit();
+        let noise = CircuitNoise::uniform(&[1, 1, 2, 2, 1], 3, 0.1, 0.1, 0.05);
+        let sim = FrameSimulator::compile(&c, &[], &[], &noise).unwrap();
+        let seeds = TaskSeeds::from_base(7);
+        // 700 lanes is ragged for every width: 10×64+60, 2×256+188, 1×512+188.
+        let narrow = sim.trajectory_masks_words::<1>(&seeds, 700);
+        assert_eq!(narrow, sim.trajectory_masks(&seeds, 700));
+        assert_eq!(narrow, sim.trajectory_masks_words::<4>(&seeds, 700));
+        assert_eq!(narrow, sim.trajectory_masks_words::<8>(&seeds, 700));
     }
 
     #[test]

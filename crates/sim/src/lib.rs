@@ -96,7 +96,7 @@ pub use adjoint::{adjoint_gradient, adjoint_gradient_into, Gradients, ZObservabl
 pub use backend::{
     Backend, DensityMatrixBackend, StateVectorBackend, TrajectoryBackend,
 };
-pub use engine::{BoundProgram, Program};
+pub use engine::{BoundProgram, MultiItem, MultiProgram, Program};
 pub use clifford::{lower_instruction, run_clifford, LowerCliffordError};
 pub use density::DensityMatrix;
 pub use noise::{CircuitNoise, DampingError, InstructionNoise, PauliError, ReadoutError};
@@ -107,7 +107,7 @@ pub use stabilizer::{CliffordOp, Tableau};
 pub use statevector::{SimError, StateVector};
 pub use frame::{
     noisy_clifford_distribution_frames, noisy_clifford_distribution_frames_with_ideal,
-    FrameDistributions, FrameSimulator, FRAME_LANES,
+    FrameDistributions, FrameSimulator, FrameWords, DEFAULT_FRAME_WORDS, FRAME_LANES,
 };
 pub use trajectory::{
     noisy_clifford_distribution, noisy_clifford_distribution_tableau, noisy_distribution,

@@ -12,7 +12,7 @@ use crate::runtime;
 
 /// A raw pointer that workers may share. Soundness is the caller's
 /// responsibility: every use below writes disjoint index-addressed slots.
-struct SendPtr<T>(*mut T);
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
@@ -21,7 +21,7 @@ impl<T> SendPtr<T> {
     /// Accessing the pointer through a method (rather than the `.0` field)
     /// makes edition-2021 closures capture the `Sync` wrapper itself
     /// instead of precise-capturing the raw-pointer field, which is not.
-    fn get(&self) -> *mut T {
+    pub(crate) fn get(&self) -> *mut T {
         self.0
     }
 }
@@ -39,6 +39,22 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let mut out: Vec<U> = Vec::with_capacity(n);
+    par_map_index_into(n, &mut out, f);
+    out
+}
+
+/// [`par_map_index`] writing into a caller-recycled output vector: `out`
+/// is cleared and refilled with the `n` results in index order. Once the
+/// vector's capacity has grown to `n`, repeated calls perform no heap
+/// allocation for the output — the steady-state variant for hot loops
+/// like the cohort training dispatch.
+pub fn par_map_index_into<U, F>(n: usize, out: &mut Vec<U>, f: F)
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    out.clear();
+    out.reserve(n);
     let slots = SendPtr(out.as_mut_ptr());
     runtime::par_index(n, move |i| {
         // SAFETY: slot `i` is inside the capacity-n allocation and each
@@ -47,7 +63,6 @@ where
     });
     // SAFETY: par_index returned normally, so all n slots were written.
     unsafe { out.set_len(n) };
-    out
 }
 
 /// A captured panic from one isolated task: which index exploded and the

@@ -83,6 +83,25 @@ if [ -z "$min_front" ] || [ "$min_front" -lt 2 ]; then
   exit 1
 fi
 
+# Cohort-training gate: fused cross-candidate dispatch plus successive
+# halving must beat per-candidate solo training by at least 3x on the
+# 16-candidate reference cohort, and with halving off every member's
+# outcome (loss history and parameters) must be bit-identical to its
+# solo run, so the loss ranking cannot move.
+cargo build --release -p elivagar-bench --bin bench_train
+./target/release/bench_train
+train_speedup="$(sed -n 's/.*"speedup":\([0-9.][0-9.]*\).*/\1/p' BENCH_train.json)"
+ranking_match="$(sed -n 's/.*"ranking_match":\(true\|false\).*/\1/p' BENCH_train.json)"
+echo "verify: cohort training speedup ${train_speedup}x over solo (ranking_match=${ranking_match})"
+awk -v s="$train_speedup" 'BEGIN { exit !(s >= 3.0) }' || {
+  echo "verify: FAIL — cohort training speedup ${train_speedup}x below the 3x gate" >&2
+  exit 1
+}
+if [ "$ranking_match" != "true" ]; then
+  echo "verify: FAIL — cohort training (halving off) diverged from solo rankings" >&2
+  exit 1
+fi
+
 # Chaos pass: compile the fault-injection registry in and drive injected
 # panics, NaNs, torn checkpoint writes, and kill+resume through the full
 # pipeline (crates/elivagar/tests/chaos.rs).

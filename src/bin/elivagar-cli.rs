@@ -3,6 +3,7 @@
 //! ```text
 //! elivagar-cli search --benchmark moons --device ibm-lagos [--candidates 24] [--seed 0]
 //!                     [--strategy oneshot|nsga2] [--population N] [--generations N]
+//!                     [--train-batch N] [--train-topk R]
 //!                     [--checkpoint journal.json] [--resume journal.json]
 //!                     [--stats] [--trace-out trace.jsonl]
 //! elivagar-cli devices
@@ -15,6 +16,13 @@
 //! non-dominated circuit over (RepCap, CNR, two-qubit count, depth) —
 //! is printed to stderr, and the front member with the best composite
 //! score is trained like a one-shot winner.
+//!
+//! `--train-batch N` trains the top-N scored candidates as one cohort
+//! through fused cross-candidate engine dispatches instead of training
+//! only the winner afterwards; `--train-topk R` adds R successive-halving
+//! rungs that prune the worse half of the cohort at geometric epoch
+//! milestones. The winner's parameters come out of the cohort, bit
+//! identical to solo training when halving is off.
 //!
 //! `search` runs the full pipeline (search, train, noisy evaluation) and
 //! prints the selected circuit as OpenQASM with the trained angles bound
@@ -50,6 +58,7 @@ fn usage() -> ExitCode {
         "usage:\n  elivagar-cli search --benchmark <name> --device <name> \
          [--candidates N] [--params N] [--epochs N] [--seed N] \
          [--strategy oneshot|nsga2] [--population N] [--generations N] \
+         [--train-batch N] [--train-topk R] \
          [--checkpoint FILE] [--resume FILE] [--stats] [--trace-out FILE]\n  \
          elivagar-cli devices\n  elivagar-cli benchmarks"
     );
@@ -127,6 +136,18 @@ fn main() -> ExitCode {
                 }
             }
 
+            // Cohort training inside the search stage: the top-k scored
+            // candidates train together through fused dispatches, with
+            // optional successive-halving rungs pruning the cohort.
+            let solo = TrainConfig { epochs, batch_size: 32, seed, ..Default::default() };
+            if args.iter().any(|a| a == "--train-batch" || a == "--train-topk") {
+                config = config.with_train(TrainConfig {
+                    cohort: parse("--train-batch", 1).max(1),
+                    halving_rungs: parse("--train-topk", 0),
+                    ..solo
+                });
+            }
+
             let want_stats = args.iter().any(|a| a == "--stats");
             let trace_out = flag_value(&args, "--trace-out").map(std::path::PathBuf::from);
             if trace_out.is_some() {
@@ -194,19 +215,35 @@ fn main() -> ExitCode {
                 result.executions.repcap,
             );
 
-            eprintln!("training for {epochs} epochs ...");
             let model = QuantumClassifier::new(best.circuit.clone(), bench.classes);
-            let outcome = train(
-                &model,
-                dataset.train(),
-                &TrainConfig { epochs, batch_size: 32, seed, ..Default::default() },
-            );
-            let clean = accuracy(&model, &outcome.params, dataset.test());
+            let params = if config.train.is_some() {
+                if let Some(t) = result.trained.iter().find(|t| t.index == result.best_index) {
+                    eprintln!(
+                        "cohort-trained {} candidates in fused batches ({} pruned early)",
+                        result.trained.len(),
+                        result
+                            .trained
+                            .iter()
+                            .filter(|t| t.pruned_at_epoch.is_some())
+                            .count()
+                    );
+                    t.params.clone()
+                } else {
+                    eprintln!(
+                        "warning: cohort training quarantined the winner; \
+                         training solo for {epochs} epochs ..."
+                    );
+                    train(&model, dataset.train(), &solo).params
+                }
+            } else {
+                eprintln!("training for {epochs} epochs ...");
+                train(&model, dataset.train(), &solo).params
+            };
+            let clean = accuracy(&model, &params, dataset.test());
             let physical = best.physical_circuit(&device);
             let noise = circuit_noise(&device, &physical).expect("device-aware circuit");
             let mut rng = StdRng::seed_from_u64(seed);
-            let noisy =
-                noisy_accuracy(&model, &outcome.params, dataset.test(), &noise, 60, &mut rng);
+            let noisy = noisy_accuracy(&model, &params, dataset.test(), &noise, 60, &mut rng);
             eprintln!("test accuracy: {clean:.3} noiseless, {noisy:.3} under {} noise", device.name());
 
             println!(
@@ -218,7 +255,7 @@ fn main() -> ExitCode {
             );
             println!(
                 "{}",
-                to_qasm(&best.circuit, &outcome.params, &dataset.test().features[0])
+                to_qasm(&best.circuit, &params, &dataset.test().features[0])
             );
 
             if want_stats {
