@@ -137,10 +137,18 @@ pub enum SearchError {
     /// A checkpoint could not be written, read, or applied.
     Checkpoint(CheckpointError),
     /// The run stopped at a requested journal-size boundary
-    /// ([`RunOptions::stop_after_records`]); resume from the checkpoint to
-    /// continue.
+    /// ([`RunOptions::stop_after_records`] or [`RunOptions::slice_budget`]);
+    /// resume from the checkpoint to continue.
     Interrupted {
         /// Journal records completed before stopping.
+        records: usize,
+    },
+    /// The run's [`RunOptions::cancel`] token fired (explicit cancel or
+    /// wall-clock deadline). Completed work was checkpointed if
+    /// checkpointing is enabled, but unlike [`SearchError::Interrupted`]
+    /// the caller asked the run to stop for good, not to slice it.
+    Canceled {
+        /// Journal records completed before the cancellation was observed.
         records: usize,
     },
 }
@@ -159,6 +167,9 @@ impl fmt::Display for SearchError {
             SearchError::Checkpoint(e) => write!(f, "{e}"),
             SearchError::Interrupted { records } => {
                 write!(f, "search interrupted after {records} journaled evaluations")
+            }
+            SearchError::Canceled { records } => {
+                write!(f, "search canceled after {records} journaled evaluations")
             }
         }
     }
@@ -203,6 +214,17 @@ pub struct RunOptions {
     /// many records — a deterministic stand-in for `kill -9` in
     /// crash-recovery tests.
     pub stop_after_records: Option<usize>,
+    /// Stop with [`SearchError::Interrupted`] once this many *new* records
+    /// have been journaled by this call, measured from the resumed
+    /// journal's length. This is the scheduler-facing slicing knob: a
+    /// daemon runs one budgeted slice, requeues the job, and later resumes
+    /// the next slice from the checkpoint — fair-sharing the pool across
+    /// jobs without changing any evaluated value.
+    pub slice_budget: Option<usize>,
+    /// Cooperative cancellation: polled at every commit boundary (and per
+    /// cohort-training epoch), returning [`SearchError::Canceled`] once it
+    /// fires. Carries explicit cancels and wall-clock deadlines.
+    pub cancel: Option<elivagar_sim::CancelToken>,
 }
 
 impl RunOptions {
@@ -234,6 +256,19 @@ impl RunOptions {
     /// (the crash-recovery test knob).
     pub fn with_stop_after_records(mut self, records: usize) -> Self {
         self.stop_after_records = Some(records);
+        self
+    }
+
+    /// Caps this call at `records` newly journaled records (one scheduler
+    /// slice); the run stops with [`SearchError::Interrupted`] at the cap.
+    pub fn with_slice_budget(mut self, records: usize) -> Self {
+        self.slice_budget = Some(records);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token (deadline or revoke).
+    pub fn with_cancel(mut self, token: elivagar_sim::CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -364,11 +399,15 @@ fn quarantine_record(stage: SearchStage, index: usize, reason: String) -> StageR
 }
 
 /// Saves the journal if checkpointing is enabled and honors the
-/// deterministic-kill knob. Called after every batch of new records.
+/// deterministic-kill, slice-budget, and cancellation knobs. Called after
+/// every batch of new records; `stop_at` is the absolute journal length at
+/// which this call must stop (the minimum of `stop_after_records` and the
+/// resumed length plus `slice_budget`).
 fn commit_progress(
     journal: &Journal,
     options: &RunOptions,
     saves: &mut u64,
+    stop_at: Option<usize>,
 ) -> Result<(), SearchError> {
     if let Some(path) = &options.checkpoint_to {
         checkpoint::save(path, journal)?;
@@ -377,12 +416,19 @@ fn commit_progress(
         // the window resume is designed for.
         elivagar_sim::faultpoint::hit("search::checkpoint", *saves);
     }
-    if let Some(limit) = options.stop_after_records {
+    if let Some(limit) = stop_at {
         if journal.len() >= limit {
             return Err(SearchError::Interrupted {
                 records: journal.len(),
             });
         }
+    }
+    // The cancel poll comes after the save: a canceled run still leaves a
+    // durable record of everything it finished.
+    if options.cancel.as_ref().is_some_and(elivagar_sim::CancelToken::is_canceled) {
+        return Err(SearchError::Canceled {
+            records: journal.len(),
+        });
     }
     Ok(())
 }
@@ -493,6 +539,16 @@ pub fn run_search_with(
         options.checkpoint_every
     };
     let mut saves = 0u64;
+    // The absolute journal length at which this call stops: the tighter of
+    // the legacy absolute knob and the slice budget (relative to however
+    // many records the resumed journal already holds).
+    let stop_at = match (
+        options.stop_after_records,
+        options.slice_budget.map(|b| journal.len() + b),
+    ) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
 
     let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -566,6 +622,7 @@ pub fn run_search_with(
             base,
             &mut journal,
             &mut saves,
+            stop_at,
             chunk_size,
             &mut rng,
             &mut samples,
@@ -599,7 +656,7 @@ pub fn run_search_with(
                     executions: 0,
                     quarantine: None,
                 });
-                commit_progress(&journal, options, &mut saves)?;
+                commit_progress(&journal, options, &mut saves, stop_at)?;
                 round += 1;
             }
         }
@@ -657,23 +714,48 @@ pub fn run_search_with(
                 }),
             }
         }
-        for (&i, outcome) in members
-            .iter()
-            .zip(elivagar_ml::train_cohort(&models, dataset.train(), train_config))
-        {
-            match outcome {
-                Ok(c) => trained.push(TrainedCandidate {
-                    index: i,
-                    params: c.outcome.params,
-                    loss_history: c.outcome.loss_history,
-                    pruned_at_epoch: c.pruned_at_epoch,
-                    executions: c.outcome.executions,
-                }),
-                Err(e) => quarantined.push(QuarantineEntry {
-                    index: i,
-                    stage: SearchStage::Train,
-                    reason: e.to_string(),
-                }),
+        // The whole cohort trains inside a panic boundary: a poisoned
+        // fused dispatch (or an injected `train::cohort_epoch` fault)
+        // quarantines every member at the train stage instead of
+        // aborting a search whose ranking already completed. The cancel
+        // token is threaded through so a deadline hitting mid-training
+        // stops at the next epoch boundary with a typed outcome.
+        let outcomes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            elivagar_ml::train_cohort_with_cancel(
+                &models,
+                dataset.train(),
+                train_config,
+                options.cancel.as_ref(),
+            )
+        }));
+        match outcomes {
+            Ok(outcomes) => {
+                for (&i, outcome) in members.iter().zip(outcomes) {
+                    match outcome {
+                        Ok(c) => trained.push(TrainedCandidate {
+                            index: i,
+                            params: c.outcome.params,
+                            loss_history: c.outcome.loss_history,
+                            pruned_at_epoch: c.pruned_at_epoch,
+                            executions: c.outcome.executions,
+                        }),
+                        Err(e) => quarantined.push(QuarantineEntry {
+                            index: i,
+                            stage: SearchStage::Train,
+                            reason: e.to_string(),
+                        }),
+                    }
+                }
+            }
+            Err(payload) => {
+                let message = elivagar_sim::panic_message(payload.as_ref());
+                for &i in &members {
+                    quarantined.push(QuarantineEntry {
+                        index: i,
+                        stage: SearchStage::Train,
+                        reason: format!("cohort training panicked: {message}"),
+                    });
+                }
             }
         }
         quarantined.sort_by_key(|q| q.index);
@@ -737,6 +819,7 @@ fn evaluate_batch(
     base: usize,
     journal: &mut Journal,
     saves: &mut u64,
+    stop_at: Option<usize>,
     chunk_size: usize,
     rng: &mut StdRng,
     samples: &mut Option<(Vec<Vec<f64>>, Vec<usize>)>,
@@ -791,7 +874,7 @@ fn evaluate_batch(
             }
         }
         if journal.len() > before {
-            commit_progress(journal, options, saves)?;
+            commit_progress(journal, options, saves, stop_at)?;
         }
         for chunk in pending.chunks(chunk_size) {
             let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
@@ -821,7 +904,7 @@ fn evaluate_batch(
                 };
                 journal.push(record);
             }
-            commit_progress(journal, options, saves)?;
+            commit_progress(journal, options, saves, stop_at)?;
         }
     }
 
@@ -900,7 +983,7 @@ fn evaluate_batch(
             }
         }
         if journal.len() > before {
-            commit_progress(journal, options, saves)?;
+            commit_progress(journal, options, saves, stop_at)?;
         }
         for chunk in pending.chunks(chunk_size) {
             let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
@@ -927,7 +1010,7 @@ fn evaluate_batch(
                 };
                 journal.push(record);
             }
-            commit_progress(journal, options, saves)?;
+            commit_progress(journal, options, saves, stop_at)?;
         }
     }
 
@@ -1231,6 +1314,104 @@ mod tests {
                 "resumed scores must be bit-identical"
             );
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn slice_budget_decomposes_a_run_into_resumable_slices() {
+        let (device, dataset, config) = setup();
+        let baseline =
+            run_search(&device, &dataset, &config, &RunOptions::default()).expect("baseline");
+        let path = scratch("slices");
+        let _ = std::fs::remove_file(&path);
+        // Drive the search the way a scheduler would: budgeted slices of
+        // 3 new records each, resumed from the checkpoint, until it
+        // completes. The final result must match the one-shot run bit for
+        // bit.
+        let mut slices = 0usize;
+        let final_result = loop {
+            let mut options = RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_slice_budget(3);
+            if path.exists() {
+                options = options.with_resume(path.clone());
+            }
+            match run_search(&device, &dataset, &config, &options) {
+                Ok(result) => break result,
+                Err(SearchError::Interrupted { .. }) => {
+                    slices += 1;
+                    assert!(slices < 100, "slicing never converged");
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        };
+        assert!(slices >= 2, "6 candidates at 3 records/slice must take several slices");
+        assert_eq!(final_result, baseline);
+        for (a, b) in final_result.scored.iter().zip(baseline.scored.iter()) {
+            assert_eq!(a.score.map(f64::to_bits), b.score.map(f64::to_bits));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn canceled_token_stops_the_run_with_typed_error() {
+        let (device, dataset, config) = setup();
+        let token = elivagar_sim::CancelToken::new();
+        token.cancel();
+        let err = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions::new().with_cancel(token),
+        )
+        .expect_err("pre-canceled token stops the run");
+        assert!(matches!(err, SearchError::Canceled { .. }));
+    }
+
+    #[test]
+    fn cancel_arriving_during_train_stage_quarantines_cohort_cleanly() {
+        let (device, dataset, config) = setup();
+        let config = config.with_train(elivagar_ml::TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            cohort: 2,
+            ..Default::default()
+        });
+        let path = scratch("cancel-train");
+        let _ = std::fs::remove_file(&path);
+        let full = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions::new().with_checkpoint(path.clone()),
+        )
+        .expect("uninterrupted run");
+        // Resume with every evaluation already journaled and a canceled
+        // token: the ranking replays untouched (no commit boundary runs),
+        // so the cancellation is first observed inside cohort training —
+        // the exact deadline-mid-train window. The cohort must land in
+        // quarantine with a typed reason, not abort or hang.
+        let token = elivagar_sim::CancelToken::new();
+        token.cancel();
+        let resumed = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions::new().with_resume(path.clone()).with_cancel(token),
+        )
+        .expect("ranking was complete; cancellation lands in the train stage");
+        assert_eq!(resumed.best_index, full.best_index);
+        assert!(resumed.trained.is_empty());
+        let train_q: Vec<&QuarantineEntry> = resumed
+            .quarantined
+            .iter()
+            .filter(|q| q.stage == SearchStage::Train)
+            .collect();
+        assert_eq!(train_q.len(), 2, "both cohort members record the cancellation");
+        assert!(train_q
+            .iter()
+            .all(|q| q.reason.contains("canceled after 0 completed epochs")));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -420,3 +420,43 @@ fn nsga2_kill_and_resume_under_fire_is_bit_identical() {
     let _ = std::fs::remove_file(&path);
     faultpoint::disarm_all();
 }
+
+/// A panic inside a fused cohort-training epoch (the serve layer's
+/// deadline/fault window) quarantines the whole cohort at the Train stage
+/// with a typed reason — the search itself, and its ranking, still
+/// complete.
+#[test]
+fn cohort_training_panic_quarantines_the_cohort() {
+    let _g = lock();
+    silence_faultpoint_panics();
+    let (device, dataset, config) = setup();
+    let config = config.with_train(TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        cohort: 2,
+        ..TrainConfig::default()
+    });
+    faultpoint::disarm_all();
+    // Keys at this site are epoch numbers: the very first fused epoch dies.
+    faultpoint::arm_on_key("train::cohort_epoch", FaultKind::Panic, 0);
+
+    let result = run_search(&device, &dataset, &config, &RunOptions::default())
+        .expect("search completes; only the cohort is lost");
+    assert_eq!(faultpoint::fired("train::cohort_epoch"), 1);
+    faultpoint::disarm_all();
+
+    assert!(result.trained.is_empty(), "no cohort member reports success");
+    let train_q: Vec<_> = result
+        .quarantined
+        .iter()
+        .filter(|q| q.stage == SearchStage::Train)
+        .collect();
+    assert_eq!(train_q.len(), 2, "both cohort members are quarantined");
+    assert!(train_q.iter().all(|q| q.reason.contains("cohort training panicked")));
+
+    // The ranking is decided before training: the fault must not bleed
+    // into candidate selection.
+    let clean = run_search(&device, &dataset, &config, &RunOptions::default())
+        .expect("clean run");
+    assert_eq!(result.best_index, clean.best_index);
+}

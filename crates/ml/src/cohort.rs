@@ -36,7 +36,7 @@ use crate::model::QuantumClassifier;
 use crate::optim::Adam;
 use crate::train::{init_params, try_train, TrainConfig, TrainError, TrainOutcome};
 use elivagar_datasets::Split;
-use elivagar_sim::{MultiItem, MultiProgram};
+use elivagar_sim::{CancelToken, MultiItem, MultiProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,6 +61,9 @@ enum MemberFault {
     NonFinite,
     /// Execution budget exhausted — terminal, exactly as in solo training.
     Budget { spent: u64, budget: u64 },
+    /// A cancellation token fired at an epoch boundary — terminal for
+    /// every still-alive member; pruned members keep their outcomes.
+    Canceled { at_epoch: usize },
 }
 
 /// One member's in-flight training state.
@@ -119,6 +122,22 @@ pub fn train_cohort(
     data: &Split,
     config: &TrainConfig,
 ) -> Vec<Result<CohortOutcome, TrainError>> {
+    train_cohort_with_cancel(models, data, config, None)
+}
+
+/// [`train_cohort`] with a cooperative cancellation token, polled at the
+/// top of every epoch. When the token cancels (a scheduler deadline, an
+/// explicit revoke), every still-alive member fails with
+/// [`TrainError::Canceled`]; members already pruned by a halving rung keep
+/// their (bit-identical-prefix) outcomes. The cohort arenas are released
+/// on return exactly as in a completed run — cancellation never leaks the
+/// fused scratch state.
+pub fn train_cohort_with_cancel(
+    models: &[QuantumClassifier],
+    data: &Split,
+    config: &TrainConfig,
+    cancel: Option<&CancelToken>,
+) -> Vec<Result<CohortOutcome, TrainError>> {
     assert!(!data.is_empty(), "cannot train on an empty split");
     assert!(config.epochs > 0 && config.batch_size > 0, "degenerate train config");
     if models.is_empty() {
@@ -167,6 +186,21 @@ pub fn train_cohort(
         let _epoch_span = elivagar_obs::span!("cohort_epoch", epoch = epoch);
         let epoch_sw = elivagar_obs::metrics::Stopwatch::start();
         if !members.iter().any(|m| matches!(m.status, MemberStatus::Alive)) {
+            break;
+        }
+        // Chaos site: a panic here simulates the pool dying mid-cohort —
+        // the search engine must quarantine the whole cohort, not abort.
+        elivagar_sim::faultpoint::hit("train::cohort_epoch", epoch as u64);
+        // Deadline/revocation check at the epoch boundary: terminal for
+        // alive members, and the epoch that was mid-flight never starts,
+        // so loss histories stay exact prefixes of the solo run.
+        if cancel.is_some_and(CancelToken::is_canceled) {
+            for member in &mut members {
+                if matches!(member.status, MemberStatus::Alive) {
+                    member.status =
+                        MemberStatus::Faulted(MemberFault::Canceled { at_epoch: epoch });
+                }
+            }
             break;
         }
         // Per-member shuffle, identical to the solo epoch shuffle.
@@ -326,6 +360,9 @@ pub fn train_cohort(
             MemberStatus::Faulted(MemberFault::Budget { spent, budget }) => {
                 Err(TrainError::BudgetExhausted { spent: *spent, budget: *budget })
             }
+            MemberStatus::Faulted(MemberFault::Canceled { at_epoch }) => {
+                Err(TrainError::Canceled { epoch: *at_epoch })
+            }
             MemberStatus::Faulted(MemberFault::NonFinite) => {
                 // The fused state is poisoned; replay the member solo. The
                 // fault-point keys and float sequence match, so the replay
@@ -483,6 +520,31 @@ mod tests {
         let fused = train_cohort(&models, data.train(), &config);
         let solo = try_train(&models[0], data.train(), &config).expect("healthy run");
         assert_eq!(fused[0].as_ref().expect("healthy run").outcome, solo);
+    }
+
+    #[test]
+    fn canceled_token_fails_every_alive_member_with_typed_error() {
+        let data = moons(32, 8, 3).normalized(std::f64::consts::PI);
+        let models = cohort_models();
+        let config = TrainConfig { epochs: 4, batch_size: 16, ..Default::default() };
+        let token = CancelToken::new();
+        token.cancel();
+        let results = train_cohort_with_cancel(&models, data.train(), &config, Some(&token));
+        assert_eq!(results.len(), models.len());
+        for r in results {
+            assert_eq!(r, Err(TrainError::Canceled { epoch: 0 }));
+        }
+    }
+
+    #[test]
+    fn live_token_trains_identically_to_no_token() {
+        let data = moons(32, 8, 3).normalized(std::f64::consts::PI);
+        let models = vec![layered_model(2, 1), layered_model(2, 2)];
+        let config = TrainConfig { epochs: 3, batch_size: 8, ..Default::default() };
+        let token = CancelToken::new();
+        let with = train_cohort_with_cancel(&models, data.train(), &config, Some(&token));
+        let without = train_cohort(&models, data.train(), &config);
+        assert_eq!(with, without);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod optim;
 pub mod train;
 
 pub use accounting::{elivagar_default_cost, ElivagarCost, SuperCircuitCost};
-pub use cohort::{train_cohort, CohortOutcome};
+pub use cohort::{train_cohort, train_cohort_with_cancel, CohortOutcome};
 pub use diagnostics::{gradient_variance, GradientVariance};
 pub use gradient::{
     batch_gradient, cohort_batch_gradients, shift_rule, BatchGradient, GradientMethod,

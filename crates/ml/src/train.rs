@@ -83,6 +83,13 @@ pub enum TrainError {
         /// The configured cap.
         budget: u64,
     },
+    /// A cooperative cancellation token (deadline or explicit cancel)
+    /// stopped training before it finished. Work already completed is
+    /// intact — the loss history holds exactly `epoch` entries.
+    Canceled {
+        /// Full epochs completed before the cancellation was observed.
+        epoch: usize,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -96,6 +103,9 @@ impl fmt::Display for TrainError {
                 f,
                 "training execution budget exhausted: {spent} executions spent, budget is {budget}"
             ),
+            TrainError::Canceled { epoch } => {
+                write!(f, "training canceled after {epoch} completed epochs")
+            }
         }
     }
 }

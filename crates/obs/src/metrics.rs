@@ -251,6 +251,25 @@ counters! {
     NSGA2_GENERATIONS => "nsga2.generations";
     /// NSGA-II offspring produced by crossover/mutation.
     NSGA2_OFFSPRING => "nsga2.offspring";
+    /// Search jobs admitted by the serve daemon's admission control.
+    SERVE_JOBS_ADMITTED => "serve.jobs_admitted";
+    /// Search jobs rejected at admission (queue full, invalid spec,
+    /// duplicate id) with a typed reason.
+    SERVE_JOBS_REJECTED => "serve.jobs_rejected";
+    /// Job retries scheduled after a panic-quarantined slice (each
+    /// attempt beyond the first counts once).
+    SERVE_RETRIES => "serve.retries";
+    /// Queued jobs load-shed under overload to admit higher-priority work.
+    SERVE_SHED => "serve.shed";
+    /// Evaluation slices executed by the serve scheduler.
+    SERVE_SLICES => "serve.slices";
+    /// Jobs that ran to completion under the serve daemon.
+    SERVE_JOBS_DONE => "serve.jobs_done";
+    /// Jobs that terminated with a typed failure (deadline, budget,
+    /// search error).
+    SERVE_JOBS_FAILED => "serve.jobs_failed";
+    /// Jobs escalated to the dead-letter state after exhausting retries.
+    SERVE_DEAD_LETTER => "serve.dead_letter";
 }
 
 histograms! {
@@ -278,6 +297,9 @@ histograms! {
     /// Per-round search-strategy latency (ns): one propose + evaluate
     /// cycle of the engine/strategy loop.
     STRATEGY_ROUND_NS => "strategy_round";
+    /// End-to-end job latency (ns) under the serve daemon: admission to
+    /// terminal state, across however many slices and retries it took.
+    JOB_LATENCY_NS => "job_latency";
 }
 
 /// A started wall-clock measurement; [`Stopwatch::record`] files the

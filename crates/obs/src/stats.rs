@@ -118,12 +118,21 @@ pub struct RunStats {
 }
 
 /// Counters surfaced per run on [`RunStats`] (beyond the funnel, which is
-/// tallied run-locally): the cohort-training activity of the run.
+/// tallied run-locally): the cohort-training activity of the run plus the
+/// serve daemon's job funnel when the run executed under `elivagar-served`.
 pub const REPORTED_COUNTERS: &[&str] = &[
     "train.batched_candidates",
     "train.pruned",
     "train.epochs",
     "train.retries",
+    "serve.jobs_admitted",
+    "serve.jobs_rejected",
+    "serve.retries",
+    "serve.shed",
+    "serve.slices",
+    "serve.jobs_done",
+    "serve.jobs_failed",
+    "serve.dead_letter",
 ];
 
 impl RunStats {
@@ -172,7 +181,7 @@ impl RunStats {
             f.quarantined_total()
         );
         if !self.counters.is_empty() {
-            let _ = writeln!(out, "training:");
+            let _ = writeln!(out, "counters:");
             for &(name, value) in &self.counters {
                 let _ = writeln!(out, "  {name:<32} {value:>10}");
             }

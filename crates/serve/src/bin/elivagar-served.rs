@@ -1,0 +1,257 @@
+//! `elivagar-served` — the search-as-a-service daemon.
+//!
+//! Reads job-spec JSON files from a spool directory, admits them under
+//! bounded-queue admission control, and runs them as fair-share slices
+//! until drained (or `--max-ticks`). All state lives under `--state`:
+//! `journal.log` (the decision log), `checkpoints/` (per-job search
+//! journals), `results/` (checksummed ranking artifacts), and
+//! `stats.json` (the end-of-run funnel and latency quantiles). Restarting
+//! after a kill resumes every job from durable state; respooling the same
+//! specs is idempotent (known ids are skipped).
+//!
+//! ```text
+//! elivagar-served --state DIR [--spool DIR] [--queue-depth N]
+//!                 [--slice-records N] [--max-retries N] [--backoff-base N]
+//!                 [--checkpoint-every N] [--tenant-budget N]
+//!                 [--tenant-weight NAME=W]... [--max-ticks N] [--quiet]
+//! ```
+
+use elivagar_serve::{AdmitError, Daemon, JobSpec, JobState, ServeConfig};
+use serde::Serialize;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: elivagar-served --state DIR [--spool DIR] [--queue-depth N] \
+         [--slice-records N] [--max-retries N] [--backoff-base N] [--checkpoint-every N] \
+         [--tenant-budget N] [--tenant-weight NAME=W]... [--max-ticks N] [--quiet]"
+    );
+    ExitCode::FAILURE
+}
+
+/// The `stats.json` artifact: the run funnel plus latency quantiles, one
+/// flat object so shell gates can grep fields out.
+#[derive(Serialize)]
+struct StatsFile {
+    admitted: u64,
+    rejected: u64,
+    retries: u64,
+    shed: u64,
+    slices: u64,
+    done: u64,
+    failed: u64,
+    dead_letter: u64,
+    pending: u64,
+    ticks: u64,
+    journal_recovered_records: u64,
+    journal_dropped_records: u64,
+    p50_job_latency_ns: u64,
+    p99_job_latency_ns: u64,
+    conservation_ok: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(state_dir) = flag_value(&args, "--state") else {
+        return usage();
+    };
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let parse = |name: &str, default: u64| -> Option<u64> {
+        match flag_value(&args, name) {
+            None => Some(default),
+            Some(v) => v.parse().ok().or_else(|| {
+                eprintln!("{name} expects an unsigned integer, got {v:?}");
+                None
+            }),
+        }
+    };
+
+    let mut config = ServeConfig::new(&state_dir);
+    let (Some(queue_depth), Some(slice_records), Some(max_retries), Some(backoff_base)) = (
+        parse("--queue-depth", config.queue_depth as u64),
+        parse("--slice-records", config.slice_records as u64),
+        parse("--max-retries", config.max_retries as u64),
+        parse("--backoff-base", config.backoff_base),
+    ) else {
+        return usage();
+    };
+    let (Some(checkpoint_every), Some(max_ticks)) = (
+        parse("--checkpoint-every", config.checkpoint_every as u64),
+        parse("--max-ticks", 100_000),
+    ) else {
+        return usage();
+    };
+    config.queue_depth = queue_depth as usize;
+    config.slice_records = (slice_records as usize).max(1);
+    config.max_retries = max_retries as u32;
+    config.backoff_base = backoff_base;
+    config.checkpoint_every = (checkpoint_every as usize).max(1);
+    config.tenant_record_budget = flag_value(&args, "--tenant-budget").and_then(|v| v.parse().ok());
+    for entry in flag_values(&args, "--tenant-weight") {
+        let Some((name, weight)) = entry.split_once('=') else {
+            eprintln!("--tenant-weight expects NAME=WEIGHT, got {entry:?}");
+            return usage();
+        };
+        let Ok(weight) = weight.parse::<u64>() else {
+            eprintln!("--tenant-weight expects an integer weight, got {entry:?}");
+            return usage();
+        };
+        config.tenant_weights.push((name.to_string(), weight));
+    }
+
+    let mut daemon = match Daemon::open(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("failed to open daemon state: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let recovered = daemon.recovered();
+    if recovered.dropped_records > 0 {
+        eprintln!(
+            "journal recovered: {} records kept, {} dropped as torn or corrupt",
+            recovered.records, recovered.dropped_records
+        );
+    } else if recovered.records > 0 && !quiet {
+        eprintln!("journal replayed: {} records", recovered.records);
+    }
+
+    // Spool ingestion: lexicographic file order makes admission (and so
+    // scheduling) deterministic for a fixed spool. Known ids are skipped,
+    // so respooling after a restart is idempotent.
+    if let Some(spool) = flag_value(&args, "--spool") {
+        let mut paths: Vec<_> = match std::fs::read_dir(&spool) {
+            Ok(dir) => dir
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect(),
+            Err(e) => {
+                eprintln!("failed to read spool {spool}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        paths.sort();
+        for path in paths {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("rejected {}: unreadable: {e}", path.display());
+                    continue;
+                }
+            };
+            let spec: JobSpec = match serde_json::from_str(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("rejected {}: {e}", path.display());
+                    continue;
+                }
+            };
+            let id = spec.id.clone();
+            match daemon.submit(spec) {
+                Ok(()) => {
+                    if !quiet {
+                        eprintln!("admitted {id}");
+                    }
+                }
+                // Already owned (journal replay or an earlier spool pass):
+                // idempotent restart, not an error.
+                Err(AdmitError::DuplicateId { .. }) => {}
+                Err(e) => eprintln!("rejected {id}: {e}"),
+            }
+        }
+    }
+
+    if let Err(e) = daemon.run_until_drained(max_ticks) {
+        eprintln!("daemon failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut pending = 0u64;
+    for (id, job) in daemon.jobs() {
+        let line = match &job.state {
+            JobState::Done { records } => format!("done       {id} ({records} records)"),
+            JobState::Failed(reason) => format!("failed     {id} ({reason})"),
+            JobState::DeadLetter { attempts, reason } => {
+                format!("deadletter {id} ({attempts} attempts; {reason})")
+            }
+            JobState::Shed { displaced_by } => format!("shed       {id} (displaced by {displaced_by})"),
+            JobState::Queued | JobState::Backoff { .. } => {
+                pending += 1;
+                format!("pending    {id}")
+            }
+        };
+        if !quiet {
+            println!("{line}");
+        }
+    }
+
+    let conservation = daemon.verify_conservation();
+    if let Some(violation) = &conservation {
+        eprintln!("CONSERVATION VIOLATION: {violation}");
+    }
+    let stats = daemon.stats();
+    let stats_file = StatsFile {
+        admitted: stats.admitted,
+        rejected: stats.rejected,
+        retries: stats.retries,
+        shed: stats.shed,
+        slices: stats.slices,
+        done: stats.done,
+        failed: stats.failed,
+        dead_letter: stats.dead_letter,
+        pending,
+        ticks: daemon.current_tick(),
+        journal_recovered_records: recovered.records as u64,
+        journal_dropped_records: recovered.dropped_records as u64,
+        p50_job_latency_ns: stats.latency_quantile(0.5),
+        p99_job_latency_ns: stats.latency_quantile(0.99),
+        conservation_ok: conservation.is_none(),
+    };
+    let stats_path = std::path::Path::new(&state_dir).join("stats.json");
+    match serde_json::to_string(&stats_file) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&stats_path, body + "\n") {
+                eprintln!("failed to write {}: {e}", stats_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to serialize stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !quiet {
+        println!(
+            "serve: admitted {} rejected {} done {} failed {} dead_letter {} shed {} pending {pending} \
+             slices {} retries {} in {} ticks",
+            stats.admitted,
+            stats.rejected,
+            stats.done,
+            stats.failed,
+            stats.dead_letter,
+            stats.shed,
+            stats.slices,
+            stats.retries,
+            daemon.current_tick()
+        );
+    }
+    if conservation.is_some() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,95 @@
+//! Cooperative cancellation for long-running work.
+//!
+//! A [`CancelToken`] is a cheaply-clonable handle that long-running
+//! pipelines (the search engine's evaluation loop, cohort training's
+//! epoch loop) poll at natural boundaries. It carries two independent
+//! cancellation sources:
+//!
+//! * an explicit flag, set by [`CancelToken::cancel`] from any thread
+//!   (a scheduler revoking a job slice, Ctrl-C plumbing, tests);
+//! * an optional wall-clock deadline, after which the token reports
+//!   canceled without anyone calling `cancel` (per-job timeouts).
+//!
+//! Polling is a relaxed atomic load plus, when a deadline is set, an
+//! `Instant::now()` comparison — cheap enough for per-epoch or
+//! per-commit checks, deliberately not cheap enough for per-gate ones.
+//! Cancellation is *cooperative*: work between two poll points always
+//! completes, which is what keeps checkpoints and journals consistent
+//! (a canceled search never leaves a half-written record behind).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared cancellation handle; clones observe the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](Self::cancel) is called.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally reports canceled once `timeout` has
+    /// elapsed from the moment of construction.
+    #[must_use]
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// Sets the explicit cancellation flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been canceled (explicitly or by deadline).
+    #[must_use]
+    pub fn is_canceled(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_canceled());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_canceled());
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels_without_a_call() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_canceled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_cancel_early() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_canceled());
+    }
+}

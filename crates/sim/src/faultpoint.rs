@@ -28,6 +28,9 @@
 //! | `train::batch`       | Nan          | per training minibatch loss       |
 //! | `checkpoint::commit` | TruncateFile | after a checkpoint rename         |
 //! | `search::checkpoint` | Panic        | after each checkpoint save (kill) |
+//! | `train::cohort_epoch`| Panic        | top of each cohort-training epoch |
+//! | `serve::tick`        | Panic        | per daemon scheduler tick (kill)  |
+//! | `serve::journal_append` | TruncateFile | after a daemon journal append |
 
 /// What an armed faultpoint does when it fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -27,6 +27,9 @@
 //!   scratch buffers, so the steady-state per-sample execute/gradient
 //!   path ([`Program::run_with`], [`adjoint_gradient_into`]) performs
 //!   zero heap allocations;
+//! * [`cancel`] — [`CancelToken`], the cooperative cancellation handle
+//!   long-running pipelines poll at slice/epoch boundaries (explicit
+//!   cancel or wall-clock deadline);
 //! * [`faultpoint`] — deterministic, seed-driven fault-injection sites
 //!   (panics, NaNs, torn file writes) compiled in only under tests or the
 //!   `fault-injection` feature, driving the chaos suite.
@@ -78,6 +81,7 @@
 
 pub mod adjoint;
 pub mod backend;
+pub mod cancel;
 pub mod clifford;
 pub mod density;
 pub mod engine;
@@ -97,6 +101,7 @@ pub use backend::{
     Backend, DensityMatrixBackend, StateVectorBackend, TrajectoryBackend,
 };
 pub use engine::{BoundProgram, MultiItem, MultiProgram, Program};
+pub use cancel::CancelToken;
 pub use clifford::{lower_instruction, run_clifford, LowerCliffordError};
 pub use density::DensityMatrix;
 pub use noise::{CircuitNoise, DampingError, InstructionNoise, PauliError, ReadoutError};

@@ -107,6 +107,72 @@ fi
 # pipeline (crates/elivagar/tests/chaos.rs).
 run_counted "chaos (elivagar)" cargo test -q -p elivagar --features fault-injection
 run_counted "chaos (elivagar-ml)" cargo test -q -p elivagar-ml --features fault-injection
+run_counted "chaos (elivagar-serve)" cargo test -q -p elivagar-serve --features fault-injection
+
+# Serve pass: the search-as-a-service daemon must survive a real SIGKILL
+# mid-run at every thread count and, after a restart over the same state
+# and spool, finish all 8 jobs (3 tenants) with result artifacts
+# byte-identical to an uninterrupted run's. A second state dir replays the
+# same spool at half the queue depth (a 2x overload burst) and must shed
+# the excess with typed rejections while conserving every job.
+SERVE_ROOT="target/serve-verify"
+rm -rf "$SERVE_ROOT"
+mkdir -p "$SERVE_ROOT"
+for i in 0 1 2 3 4 5 6 7; do
+  extra=()
+  if [ $((i % 2)) -eq 0 ]; then extra=(--epochs 2); fi
+  ./target/release/elivagar-cli submit --spool "$SERVE_ROOT/spool" \
+    --id "job-$i" --tenant "tenant-$((i % 3))" --seed "$((40 + i))" \
+    --candidates 6 --train-size 16 --test-size 8 "${extra[@]}" 2>/dev/null
+done
+serve_run() { # state_dir threads
+  ELIVAGAR_THREADS="$2" ./target/release/elivagar-served \
+    --state "$1" --spool "$SERVE_ROOT/spool" --slice-records 3 --quiet
+}
+serve_run "$SERVE_ROOT/base" 1
+grep -q '"done":8' "$SERVE_ROOT/base/stats.json" || {
+  echo "verify: FAIL — serve baseline did not complete all 8 jobs" >&2
+  exit 1
+}
+for t in 1 2 4; do
+  state="$SERVE_ROOT/kill-$t"
+  ELIVAGAR_THREADS="$t" ./target/release/elivagar-served \
+    --state "$state" --spool "$SERVE_ROOT/spool" --slice-records 3 --quiet &
+  serve_pid=$!
+  sleep 0.15
+  kill -9 "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  serve_run "$state" "$t"
+  grep -q '"done":8' "$state/stats.json" && grep -q '"conservation_ok":true' "$state/stats.json" || {
+    echo "verify: FAIL — serve restart after SIGKILL lost jobs at $t threads" >&2
+    exit 1
+  }
+  for f in "$SERVE_ROOT"/base/results/*.json; do
+    cmp -s "$f" "$state/results/$(basename "$f")" || {
+      echo "verify: FAIL — serve ranking diverged after SIGKILL at $t threads ($(basename "$f"))" >&2
+      exit 1
+    }
+  done
+done
+echo "verify: serve SIGKILL matrix — 8 jobs, 3 tenants, bit-identical results at 1/2/4 threads"
+ELIVAGAR_THREADS=1 ./target/release/elivagar-served \
+  --state "$SERVE_ROOT/burst" --spool "$SERVE_ROOT/spool" \
+  --queue-depth 4 --slice-records 3 --quiet 2>/dev/null
+grep -q '"admitted":4' "$SERVE_ROOT/burst/stats.json" \
+  && grep -q '"rejected":4' "$SERVE_ROOT/burst/stats.json" \
+  && grep -q '"conservation_ok":true' "$SERVE_ROOT/burst/stats.json" || {
+  echo "verify: FAIL — serve overload burst did not shed/reject as typed admissions" >&2
+  cat "$SERVE_ROOT/burst/stats.json" >&2
+  exit 1
+}
+serve_field() { sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" "$1/stats.json"; }
+printf '{"jobs":8,"tenants":3,"p50_job_latency_ns":%s,"p99_job_latency_ns":%s,"overload_admitted":%s,"overload_rejected":%s}\n' \
+  "$(serve_field "$SERVE_ROOT/base" p50_job_latency_ns)" \
+  "$(serve_field "$SERVE_ROOT/base" p99_job_latency_ns)" \
+  "$(serve_field "$SERVE_ROOT/burst" admitted)" \
+  "$(serve_field "$SERVE_ROOT/burst" rejected)" > BENCH_serve.json
+echo "verify: serve p50 $(serve_field "$SERVE_ROOT/base" p50_job_latency_ns) ns, p99 $(serve_field "$SERVE_ROOT/base" p99_job_latency_ns) ns; overload burst rejected $(serve_field "$SERVE_ROOT/burst" rejected)/8"
+rm -rf "$SERVE_ROOT"
 
 # Telemetry overhead gate: the instrumented search (counters live, span
 # tracing disabled) must stay within 5% of a build with telemetry

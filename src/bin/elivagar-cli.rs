@@ -6,9 +6,17 @@
 //!                     [--train-batch N] [--train-topk R]
 //!                     [--checkpoint journal.json] [--resume journal.json]
 //!                     [--stats] [--trace-out trace.jsonl]
+//! elivagar-cli submit --spool DIR --id NAME [--benchmark moons] [--device ibm-lagos]
+//!                     [--tenant NAME] [--priority N] [--candidates N] [--seed N] ...
 //! elivagar-cli devices
 //! elivagar-cli benchmarks
 //! ```
+//!
+//! `submit` writes a job-spec JSON file into a spool directory for
+//! `elivagar-served`, the search-as-a-service daemon (see the
+//! `elivagar-serve` crate): the daemon ingests `*.json` specs from its
+//! `--spool` directory, schedules them as fair-share evaluation slices,
+//! and survives `kill -9` with bit-identical results.
 //!
 //! `--strategy nsga2` replaces the one-shot sample-and-rank pipeline
 //! with NSGA-II evolution (`--population` circuits per generation,
@@ -60,6 +68,10 @@ fn usage() -> ExitCode {
          [--strategy oneshot|nsga2] [--population N] [--generations N] \
          [--train-batch N] [--train-topk R] \
          [--checkpoint FILE] [--resume FILE] [--stats] [--trace-out FILE]\n  \
+         elivagar-cli submit --spool DIR --id NAME [--benchmark <name>] [--device <name>] \
+         [--tenant NAME] [--priority N] [--candidates N] [--seed N] \
+         [--train-size N] [--test-size N] [--epochs N] [--slice-records N] \
+         [--deadline-slices N] [--deadline-ms N] [--max-retries N]\n  \
          elivagar-cli devices\n  elivagar-cli benchmarks"
     );
     ExitCode::FAILURE
@@ -286,6 +298,84 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            ExitCode::SUCCESS
+        }
+        Some("submit") => {
+            let Some(spool) = flag_value(&args, "--spool") else {
+                return usage();
+            };
+            let Some(id) = flag_value(&args, "--id") else {
+                return usage();
+            };
+            if id.is_empty() || id.contains(['/', '\\']) {
+                eprintln!("--id must be a plain name (no path separators)");
+                return ExitCode::FAILURE;
+            }
+            let mut job = elivagar_serve::JobSpec::named(&id);
+            if let Some(name) = flag_value(&args, "--benchmark") {
+                if spec(&name).is_none() {
+                    eprintln!("unknown benchmark {name}; try `elivagar-cli benchmarks`");
+                    return ExitCode::FAILURE;
+                }
+                job.benchmark = name;
+            }
+            if let Some(name) = flag_value(&args, "--device") {
+                if device_by_name(&name).is_none() {
+                    eprintln!("unknown device {name}; try `elivagar-cli devices`");
+                    return ExitCode::FAILURE;
+                }
+                job.device = name;
+            }
+            if let Some(tenant) = flag_value(&args, "--tenant") {
+                job.tenant = tenant;
+            }
+            let parse_u64 = |name: &str| -> Result<Option<u64>, ExitCode> {
+                match flag_value(&args, name) {
+                    None => Ok(None),
+                    Some(v) => v.parse().map(Some).map_err(|_| {
+                        eprintln!("{name} expects an unsigned integer, got {v:?}");
+                        ExitCode::FAILURE
+                    }),
+                }
+            };
+            let fields = (|| {
+                job.priority = parse_u64("--priority")?.unwrap_or(0) as u8;
+                job.candidates = parse_u64("--candidates")?.unwrap_or(4) as usize;
+                job.seed = parse_u64("--seed")?.unwrap_or(0);
+                job.train_size = parse_u64("--train-size")?.unwrap_or(24) as usize;
+                job.test_size = parse_u64("--test-size")?.unwrap_or(8) as usize;
+                job.train_epochs = parse_u64("--epochs")?.map(|v| v as usize);
+                job.slice_records = parse_u64("--slice-records")?.map(|v| v as usize);
+                job.deadline_slices = parse_u64("--deadline-slices")?;
+                job.deadline_ms = parse_u64("--deadline-ms")?;
+                job.max_retries = parse_u64("--max-retries")?.map(|v| v as u32);
+                Ok(())
+            })();
+            if let Err(code) = fields {
+                return code;
+            }
+            if job.candidates == 0 {
+                eprintln!("--candidates must be >= 1");
+                return ExitCode::FAILURE;
+            }
+            let spool = std::path::Path::new(&spool);
+            if let Err(e) = std::fs::create_dir_all(spool) {
+                eprintln!("failed to create spool {}: {e}", spool.display());
+                return ExitCode::FAILURE;
+            }
+            let path = spool.join(format!("{id}.json"));
+            let body = match serde_json::to_string(&job) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("failed to serialize job spec: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&path, body + "\n") {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("spooled {id} -> {}", path.display());
             ExitCode::SUCCESS
         }
         _ => usage(),
