@@ -200,34 +200,9 @@ fn corrupt(path: &Path, reason: impl Into<String>) -> CheckpointError {
 
 // ---- CRC32 (IEEE 802.3, reflected) -----------------------------------------
 
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32 (IEEE) of a byte slice — the footer checksum of checkpoint files.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+/// CRC32 (IEEE) of a byte slice — the footer checksum of checkpoint files,
+/// shared with the result cache's on-disk entries.
+pub use elivagar_cache::crc32;
 
 // ---- save / load -----------------------------------------------------------
 

@@ -15,10 +15,12 @@
 //! API.
 
 use crate::checkpoint::{self, CheckpointError, Fingerprint, Journal, StageRecord};
-use crate::cnr::{cnr, cnr_with_shots, reject_low_fidelity};
+use crate::cnr::{cnr, cnr_with_shots, reject_low_fidelity, CnrResult};
 use crate::config::{SearchConfig, SelectionStrategy, StrategyChoice};
 use crate::generate::Candidate;
-use crate::repcap::repcap;
+use crate::repcap::{repcap, RepCapResult};
+use elivagar_cache::{CacheHandle, CacheKey, KeyBuilder};
+use elivagar_circuit::Circuit;
 use crate::strategy::{
     Decision, ElivagarStrategy, EvalPlan, Evaluation, Nsga2Strategy, Objectives, ParetoFront,
     SearchStrategy, StrategyCtx,
@@ -225,6 +227,11 @@ pub struct RunOptions {
     /// cohort-training epoch), returning [`SearchError::Canceled`] once it
     /// fires. Carries explicit cancels and wall-clock deadlines.
     pub cancel: Option<elivagar_sim::CancelToken>,
+    /// Content-addressed result cache for CNR and RepCap evaluations (see
+    /// [`elivagar_cache`]). A hit replays the journaled value and
+    /// execution count bit-for-bit, so a cached run ranks identically to
+    /// a cold one; `None` (the default) evaluates everything in place.
+    pub cache: Option<CacheHandle>,
 }
 
 impl RunOptions {
@@ -269,6 +276,16 @@ impl RunOptions {
     /// Attaches a cooperative cancellation token (deadline or revoke).
     pub fn with_cancel(mut self, token: elivagar_sim::CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a content-addressed result cache shared across runs (and,
+    /// through the serve daemon, across tenants searching the same
+    /// device). Evaluations whose full input fingerprint — circuit,
+    /// placement, device calibration, predictor knobs, per-candidate seed
+    /// — matches a stored entry are replayed instead of recomputed.
+    pub fn with_cache(mut self, cache: CacheHandle) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -804,6 +821,83 @@ pub fn run_search_with(
     })
 }
 
+/// Cache key for one CNR evaluation.
+///
+/// Uses the **canonical** circuit digest ([`KeyBuilder::circuit_canonical`]):
+/// CNR is invariant under trainable-slot relabeling because
+/// `clifford_replica` snaps every parameter of a granularity-bearing gate
+/// to a random constant whose draw order depends only on instruction
+/// order and parameter counts — never on which trainable slot a
+/// parameter reads. Two candidates that differ only in slot numbering
+/// therefore share one entry.
+fn cnr_cache_key(
+    candidate: &Candidate,
+    device: &Device,
+    config: &SearchConfig,
+    seed: u64,
+) -> CacheKey {
+    KeyBuilder::new("cnr")
+        .circuit_canonical(&candidate.circuit)
+        .usizes(&candidate.placement)
+        .device(device)
+        .u64(config.clifford_replicas as u64)
+        .u64(config.cnr_trajectories as u64)
+        // `cnr_shots` is asserted >= 1, so 0 unambiguously encodes the
+        // exact (shot-free) estimator.
+        .u64(config.cnr_shots.map_or(0, |s| s as u64))
+        .u64(seed)
+        .finish()
+}
+
+/// Cache key for one RepCap evaluation.
+///
+/// Uses the **raw** circuit digest, not the canonical one: RepCap reads
+/// `theta[slot]` by raw trainable index, and NSGA-II's param-slot
+/// mutation produces non-normalized circuits whose RepCap genuinely
+/// differs from their normalized twin. Collapsing slot labels here would
+/// return wrong values for those circuits. The device is deliberately
+/// absent — RepCap is noise-free, so entries are shared across devices.
+fn repcap_cache_key(
+    circuit: &Circuit,
+    features: &[Vec<f64>],
+    labels: &[usize],
+    config: &SearchConfig,
+    seed: u64,
+) -> CacheKey {
+    let mut b = KeyBuilder::new("repcap").circuit(circuit);
+    for row in features {
+        b = b.f64s(row);
+    }
+    b.usizes(labels)
+        .u64(config.repcap_param_inits as u64)
+        .u64(config.repcap_bases as u64)
+        .u64(seed)
+        .finish()
+}
+
+/// Cache payload for a predictor result: the journaled `f64` bit pattern
+/// plus the execution count, so a hit reproduces the [`StageRecord`] a
+/// recompute would have written, bit for bit.
+fn encode_cached_value(value_bits: u64, executions: u64) -> Vec<u8> {
+    format!("v {value_bits:016x} {executions:x}").into_bytes()
+}
+
+/// Inverse of [`encode_cached_value`]; `None` on any malformed payload
+/// (the caller then falls back to recomputing).
+fn decode_cached_value(payload: &[u8]) -> Option<(u64, u64)> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let mut parts = text.split(' ');
+    if parts.next()? != "v" {
+        return None;
+    }
+    let bits = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let executions = u64::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((bits, executions))
+}
+
 /// Evaluates candidates `base..all.len()` through the CNR → rejection →
 /// RepCap → scoring funnel (per `plan`), journaling each completed
 /// evaluation, and appends one [`Evaluation`] per candidate (in index
@@ -849,6 +943,7 @@ fn evaluate_batch(
     let per_candidate_seed = |index: usize, salt: u64| {
         config.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (index as u64) << 17
     };
+    let cache = options.cache.as_deref();
 
     // CNR + optional early rejection (skipped in the RepCap-only
     // ablation). Pending candidates are evaluated in checkpoint-sized
@@ -879,11 +974,29 @@ fn evaluate_batch(
         for chunk in pending.chunks(chunk_size) {
             let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
                 let _span = elivagar_obs::span!("cnr_eval", candidate = i);
-                let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0xC14));
-                match config.cnr_shots {
+                let seed = per_candidate_seed(i, 0xC14);
+                let key = cache.map(|_| cnr_cache_key(&all[i], device, config, seed));
+                if let (Some(cache), Some(key)) = (cache, &key) {
+                    if let Some((bits, execs)) =
+                        cache.get(key).as_deref().and_then(decode_cached_value)
+                    {
+                        return Ok(CnrResult {
+                            cnr: f64::from_bits(bits),
+                            executions: execs,
+                        });
+                    }
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = match config.cnr_shots {
                     Some(shots) => cnr_with_shots(&all[i], device, config, shots, &mut rng),
                     None => cnr(&all[i], device, config, &mut rng),
+                };
+                if let (Some(cache), Some(key), Ok(r)) = (cache, &key, &out) {
+                    if r.cnr.is_finite() {
+                        cache.put(key, &encode_cached_value(r.cnr.to_bits(), r.executions));
+                    }
                 }
+                out
             });
             for (&i, outcome) in chunk.iter().zip(outcomes) {
                 let record = match outcome {
@@ -988,9 +1101,32 @@ fn evaluate_batch(
         for chunk in pending.chunks(chunk_size) {
             let outcomes = elivagar_sim::parallel::par_map_isolated(chunk, |&i| {
                 let _span = elivagar_obs::span!("repcap_eval", candidate = i);
+                // The faultpoint stays ahead of the cache lookup so chaos
+                // panics quarantine the same candidates whether the cache
+                // is cold or warm.
                 elivagar_sim::faultpoint::hit("repcap::eval", i as u64);
-                let mut rng = StdRng::seed_from_u64(per_candidate_seed(i, 0x4E9));
-                repcap(&all[i].circuit, sample_features, sample_labels, config, &mut rng)
+                let seed = per_candidate_seed(i, 0x4E9);
+                let key = cache.map(|_| {
+                    repcap_cache_key(&all[i].circuit, sample_features, sample_labels, config, seed)
+                });
+                if let (Some(cache), Some(key)) = (cache, &key) {
+                    if let Some((bits, execs)) =
+                        cache.get(key).as_deref().and_then(decode_cached_value)
+                    {
+                        return RepCapResult {
+                            repcap: f64::from_bits(bits),
+                            executions: execs,
+                        };
+                    }
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                let r = repcap(&all[i].circuit, sample_features, sample_labels, config, &mut rng);
+                if let (Some(cache), Some(key)) = (cache, &key) {
+                    if r.repcap.is_finite() {
+                        cache.put(key, &encode_cached_value(r.repcap.to_bits(), r.executions));
+                    }
+                }
+                r
             });
             for (&i, outcome) in chunk.iter().zip(outcomes) {
                 let record = match outcome {

@@ -1,0 +1,346 @@
+//! Differential harness for the content-addressed result cache.
+//!
+//! The cache's contract is absolute: attaching it may only change *wall
+//! time*, never a single bit of any ranking, Pareto front, journal
+//! record, or execution count. This suite proves that by running the
+//! same search three ways — cache off, cache cold, cache warm — and
+//! asserting whole-result equality, for both the one-shot and NSGA-II
+//! strategies. `scripts/verify.sh` re-runs the binary under
+//! `ELIVAGAR_THREADS=1/2/4`, so the equality also holds across thread
+//! counts.
+//!
+//! Counter assertions use `SearchResult::stats.counters` (run deltas of
+//! the process-global metrics). Cache counters are only touched by this
+//! file within this test binary, so tests serialize on a local mutex to
+//! keep the deltas exact.
+
+use elivagar::{run_search, Cache, RunOptions, SearchConfig};
+use elivagar_cache::{crc32, ENGINE_SALT};
+use elivagar_datasets::{moons, Dataset};
+use elivagar_device::devices::ibm_lagos;
+use elivagar_device::Device;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn setup() -> (Device, Dataset, SearchConfig) {
+    let device = ibm_lagos();
+    let dataset = moons(60, 20, 3).normalized(std::f64::consts::PI);
+    let mut config = SearchConfig::for_task(3, 8, 2, 2).fast();
+    config.num_candidates = 6;
+    (device, dataset, config)
+}
+
+/// A fresh scratch path under the system temp dir, pid-keyed so parallel
+/// `cargo test` invocations cannot collide.
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("elivagar-cachediff-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn counter(stats: &elivagar_obs::RunStats, name: &str) -> u64 {
+    stats
+        .counters
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map_or(0, |&(_, v)| v)
+}
+
+/// Cache off, cold, and warm produce byte-identical results for the
+/// one-shot pipeline; the warm run actually hits.
+#[test]
+fn oneshot_rankings_identical_off_cold_warm() {
+    let _g = lock();
+    let (device, dataset, config) = setup();
+    let dir = scratch("oneshot");
+
+    let off = run_search(&device, &dataset, &config, &RunOptions::default()).expect("off");
+
+    let cache = Cache::open(&dir).expect("open cache");
+    let cold_opts = RunOptions::new().with_cache(cache.clone());
+    let cold = run_search(&device, &dataset, &config, &cold_opts).expect("cold");
+    assert_eq!(off, cold, "cold cache changed the result");
+    assert_eq!(counter(&cold.stats, "cache.hits"), 0, "cold run cannot hit");
+    assert!(counter(&cold.stats, "cache.stores") > 0, "cold run must store");
+
+    let warm = run_search(&device, &dataset, &config, &cold_opts).expect("warm");
+    assert_eq!(off, warm, "warm cache changed the result");
+    assert!(counter(&warm.stats, "cache.hits") > 0, "warm run must hit");
+    assert_eq!(
+        counter(&warm.stats, "cache.misses"),
+        0,
+        "everything was cached by the cold run"
+    );
+
+    // A *fresh* handle over the same directory has a cold memory tier and
+    // must be served by the disk tier — still bit-identical.
+    let rehydrated = Cache::open(&dir).expect("reopen cache");
+    let disk_opts = RunOptions::new().with_cache(rehydrated);
+    let disk = run_search(&device, &dataset, &config, &disk_opts).expect("disk-warm");
+    assert_eq!(off, disk, "disk-tier hit changed the result");
+    assert!(counter(&disk.stats, "cache.hits") > 0);
+    assert_eq!(counter(&disk.stats, "cache.corrupt_discarded"), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The NSGA-II strategy — mutation, crossover, slot-swapped circuits and
+/// all — is equally invariant, including its Pareto front.
+#[test]
+fn nsga2_rankings_and_front_identical_off_cold_warm() {
+    let _g = lock();
+    let (device, dataset, mut config) = setup();
+    config = config.with_nsga2(
+        elivagar::Nsga2Config::default()
+            .with_population(6)
+            .with_generations(2),
+    );
+    let dir = scratch("nsga2");
+
+    let off = run_search(&device, &dataset, &config, &RunOptions::default()).expect("off");
+    assert!(off.pareto.is_some(), "nsga2 must produce a front");
+
+    let cache = Cache::open(&dir).expect("open cache");
+    let opts = RunOptions::new().with_cache(cache);
+    let cold = run_search(&device, &dataset, &config, &opts).expect("cold");
+    let warm = run_search(&device, &dataset, &config, &opts).expect("warm");
+    assert_eq!(off, cold, "cold cache changed the NSGA-II result");
+    assert_eq!(off, warm, "warm cache changed the NSGA-II result");
+    assert_eq!(off.pareto, warm.pareto, "Pareto front drifted under cache");
+    assert!(counter(&warm.stats, "cache.hits") > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint journals written with and without the cache are
+/// byte-identical: a cache hit journals the same `value_bits` and
+/// `executions` a recompute would have.
+#[test]
+fn journals_identical_with_and_without_cache() {
+    let _g = lock();
+    let (device, dataset, config) = setup();
+    let dir = scratch("journal-cache");
+    let ckpt_off = scratch("journal-off.json");
+    let ckpt_on = scratch("journal-on.json");
+
+    let off_opts = RunOptions::new().with_checkpoint(&ckpt_off);
+    run_search(&device, &dataset, &config, &off_opts).expect("off");
+
+    let cache = Cache::open(&dir).expect("open cache");
+    // Warm the cache first, then journal a fully cache-served run: every
+    // journaled record came out of the cache rather than a simulator.
+    let warmup = RunOptions::new().with_cache(cache.clone());
+    run_search(&device, &dataset, &config, &warmup).expect("warmup");
+    let on_opts = RunOptions::new().with_checkpoint(&ckpt_on).with_cache(cache);
+    let on = run_search(&device, &dataset, &config, &on_opts).expect("on");
+    assert!(counter(&on.stats, "cache.hits") > 0, "journal run must be cache-served");
+
+    let off_bytes = std::fs::read(&ckpt_off).expect("off journal exists");
+    let on_bytes = std::fs::read(&ckpt_on).expect("on journal exists");
+    assert_eq!(off_bytes, on_bytes, "cache changed the journal bytes");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&ckpt_off);
+    let _ = std::fs::remove_file(&ckpt_on);
+}
+
+/// End-to-end counter conformance on `RunStats::counters`:
+/// `lookups == hits + misses` and `misses >= stores` (only misses store,
+/// and quarantined/rejected evaluations may store nothing).
+#[test]
+fn counter_conservation_holds_through_run_stats() {
+    let _g = lock();
+    let (device, dataset, config) = setup();
+    let dir = scratch("conservation");
+    let cache = Cache::open(&dir).expect("open cache");
+    let opts = RunOptions::new().with_cache(cache);
+
+    for run in 0..2 {
+        let result = run_search(&device, &dataset, &config, &opts).expect("run");
+        let lookups = counter(&result.stats, "cache.lookups");
+        let hits = counter(&result.stats, "cache.hits");
+        let misses = counter(&result.stats, "cache.misses");
+        let stores = counter(&result.stats, "cache.stores");
+        assert!(lookups > 0, "run {run}: cache was attached but never consulted");
+        assert_eq!(lookups, hits + misses, "run {run}: every lookup is a hit xor a miss");
+        assert!(misses >= stores, "run {run}: stores without misses");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `.entry` files of a cache directory, in a stable order.
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Rewrites an entry's `salt` header line to a non-current engine salt and
+/// re-foots it with a *valid* CRC, isolating the version check: the entry
+/// is perfectly intact, just written by a different engine version.
+fn forge_stale_salt(path: &Path) {
+    let bytes = std::fs::read(path).expect("entry readable");
+    // Footer is "\n" + 8 hex digits + "\n"; everything before is the body.
+    let mut body = bytes[..bytes.len() - 10].to_vec();
+    let first_nl = body.iter().position(|&b| b == b'\n').expect("version line");
+    let salt_at = first_nl + 1 + "salt ".len();
+    let stale = format!("{:016x}", ENGINE_SALT ^ 0xDEAD);
+    body[salt_at..salt_at + 16].copy_from_slice(stale.as_bytes());
+    let crc = crc32(&body);
+    body.extend_from_slice(format!("\n{crc:08x}\n").as_bytes());
+    std::fs::write(path, body).expect("entry writable");
+}
+
+/// Shared scaffold for the corruption battery: computes the uncached
+/// reference, warms a disk cache, lets `corrupt` mangle every `.entry`
+/// file, then reruns over a fresh handle (cold memory tier, so every
+/// lookup must confront the corrupted disk entries). Each mode must (a)
+/// reproduce the reference bit for bit, (b) hit nothing, (c) count one
+/// `cache.corrupt_discarded` per mangled entry, and (d) leave the
+/// directory repaired — a final rerun is fully hit-served again.
+fn corruption_degrades_to_recompute(name: &str, corrupt: impl Fn(&Path)) {
+    let _g = lock();
+    let (device, dataset, config) = setup();
+    let dir = scratch(name);
+
+    let reference = run_search(&device, &dataset, &config, &RunOptions::default()).expect("reference");
+    let warmer = Cache::open(&dir).expect("open cache");
+    run_search(&device, &dataset, &config, &RunOptions::new().with_cache(warmer)).expect("warm");
+
+    let entries = entry_files(&dir);
+    assert!(!entries.is_empty(), "{name}: warm run left no entries to corrupt");
+    for path in &entries {
+        corrupt(path);
+    }
+
+    let fresh = Cache::open(&dir).expect("reopen cache");
+    let opts = RunOptions::new().with_cache(fresh);
+    let recomputed = run_search(&device, &dataset, &config, &opts).expect("recompute");
+    assert_eq!(recomputed, reference, "{name}: corruption changed the result");
+    assert_eq!(counter(&recomputed.stats, "cache.hits"), 0, "{name}: corrupt entries served");
+    assert_eq!(
+        counter(&recomputed.stats, "cache.corrupt_discarded"),
+        entries.len() as u64,
+        "{name}: every mangled entry must be discarded exactly once"
+    );
+
+    // Self-healing: the recompute re-stored valid entries, so a further
+    // fresh handle is hit-served with nothing left to discard.
+    let healed_opts = RunOptions::new().with_cache(Cache::open(&dir).expect("reopen"));
+    let healed = run_search(&device, &dataset, &config, &healed_opts).expect("healed");
+    assert_eq!(healed, reference);
+    assert_eq!(counter(&healed.stats, "cache.misses"), 0, "{name}: cache did not self-heal");
+    assert_eq!(counter(&healed.stats, "cache.corrupt_discarded"), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncation (a torn write surviving a dishonest disk's rename).
+#[test]
+fn truncated_entries_degrade_to_recompute() {
+    corruption_degrades_to_recompute("truncate", |path| {
+        let len = std::fs::metadata(path).expect("entry").len();
+        let file = std::fs::OpenOptions::new().write(true).open(path).expect("open");
+        file.set_len(len / 2).expect("truncate");
+    });
+}
+
+/// A single flipped payload byte — caught by the CRC footer.
+#[test]
+fn bit_flipped_payloads_degrade_to_recompute() {
+    corruption_degrades_to_recompute("bitflip", |path| {
+        let mut bytes = std::fs::read(path).expect("entry readable");
+        let at = bytes.len() - 11; // last payload byte, just before the footer
+        bytes[at] ^= 0x01;
+        std::fs::write(path, bytes).expect("entry writable");
+    });
+}
+
+/// A mangled CRC footer on an otherwise intact entry.
+#[test]
+fn mangled_crc_footers_degrade_to_recompute() {
+    corruption_degrades_to_recompute("crcflip", |path| {
+        let mut bytes = std::fs::read(path).expect("entry readable");
+        let at = bytes.len() - 2; // last CRC hex digit
+        bytes[at] = if bytes[at] == b'0' { b'1' } else { b'0' };
+        std::fs::write(path, bytes).expect("entry writable");
+    });
+}
+
+/// A valid entry written by a different engine version (stale salt): the
+/// CRC passes, the version check must not.
+#[test]
+fn stale_salt_entries_degrade_to_recompute() {
+    corruption_degrades_to_recompute("stalesalt", forge_stale_salt);
+}
+
+/// A misfiled entry: intact bytes under the wrong key's filename (the
+/// key-echo check catches what content-addressing alone would trust).
+#[test]
+fn misfiled_entries_degrade_to_recompute() {
+    let _g = lock();
+    let (device, dataset, config) = setup();
+    let dir = scratch("misfiled");
+
+    let reference = run_search(&device, &dataset, &config, &RunOptions::default()).expect("reference");
+    let warmer = Cache::open(&dir).expect("open cache");
+    run_search(&device, &dataset, &config, &RunOptions::new().with_cache(warmer)).expect("warm");
+
+    // Rotate every entry's contents into its neighbor's filename.
+    let entries = entry_files(&dir);
+    assert!(entries.len() >= 2, "need at least two entries to misfile");
+    let contents: Vec<_> = entries.iter().map(|p| std::fs::read(p).expect("read")).collect();
+    for (i, path) in entries.iter().enumerate() {
+        std::fs::write(path, &contents[(i + 1) % contents.len()]).expect("write");
+    }
+
+    let fresh = Cache::open(&dir).expect("reopen cache");
+    let opts = RunOptions::new().with_cache(fresh);
+    let recomputed = run_search(&device, &dataset, &config, &opts).expect("recompute");
+    assert_eq!(recomputed, reference, "misfiled entries changed the result");
+    assert_eq!(counter(&recomputed.stats, "cache.hits"), 0);
+    assert_eq!(counter(&recomputed.stats, "cache.corrupt_discarded"), entries.len() as u64);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two different seeds must not share entries: the second search misses
+/// (keys embed the per-candidate seeds) and reproduces its own uncached
+/// result exactly.
+#[test]
+fn different_seeds_never_share_entries() {
+    let _g = lock();
+    let (device, dataset, mut config) = setup();
+    let dir = scratch("seeds");
+    let cache = Cache::open(&dir).expect("open cache");
+
+    config.seed = 1;
+    let opts = RunOptions::new().with_cache(cache.clone());
+    run_search(&device, &dataset, &config, &opts).expect("seed 1");
+
+    config.seed = 2;
+    let off = run_search(&device, &dataset, &config, &RunOptions::default()).expect("off");
+    let cached = run_search(&device, &dataset, &config, &opts).expect("seed 2 cached");
+    assert_eq!(off, cached, "seed-2 search served stale seed-1 entries");
+    assert_eq!(
+        counter(&cached.stats, "cache.hits"),
+        0,
+        "seed change must key-miss everything"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -421,6 +421,132 @@ fn nsga2_kill_and_resume_under_fire_is_bit_identical() {
     faultpoint::disarm_all();
 }
 
+fn counter(stats: &elivagar_obs::RunStats, name: &str) -> u64 {
+    stats
+        .counters
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map_or(0, |&(_, v)| v)
+}
+
+/// A torn result-cache write — truncation *after* the atomic rename, a
+/// dishonest disk — never yields a wrong answer: the torn run and every
+/// run over the torn directory reproduce the uncached result exactly,
+/// counting the discards.
+#[test]
+fn torn_cache_writes_degrade_to_recompute() {
+    let _g = lock();
+    let (device, dataset, config) = setup();
+    let dir = scratch("cache-torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    faultpoint::disarm_all();
+
+    let baseline =
+        run_search(&device, &dataset, &config, &RunOptions::default()).expect("baseline");
+
+    // Every store commits and is then chopped in half on disk.
+    faultpoint::arm("cache::store", FaultKind::TruncateFile, 0, 1.0);
+    let cache = elivagar::Cache::open(&dir).expect("open cache");
+    let torn = run_search(
+        &device,
+        &dataset,
+        &config,
+        &RunOptions::new().with_cache(cache),
+    )
+    .expect("torn run completes");
+    assert!(faultpoint::fired("cache::store") > 0, "no store was torn");
+    assert_eq!(torn, baseline, "torn stores changed the result");
+    faultpoint::disarm_all();
+
+    // A fresh handle sees only torn entries: all are discarded, the
+    // result is still bit-identical, and the rewrite heals the directory.
+    let fresh = elivagar::Cache::open(&dir).expect("reopen cache");
+    let opts = RunOptions::new().with_cache(fresh);
+    let recomputed = run_search(&device, &dataset, &config, &opts).expect("recompute");
+    assert_eq!(recomputed, baseline);
+    assert_eq!(counter(&recomputed.stats, "cache.hits"), 0);
+    assert!(counter(&recomputed.stats, "cache.corrupt_discarded") > 0);
+
+    let healed = run_search(
+        &device,
+        &dataset,
+        &config,
+        &RunOptions::new().with_cache(elivagar::Cache::open(&dir).expect("reopen")),
+    )
+    .expect("healed run");
+    assert_eq!(healed, baseline);
+    assert_eq!(counter(&healed.stats, "cache.misses"), 0, "torn cache did not heal");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill-and-resume with a *shared* result cache: the killed attempt
+/// leaves the cache partially warm, and the resumed run — serving some
+/// evaluations from the journal, some from the cache, some freshly
+/// computed — must still match an uncached, uninterrupted baseline bit
+/// for bit.
+#[test]
+fn kill_and_resume_with_shared_cache_is_bit_identical() {
+    let _g = lock();
+    silence_faultpoint_panics();
+    let (device, dataset, config) = setup();
+    let path = scratch("cache-kill-resume");
+    let dir = scratch("cache-kill-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    faultpoint::disarm_all();
+    let baseline =
+        run_search(&device, &dataset, &config, &RunOptions::default()).expect("baseline");
+
+    // One cache directory across every attempt: the second kill round
+    // starts with a cold journal but a warm cache, crossing the
+    // resume-from-journal and serve-from-cache paths at once.
+    let cache = elivagar::Cache::open(&dir).expect("open cache");
+    for kill_after in [1u64, 3] {
+        let _ = std::fs::remove_file(&path);
+        faultpoint::disarm_all();
+        faultpoint::arm_on_key("search::checkpoint", FaultKind::Panic, kill_after);
+        let options = RunOptions::new()
+            .with_checkpoint(path.clone())
+            .with_checkpoint_every(2)
+            .with_cache(cache.clone());
+        let killed = catch_unwind(AssertUnwindSafe(|| {
+            run_search(&device, &dataset, &config, &options)
+        }));
+        let payload = killed.expect_err("the kill faultpoint fires");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("faultpoint 'search::checkpoint' fired"),
+            "unexpected panic: {msg}"
+        );
+
+        faultpoint::disarm_all();
+        let resumed = run_search(
+            &device,
+            &dataset,
+            &config,
+            &RunOptions::new()
+                .with_checkpoint(path.clone())
+                .with_checkpoint_every(2)
+                .with_resume(path.clone())
+                .with_cache(cache.clone()),
+        )
+        .expect("resumed run completes");
+        assert_eq!(resumed, baseline, "kill after save {kill_after}");
+        for (a, b) in resumed.scored.iter().zip(baseline.scored.iter()) {
+            assert_eq!(
+                a.score.map(f64::to_bits),
+                b.score.map(f64::to_bits),
+                "shared-cache resume must be bit-identical (kill after save {kill_after})"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A panic inside a fused cohort-training epoch (the serve layer's
 /// deadline/fault window) quarantines the whole cohort at the Train stage
 /// with a typed reason — the search itself, and its ranking, still

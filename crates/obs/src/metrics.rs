@@ -270,6 +270,19 @@ counters! {
     SERVE_JOBS_FAILED => "serve.jobs_failed";
     /// Jobs escalated to the dead-letter state after exhausting retries.
     SERVE_DEAD_LETTER => "serve.dead_letter";
+    /// Result-cache lookups (memory + disk tiers count as one lookup).
+    CACHE_LOOKUPS => "cache.lookups";
+    /// Result-cache lookups answered from either tier.
+    CACHE_HITS => "cache.hits";
+    /// Result-cache lookups that fell through to recomputation.
+    CACHE_MISSES => "cache.misses";
+    /// Results stored into the cache after a recomputation.
+    CACHE_STORES => "cache.stores";
+    /// In-memory cache entries evicted by the LRU capacity bound.
+    CACHE_EVICTIONS => "cache.evictions";
+    /// On-disk cache entries rejected (torn, bit-flipped, stale engine
+    /// salt, or misfiled) and deleted; each one degrades to a recompute.
+    CACHE_CORRUPT_DISCARDED => "cache.corrupt_discarded";
 }
 
 histograms! {
@@ -300,6 +313,8 @@ histograms! {
     /// End-to-end job latency (ns) under the serve daemon: admission to
     /// terminal state, across however many slices and retries it took.
     JOB_LATENCY_NS => "job_latency";
+    /// Result-cache lookup latency (ns), both tiers plus validation.
+    CACHE_LOOKUP_NS => "cache_lookup";
 }
 
 /// A started wall-clock measurement; [`Stopwatch::record`] files the

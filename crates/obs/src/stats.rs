@@ -118,13 +118,20 @@ pub struct RunStats {
 }
 
 /// Counters surfaced per run on [`RunStats`] (beyond the funnel, which is
-/// tallied run-locally): the cohort-training activity of the run plus the
-/// serve daemon's job funnel when the run executed under `elivagar-served`.
+/// tallied run-locally): the cohort-training activity of the run, the
+/// result cache's traffic when one is attached, plus the serve daemon's
+/// job funnel when the run executed under `elivagar-served`.
 pub const REPORTED_COUNTERS: &[&str] = &[
     "train.batched_candidates",
     "train.pruned",
     "train.epochs",
     "train.retries",
+    "cache.lookups",
+    "cache.hits",
+    "cache.misses",
+    "cache.stores",
+    "cache.evictions",
+    "cache.corrupt_discarded",
     "serve.jobs_admitted",
     "serve.jobs_rejected",
     "serve.retries",

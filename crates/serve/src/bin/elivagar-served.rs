@@ -62,6 +62,14 @@ struct StatsFile {
     journal_dropped_records: u64,
     p50_job_latency_ns: u64,
     p99_job_latency_ns: u64,
+    // Result-cache traffic across every slice this process ran (all zero
+    // when no job names a `cache_dir` or telemetry is compiled out).
+    cache_lookups: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_stores: u64,
+    cache_evictions: u64,
+    cache_corrupt_discarded: u64,
     conservation_ok: bool,
 }
 
@@ -205,6 +213,7 @@ fn main() -> ExitCode {
         eprintln!("CONSERVATION VIOLATION: {violation}");
     }
     let stats = daemon.stats();
+    let metrics = elivagar_obs::metrics::snapshot();
     let stats_file = StatsFile {
         admitted: stats.admitted,
         rejected: stats.rejected,
@@ -220,6 +229,12 @@ fn main() -> ExitCode {
         journal_dropped_records: recovered.dropped_records as u64,
         p50_job_latency_ns: stats.latency_quantile(0.5),
         p99_job_latency_ns: stats.latency_quantile(0.99),
+        cache_lookups: metrics.counter("cache.lookups"),
+        cache_hits: metrics.counter("cache.hits"),
+        cache_misses: metrics.counter("cache.misses"),
+        cache_stores: metrics.counter("cache.stores"),
+        cache_evictions: metrics.counter("cache.evictions"),
+        cache_corrupt_discarded: metrics.counter("cache.corrupt_discarded"),
         conservation_ok: conservation.is_none(),
     };
     let stats_path = std::path::Path::new(&state_dir).join("stats.json");

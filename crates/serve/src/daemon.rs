@@ -269,6 +269,9 @@ pub struct Daemon {
     recovered: JournalRecovered,
     started: Instant,
     submit_instants: BTreeMap<String, Instant>,
+    /// One open result-cache handle per `cache_dir`, shared by every job
+    /// (and so every tenant) pointing at that directory.
+    caches: BTreeMap<String, elivagar::CacheHandle>,
 }
 
 impl Daemon {
@@ -304,6 +307,7 @@ impl Daemon {
             recovered,
             started: Instant::now(),
             submit_instants: BTreeMap::new(),
+            caches: BTreeMap::new(),
         };
         for event in events {
             daemon.replay(event);
@@ -604,6 +608,18 @@ impl Daemon {
         Ok(used)
     }
 
+    /// Opens (or reuses) the result-cache handle for `dir`. Handles are
+    /// keyed by the literal spec string, so jobs naming the same
+    /// directory share one in-memory tier on top of the shared disk tier.
+    fn cache_for(&mut self, dir: &str) -> Result<elivagar::CacheHandle, elivagar::CacheError> {
+        if let Some(cache) = self.caches.get(dir) {
+            return Ok(cache.clone());
+        }
+        let cache = elivagar::Cache::open(dir)?;
+        self.caches.insert(dir.to_string(), cache.clone());
+        Ok(cache)
+    }
+
     fn run_slice(&mut self, id: &str) -> Result<(), ServeError> {
         let job = self.jobs.get(id).expect("picked job exists").clone();
         let spec = &job.spec;
@@ -665,6 +681,17 @@ impl Daemon {
             .with_cancel(cancel.clone());
         if ckpt.exists() {
             options = options.with_resume(&ckpt);
+        }
+        if let Some(dir) = &spec.cache_dir {
+            match self.cache_for(dir) {
+                Ok(cache) => options = options.with_cache(cache),
+                Err(e) => {
+                    // A cache is an accelerator, never a correctness
+                    // dependency: an unopenable directory degrades to an
+                    // uncached (slower, identical) run.
+                    eprintln!("warning: job {id}: result cache {dir:?} unavailable: {e}");
+                }
+            }
         }
 
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -72,6 +72,11 @@ pub struct JobSpec {
     /// Retry budget for panic-quarantined slices, overriding the daemon
     /// default. After this many retries the job dead-letters.
     pub max_retries: Option<u32>,
+    /// Directory of a persistent content-addressed result cache shared
+    /// across jobs: tenants searching the same device reuse each other's
+    /// CNR/RepCap evaluations. Relative paths resolve against the
+    /// daemon's working directory. Default: no cache.
+    pub cache_dir: Option<String>,
 }
 
 /// Field names accepted by the job-spec format, in documentation order.
@@ -90,6 +95,7 @@ pub const JOB_SPEC_FIELDS: &[&str] = &[
     "deadline_slices",
     "deadline_ms",
     "max_retries",
+    "cache_dir",
 ];
 
 fn lookup<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
@@ -131,6 +137,7 @@ impl Deserialize for JobSpec {
             deadline_slices: opt(entries, "deadline_slices")?,
             deadline_ms: opt(entries, "deadline_ms")?,
             max_retries: opt(entries, "max_retries")?,
+            cache_dir: opt(entries, "cache_dir")?,
         })
     }
 }
@@ -155,6 +162,7 @@ impl JobSpec {
             deadline_slices: None,
             deadline_ms: None,
             max_retries: None,
+            cache_dir: None,
         }
     }
 }

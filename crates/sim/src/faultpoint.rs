@@ -31,6 +31,7 @@
 //! | `train::cohort_epoch`| Panic        | top of each cohort-training epoch |
 //! | `serve::tick`        | Panic        | per daemon scheduler tick (kill)  |
 //! | `serve::journal_append` | TruncateFile | after a daemon journal append |
+//! | `cache::store`       | TruncateFile | after a result-cache entry write  |
 
 /// What an armed faultpoint does when it fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -50,6 +50,17 @@ for t in 1 2 4; do
     cargo test -q -p elivagar-bench --test determinism
 done
 
+# Result-cache differential matrix: cache off, cold, and warm must agree
+# bit-for-bit (rankings, Pareto fronts, journals) at every thread count,
+# and the corruption battery (truncation, bit flips, stale salts,
+# misfiled entries) must always degrade to recompute.
+for t in 1 2 4; do
+  ELIVAGAR_THREADS="$t" run_counted "cache differential @ $t threads" \
+    cargo test -q -p elivagar --test cache_differential
+done
+run_counted "cache key canonicalization" \
+  cargo test -q -p elivagar-cache --test key_properties
+
 # Frame-engine exactness: the bit-parallel Pauli-frame engine must match
 # the per-shot tableau reference bit-for-bit, per trajectory, over random
 # Clifford circuits, noise strengths, and measured subsets.
@@ -99,6 +110,23 @@ awk -v s="$train_speedup" 'BEGIN { exit !(s >= 3.0) }' || {
 }
 if [ "$ranking_match" != "true" ]; then
   echo "verify: FAIL — cohort training (halving off) diverged from solo rankings" >&2
+  exit 1
+fi
+
+# Result-cache throughput gate: a fully warm cache must cut the search's
+# wall time by at least 2x while selecting the bit-identical winner (the
+# binary compares cold, warm, and uncached runs before reporting).
+cargo build --release -p elivagar-bench --bin bench_cache
+./target/release/bench_cache
+cache_speedup="$(sed -n 's/.*"speedup":\([0-9.][0-9.]*\).*/\1/p' BENCH_cache.json)"
+cache_match="$(sed -n 's/.*"winner_match":\(true\|false\).*/\1/p' BENCH_cache.json)"
+echo "verify: result-cache warm speedup ${cache_speedup}x (winner_match=${cache_match})"
+awk -v s="$cache_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+  echo "verify: FAIL — warm-cache speedup ${cache_speedup}x below the 2x gate" >&2
+  exit 1
+}
+if [ "$cache_match" != "true" ]; then
+  echo "verify: FAIL — cached search diverged from the uncached ranking" >&2
   exit 1
 fi
 
@@ -165,6 +193,54 @@ grep -q '"admitted":4' "$SERVE_ROOT/burst/stats.json" \
   cat "$SERVE_ROOT/burst/stats.json" >&2
   exit 1
 }
+# Cross-tenant result-cache sharing: respool the same 8 jobs (3 tenants)
+# with every spec naming one shared cache_dir. A cold daemon populates
+# it, a second daemon over fresh state must be served from it
+# (cache_hits > 0), both must satisfy lookups = hits + misses, and every
+# ranking must stay byte-identical to the uncached baseline.
+for i in 0 1 2 3 4 5 6 7; do
+  extra=()
+  if [ $((i % 2)) -eq 0 ]; then extra=(--epochs 2); fi
+  ./target/release/elivagar-cli submit --spool "$SERVE_ROOT/spool-cached" \
+    --id "job-$i" --tenant "tenant-$((i % 3))" --seed "$((40 + i))" \
+    --candidates 6 --train-size 16 --test-size 8 \
+    --cache-dir "$SERVE_ROOT/result-cache" "${extra[@]}" 2>/dev/null
+done
+for pass in cache-cold cache-warm; do
+  ELIVAGAR_THREADS=1 ./target/release/elivagar-served \
+    --state "$SERVE_ROOT/$pass" --spool "$SERVE_ROOT/spool-cached" \
+    --slice-records 3 --quiet
+  grep -q '"done":8' "$SERVE_ROOT/$pass/stats.json" || {
+    echo "verify: FAIL — serve $pass run did not complete all 8 jobs" >&2
+    exit 1
+  }
+  for f in "$SERVE_ROOT"/base/results/*.json; do
+    cmp -s "$f" "$SERVE_ROOT/$pass/results/$(basename "$f")" || {
+      echo "verify: FAIL — serve $pass ranking diverged from the uncached baseline ($(basename "$f"))" >&2
+      exit 1
+    }
+  done
+done
+serve_cache_field() { sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" "$1/stats.json"; }
+for pass in cache-cold cache-warm; do
+  cl="$(serve_cache_field "$SERVE_ROOT/$pass" cache_lookups)"
+  ch="$(serve_cache_field "$SERVE_ROOT/$pass" cache_hits)"
+  cm="$(serve_cache_field "$SERVE_ROOT/$pass" cache_misses)"
+  cs="$(serve_cache_field "$SERVE_ROOT/$pass" cache_stores)"
+  awk -v l="$cl" -v h="$ch" -v m="$cm" -v s="$cs" \
+    'BEGIN { exit !(l == h + m && m >= s) }' || {
+    echo "verify: FAIL — serve $pass cache counters violate conservation (lookups=$cl hits=$ch misses=$cm stores=$cs)" >&2
+    exit 1
+  }
+done
+cold_stores="$(serve_cache_field "$SERVE_ROOT/cache-cold" cache_stores)"
+warm_hits="$(serve_cache_field "$SERVE_ROOT/cache-warm" cache_hits)"
+if [ "$cold_stores" -eq 0 ] || [ "$warm_hits" -eq 0 ]; then
+  echo "verify: FAIL — shared cache never populated (stores=$cold_stores) or never hit (hits=$warm_hits)" >&2
+  exit 1
+fi
+echo "verify: serve shared cache — cold stored $cold_stores entries, warm served $warm_hits hits, rankings byte-identical"
+
 serve_field() { sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" "$1/stats.json"; }
 printf '{"jobs":8,"tenants":3,"p50_job_latency_ns":%s,"p99_job_latency_ns":%s,"overload_admitted":%s,"overload_rejected":%s}\n' \
   "$(serve_field "$SERVE_ROOT/base" p50_job_latency_ns)" \

@@ -5,7 +5,7 @@
 //!                     [--strategy oneshot|nsga2] [--population N] [--generations N]
 //!                     [--train-batch N] [--train-topk R]
 //!                     [--checkpoint journal.json] [--resume journal.json]
-//!                     [--stats] [--trace-out trace.jsonl]
+//!                     [--cache DIR] [--stats] [--trace-out trace.jsonl]
 //! elivagar-cli submit --spool DIR --id NAME [--benchmark moons] [--device ibm-lagos]
 //!                     [--tenant NAME] [--priority N] [--candidates N] [--seed N] ...
 //! elivagar-cli devices
@@ -39,6 +39,14 @@
 //! (which implies checkpointing to the same file); the resumed search
 //! reproduces the uninterrupted ranking bit for bit.
 //!
+//! `--cache DIR` attaches a persistent content-addressed result cache:
+//! CNR and RepCap evaluations whose full input fingerprint (circuit,
+//! placement, device calibration, predictor knobs, per-candidate seed)
+//! matches a stored entry are replayed instead of recomputed, bit for
+//! bit. The same directory can back many runs — and, via `submit
+//! --cache-dir`, many tenants of the serve daemon searching the same
+//! device. Corrupt entries are discarded and recomputed, never trusted.
+//!
 //! `--stats` prints the end-of-run telemetry report (candidate funnel,
 //! per-stage counts, wall time, p50/p99 latencies) to stderr; `--trace-out
 //! FILE` enables span tracing and writes a Chrome Trace Event JSON file
@@ -67,11 +75,11 @@ fn usage() -> ExitCode {
          [--candidates N] [--params N] [--epochs N] [--seed N] \
          [--strategy oneshot|nsga2] [--population N] [--generations N] \
          [--train-batch N] [--train-topk R] \
-         [--checkpoint FILE] [--resume FILE] [--stats] [--trace-out FILE]\n  \
+         [--checkpoint FILE] [--resume FILE] [--cache DIR] [--stats] [--trace-out FILE]\n  \
          elivagar-cli submit --spool DIR --id NAME [--benchmark <name>] [--device <name>] \
          [--tenant NAME] [--priority N] [--candidates N] [--seed N] \
          [--train-size N] [--test-size N] [--epochs N] [--slice-records N] \
-         [--deadline-slices N] [--deadline-ms N] [--max-retries N]\n  \
+         [--deadline-slices N] [--deadline-ms N] [--max-retries N] [--cache-dir DIR]\n  \
          elivagar-cli devices\n  elivagar-cli benchmarks"
     );
     ExitCode::FAILURE
@@ -182,6 +190,15 @@ fn main() -> ExitCode {
             }
             if let Some(path) = resume {
                 options = options.with_resume(path);
+            }
+            if let Some(dir) = flag_value(&args, "--cache") {
+                match elivagar::Cache::open(&dir) {
+                    Ok(cache) => options = options.with_cache(cache),
+                    Err(e) => {
+                        eprintln!("failed to open result cache at {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
 
             match &config.strategy {
@@ -329,6 +346,9 @@ fn main() -> ExitCode {
             if let Some(tenant) = flag_value(&args, "--tenant") {
                 job.tenant = tenant;
             }
+            // A shared cache directory lets tenants searching the same
+            // device reuse each other's CNR/RepCap evaluations.
+            job.cache_dir = flag_value(&args, "--cache-dir");
             let parse_u64 = |name: &str| -> Result<Option<u64>, ExitCode> {
                 match flag_value(&args, name) {
                     None => Ok(None),
