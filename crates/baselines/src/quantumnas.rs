@@ -8,7 +8,8 @@
 //! the paper benchmarks against throughout Section 8.
 
 use crate::supercircuit::{Entangler, SubcircuitConfig, SuperCircuit};
-use crate::training::{subcircuit_validation_loss, train_supercircuit, SuperTrainConfig};
+use crate::training::{subcircuit_validation_loss_cached, train_supercircuit, SuperTrainConfig};
+use elivagar_cache::CacheHandle;
 use elivagar_circuit::Circuit;
 use elivagar_compiler::route;
 use elivagar_datasets::Dataset;
@@ -170,6 +171,22 @@ pub fn quantum_nas_search(
     num_qubits: usize,
     config: &QuantumNasConfig,
 ) -> QuantumNasResult {
+    quantum_nas_search_with_cache(device, dataset, num_qubits, config, None)
+}
+
+/// [`quantum_nas_search`] with genome loss evaluation routed through the
+/// result cache. Only the SuperCircuit validation loss is memoized — the
+/// noise penalty depends on the genome's mapping and is cheap to
+/// recompute — so elitism (which re-scores surviving genomes every
+/// generation) and repeated runs replay losses bit-for-bit. `None` is
+/// exactly [`quantum_nas_search`].
+pub fn quantum_nas_search_with_cache(
+    device: &Device,
+    dataset: &Dataset,
+    num_qubits: usize,
+    config: &QuantumNasConfig,
+    cache: Option<&CacheHandle>,
+) -> QuantumNasResult {
     assert!(num_qubits <= device.num_qubits(), "device too small");
     let num_classes = dataset.num_classes();
     let num_measured = if num_classes == 2 { 1 } else { num_classes.min(num_qubits) };
@@ -221,12 +238,13 @@ pub fn quantum_nas_search(
         let _gen_span = elivagar_obs::span!("quantumnas_generation", genomes = population.len());
         elivagar_obs::metrics::BASELINE_EVALS.add(population.len() as u64);
         let fitnesses = elivagar_sim::parallel::par_map(&population, |genome| {
-            let (loss, e) = subcircuit_validation_loss(
+            let (loss, e) = subcircuit_validation_loss_cached(
                 &space,
                 &genome.config,
                 &trained.shared,
                 &valid,
                 num_classes,
+                cache,
             );
             let physical = space
                 .subcircuit(&genome.config)

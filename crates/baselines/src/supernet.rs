@@ -3,7 +3,8 @@
 //! (the structure the paper's Table 6 attributes its depth problems to).
 
 use crate::supercircuit::{Entangler, SuperCircuit};
-use crate::training::{subcircuit_validation_loss, train_supercircuit, SuperTrainConfig};
+use crate::training::{subcircuit_validation_loss_cached, train_supercircuit, SuperTrainConfig};
+use elivagar_cache::CacheHandle;
 use elivagar_circuit::Circuit;
 use elivagar_datasets::Dataset;
 use rand::rngs::StdRng;
@@ -59,6 +60,21 @@ pub fn supernet_search(
     num_qubits: usize,
     config: &SupernetConfig,
 ) -> SupernetResult {
+    supernet_search_with_cache(dataset, num_qubits, config, None)
+}
+
+/// [`supernet_search`] with candidate scoring routed through the result
+/// cache: each subcircuit evaluation is keyed on the extracted circuit,
+/// the shared parameter table, and the validation set, so re-running the
+/// search (or overlapping draws across seeds) replays losses
+/// bit-for-bit instead of re-simulating. `None` is exactly
+/// [`supernet_search`].
+pub fn supernet_search_with_cache(
+    dataset: &Dataset,
+    num_qubits: usize,
+    config: &SupernetConfig,
+    cache: Option<&CacheHandle>,
+) -> SupernetResult {
     assert!(config.num_samples > 0, "need at least one sample");
     let num_classes = dataset.num_classes();
     let num_measured = if num_classes == 2 { 1 } else { num_classes.min(num_qubits) };
@@ -100,7 +116,7 @@ pub fn supernet_search(
     let _stage = elivagar_obs::span!("supernet_score", samples = samples.len());
     elivagar_obs::metrics::BASELINE_EVALS.add(samples.len() as u64);
     let scored = elivagar_sim::parallel::par_map(&samples, |sub| {
-        subcircuit_validation_loss(&space, sub, &trained.shared, &valid, num_classes)
+        subcircuit_validation_loss_cached(&space, sub, &trained.shared, &valid, num_classes, cache)
     });
     let mut best: Option<(crate::supercircuit::SubcircuitConfig, f64)> = None;
     for (sub, (loss, e)) in samples.iter().zip(&scored) {

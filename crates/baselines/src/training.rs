@@ -3,6 +3,7 @@
 //! here, Section 6).
 
 use crate::supercircuit::SuperCircuit;
+use elivagar_cache::{decode_cached_value, encode_cached_value, CacheHandle, CacheKey, KeyBuilder};
 use elivagar_datasets::Split;
 use elivagar_ml::{batch_gradient, Adam, GradientMethod, QuantumClassifier};
 use rand::rngs::StdRng;
@@ -137,6 +138,57 @@ pub fn subcircuit_validation_loss(
     let model = QuantumClassifier::new(circuit, num_classes);
     let loss = elivagar_ml::evaluate_loss(&model, shared, valid);
     (loss, valid.len() as u64)
+}
+
+/// Cache key for one baseline subcircuit evaluation.
+///
+/// Uses the **raw** circuit digest: the subcircuit reads `shared[slot]`
+/// by raw trainable index, so two configurations that extract
+/// structurally identical circuits wired to different shared slots must
+/// not collide. The full shared table is keyed (not just the active
+/// slots) — conservative, but the table is identical across every genome
+/// of one search, so within a run the key varies only with the
+/// subcircuit.
+fn baseline_eval_key(
+    circuit: &elivagar_circuit::Circuit,
+    shared: &[f64],
+    valid: &Split,
+    num_classes: usize,
+) -> CacheKey {
+    let mut b = KeyBuilder::new("baseline_eval").circuit(circuit).f64s(shared);
+    for row in &valid.features {
+        b = b.f64s(row);
+    }
+    b.usizes(&valid.labels).u64(num_classes as u64).finish()
+}
+
+/// [`subcircuit_validation_loss`] routed through the result cache: a hit
+/// replays the loss bit-for-bit (and the execution count it originally
+/// cost); a miss computes and stores. `None` degrades to the uncached
+/// primitive with zero overhead.
+pub fn subcircuit_validation_loss_cached(
+    space: &SuperCircuit,
+    config: &crate::supercircuit::SubcircuitConfig,
+    shared: &[f64],
+    valid: &Split,
+    num_classes: usize,
+    cache: Option<&CacheHandle>,
+) -> (f64, u64) {
+    let Some(cache) = cache else {
+        return subcircuit_validation_loss(space, config, shared, valid, num_classes);
+    };
+    let circuit = space.subcircuit(config);
+    let key = baseline_eval_key(&circuit, shared, valid, num_classes);
+    if let Some(payload) = cache.get(&key) {
+        if let Some((bits, executions)) = decode_cached_value(&payload) {
+            return (f64::from_bits(bits), executions);
+        }
+    }
+    let model = QuantumClassifier::new(circuit, num_classes);
+    let loss = elivagar_ml::evaluate_loss(&model, shared, valid);
+    let executions = valid.len() as u64;
+    cache.put(&key, &encode_cached_value(loss.to_bits(), executions));
+    (loss, executions)
 }
 
 #[cfg(test)]

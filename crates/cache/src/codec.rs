@@ -1,0 +1,56 @@
+//! Payload codec for scalar predictor results.
+//!
+//! Several memoized evaluations (CNR, RepCap, baseline subcircuit
+//! scoring) reduce to one journaled `f64` plus an execution count. This
+//! tiny text format keeps those entries human-inspectable on disk while
+//! round-tripping the value **bit-for-bit**: the `f64` is stored as its
+//! raw bit pattern, so a hit reproduces exactly what recomputation would
+//! have produced.
+
+/// Encodes a scalar result: the `f64` bit pattern plus the execution
+/// count, so a hit reproduces the record a recompute would have written,
+/// bit for bit.
+pub fn encode_cached_value(value_bits: u64, executions: u64) -> Vec<u8> {
+    format!("v {value_bits:016x} {executions:x}").into_bytes()
+}
+
+/// Inverse of [`encode_cached_value`]; `None` on any malformed payload
+/// (the caller then falls back to recomputing).
+pub fn decode_cached_value(payload: &[u8]) -> Option<(u64, u64)> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let mut parts = text.split(' ');
+    if parts.next()? != "v" {
+        return None;
+    }
+    let bits = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let executions = u64::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((bits, executions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bit_patterns() {
+        for value in [0.0f64, -0.0, 1.5, -3.25e-300, f64::NAN, f64::INFINITY] {
+            let encoded = encode_cached_value(value.to_bits(), 42);
+            let (bits, execs) = decode_cached_value(&encoded).expect("well-formed");
+            assert_eq!(bits, value.to_bits());
+            assert_eq!(execs, 42);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_payloads() {
+        assert_eq!(decode_cached_value(b""), None);
+        assert_eq!(decode_cached_value(b"w 0 0"), None);
+        assert_eq!(decode_cached_value(b"v zz 0"), None);
+        assert_eq!(decode_cached_value(b"v 0"), None);
+        assert_eq!(decode_cached_value(b"v 0 0 trailing"), None);
+        assert_eq!(decode_cached_value(&[0xff, 0xfe]), None);
+    }
+}

@@ -25,8 +25,10 @@
 //! corrupt_discarded` counters and the `cache_lookup` latency histogram
 //! (see `elivagar-obs`), satisfying `lookups = hits + misses`.
 
+pub mod codec;
 pub mod key;
 pub mod store;
 
+pub use codec::{decode_cached_value, encode_cached_value};
 pub use key::{CacheKey, KeyBuilder, ENGINE_SALT};
 pub use store::{crc32, Cache, CacheError, CacheHandle, DEFAULT_MEMORY_ENTRIES};

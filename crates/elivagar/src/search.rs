@@ -19,7 +19,7 @@ use crate::cnr::{cnr, cnr_with_shots, reject_low_fidelity, CnrResult};
 use crate::config::{SearchConfig, SelectionStrategy, StrategyChoice};
 use crate::generate::Candidate;
 use crate::repcap::{repcap, RepCapResult};
-use elivagar_cache::{CacheHandle, CacheKey, KeyBuilder};
+use elivagar_cache::{decode_cached_value, encode_cached_value, CacheHandle, CacheKey, KeyBuilder};
 use elivagar_circuit::Circuit;
 use crate::strategy::{
     Decision, ElivagarStrategy, EvalPlan, Evaluation, Nsga2Strategy, Objectives, ParetoFront,
@@ -873,29 +873,6 @@ fn repcap_cache_key(
         .u64(config.repcap_bases as u64)
         .u64(seed)
         .finish()
-}
-
-/// Cache payload for a predictor result: the journaled `f64` bit pattern
-/// plus the execution count, so a hit reproduces the [`StageRecord`] a
-/// recompute would have written, bit for bit.
-fn encode_cached_value(value_bits: u64, executions: u64) -> Vec<u8> {
-    format!("v {value_bits:016x} {executions:x}").into_bytes()
-}
-
-/// Inverse of [`encode_cached_value`]; `None` on any malformed payload
-/// (the caller then falls back to recomputing).
-fn decode_cached_value(payload: &[u8]) -> Option<(u64, u64)> {
-    let text = std::str::from_utf8(payload).ok()?;
-    let mut parts = text.split(' ');
-    if parts.next()? != "v" {
-        return None;
-    }
-    let bits = u64::from_str_radix(parts.next()?, 16).ok()?;
-    let executions = u64::from_str_radix(parts.next()?, 16).ok()?;
-    if parts.next().is_some() {
-        return None;
-    }
-    Some((bits, executions))
 }
 
 /// Evaluates candidates `base..all.len()` through the CNR → rejection →

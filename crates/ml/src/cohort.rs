@@ -36,7 +36,7 @@ use crate::model::QuantumClassifier;
 use crate::optim::Adam;
 use crate::train::{init_params, try_train, TrainConfig, TrainError, TrainOutcome};
 use elivagar_datasets::Split;
-use elivagar_sim::{CancelToken, MultiItem, MultiProgram};
+use elivagar_sim::{AdjointProgram, CancelToken, MultiItem, MultiProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -145,6 +145,11 @@ pub fn train_cohort_with_cancel(
     }
 
     let multi = MultiProgram::compile(models.iter().map(|m| m.circuit()));
+    // Streamed-adjoint programs, compiled once per cohort alongside the
+    // forward multi-program (only the Adjoint gradient path reads them);
+    // params-only because training never reads feature gradients.
+    let adjoints: Vec<AdjointProgram> =
+        models.iter().map(|m| AdjointProgram::compile_params_only(m.circuit())).collect();
     let n = data.len();
     let num_chunks = n.div_ceil(config.batch_size);
     let rungs = rung_epochs(config.epochs, config.halving_rungs);
@@ -241,6 +246,7 @@ pub fn train_cohort_with_cancel(
             let stride = cohort_batch_gradients(
                 models,
                 &multi,
+                &adjoints,
                 &params_by,
                 &data.features,
                 &data.labels,

@@ -12,7 +12,8 @@ use crate::model::QuantumClassifier;
 use elivagar_circuit::{Gate, ParamSource};
 use elivagar_sim::parallel::par_map;
 use elivagar_sim::{
-    adjoint_gradient_into, Gradients, MultiItem, MultiProgram, Program, StateVector, ZObservable,
+    par_items_with_arena, AdjointProgram, Gradients, MultiItem, MultiProgram, Program,
+    StateVector, ZObservable,
 };
 use std::cell::RefCell;
 use std::f64::consts::{FRAC_PI_2, SQRT_2};
@@ -108,78 +109,99 @@ fn usage_sites_into(model: &QuantumClassifier, index: usize, sites: &mut Vec<(us
     }
 }
 
-/// Computes loss and gradient for one sample. The forward pass runs the
-/// pre-compiled fused `program`; the adjoint sweep still walks the
-/// original instruction stream, which it needs for per-gate derivatives.
-fn sample_gradient(
+/// Loss and gradient for one sample by the parameter-shift rule (the
+/// hardware-accounting path). The forward pass and every shifted
+/// evaluation run the pre-compiled fused `program`.
+fn ps_sample_gradient(
     model: &QuantumClassifier,
     program: &Program,
     params: &[f64],
     features: &[f64],
     label: usize,
-    method: GradientMethod,
 ) -> (f64, Vec<f64>, u64) {
     let expectations =
         program.run_with(params, features, |psi| model.expectations_from_state(psi));
     let logits = model.logits_from_expectations(&expectations);
     let (loss, dlogits) = cross_entropy(&logits, label);
     let weights = model.observable_weights(&dlogits);
-    match method {
-        GradientMethod::Adjoint => {
-            let mut g = Gradients {
-                expectation: 0.0,
-                params: Vec::new(),
-                features: Vec::new(),
-            };
-            adjoint_gradient_into(
-                model.circuit(),
-                params,
-                features,
-                &ZObservable::new(weights),
-                &mut g,
-            );
-            // One logical forward execution; gradients are free classically.
-            (loss, g.params, 1)
+    let mut grad = vec![0.0; params.len()];
+    let mut executions = 1u64; // the forward pass
+    for (i, g) in grad.iter_mut().enumerate() {
+        let sites = usage_sites(model, i);
+        if sites.is_empty() {
+            continue;
         }
-        GradientMethod::ParameterShift => {
-            let mut grad = vec![0.0; params.len()];
-            let mut executions = 1u64; // the forward pass
-            for (i, g) in grad.iter_mut().enumerate() {
-                let sites = usage_sites(model, i);
-                if sites.is_empty() {
-                    continue;
-                }
-                let single_plain_site = sites.len() == 1
-                    && (sites[0].1.abs() - 1.0).abs() < 1e-12
-                    && shift_rule(model.circuit().instructions()[sites[0].0].gate).is_some();
-                if single_plain_site {
-                    let gate = model.circuit().instructions()[sites[0].0].gate;
-                    let rule = shift_rule(gate).expect("checked above");
-                    let sign = sites[0].1; // +1 or -1
-                    for &(shift, coeff) in rule {
-                        let mut shifted = params.to_vec();
-                        shifted[i] += sign * shift;
-                        *g += sign * coeff
-                            * weighted_expectation(program, &shifted, features, &weights);
-                        executions += 1;
-                    }
-                } else {
-                    // Shared or scaled parameter: central difference (still
-                    // two executions, like a shift).
-                    let h = 1e-4;
-                    let mut plus = params.to_vec();
-                    let mut minus = params.to_vec();
-                    plus[i] += h;
-                    minus[i] -= h;
-                    let ep = weighted_expectation(program, &plus, features, &weights);
-                    let em = weighted_expectation(program, &minus, features, &weights);
-                    *g += (ep - em) / (2.0 * h);
-                    executions += 2;
-                }
+        let single_plain_site = sites.len() == 1
+            && (sites[0].1.abs() - 1.0).abs() < 1e-12
+            && shift_rule(model.circuit().instructions()[sites[0].0].gate).is_some();
+        if single_plain_site {
+            let gate = model.circuit().instructions()[sites[0].0].gate;
+            let rule = shift_rule(gate).expect("checked above");
+            let sign = sites[0].1; // +1 or -1
+            for &(shift, coeff) in rule {
+                let mut shifted = params.to_vec();
+                shifted[i] += sign * shift;
+                *g += sign * coeff * weighted_expectation(program, &shifted, features, &weights);
+                executions += 1;
             }
-            (loss, grad, executions)
+        } else {
+            // Shared or scaled parameter: central difference (still
+            // two executions, like a shift).
+            let h = 1e-4;
+            let mut plus = params.to_vec();
+            let mut minus = params.to_vec();
+            plus[i] += h;
+            minus[i] -= h;
+            let ep = weighted_expectation(program, &plus, features, &weights);
+            let em = weighted_expectation(program, &minus, features, &weights);
+            *g += (ep - em) / (2.0 * h);
+            executions += 2;
         }
     }
+    (loss, grad, executions)
+}
+
+/// Loss and gradient for one sample by the streamed adjoint: a single
+/// forward sweep through the fused [`AdjointProgram`], the classifier
+/// loss and effective observable computed from the final state in the
+/// prepare hook, and one backward sweep accumulating every parameter's
+/// gradient. The gradient lands in `grad_out` (first `params.len()`
+/// entries); returns `(loss, executions)`.
+///
+/// All intermediates live in the per-thread [`GRAD_SCRATCH`], so a
+/// warmed-up call performs no heap allocation. The solo
+/// ([`batch_gradient`]) and cohort ([`cohort_batch_gradients`]) paths both
+/// funnel through this function, so their per-sample float sequences are
+/// bit-for-bit identical.
+fn adjoint_sample_gradient(
+    model: &QuantumClassifier,
+    adjoint: &AdjointProgram,
+    params: &[f64],
+    features: &[f64],
+    label: usize,
+    grad_out: &mut [f64],
+) -> (f64, u64) {
+    GRAD_SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        let GradScratch { expectations, logits, dlogits, weights, obs, g, .. } = s;
+        let loss = adjoint.run_adjoint_with(
+            params,
+            features,
+            obs,
+            |psi, obs| {
+                model.expectations_from_state_into(psi, expectations);
+                model.logits_from_expectations_into(expectations, logits);
+                let loss = cross_entropy_into(logits, label, dlogits);
+                model.observable_weights_into(dlogits, weights);
+                obs.reset_terms(weights.iter().copied());
+                loss
+            },
+            g,
+        );
+        grad_out[..params.len()].copy_from_slice(&g.params);
+        // One logical forward execution; gradients are free classically.
+        (loss, 1)
+    })
 }
 
 /// Mean loss and gradient over a batch of samples.
@@ -196,16 +218,37 @@ pub fn batch_gradient(
 ) -> BatchGradient {
     assert!(!features.is_empty(), "empty batch");
     assert_eq!(features.len(), labels.len(), "feature/label mismatch");
-    // Compile once per minibatch; every forward (and shifted) execution in
-    // the batch reuses the fused kernel stream. Samples are independent, so
-    // they run in parallel; per-sample results come back in batch order and
-    // are reduced sequentially, keeping the mean bit-for-bit identical to
-    // the sequential loop.
-    let program = Program::compile(model.circuit());
+    // Compile once per minibatch; every sweep in the batch reuses the fused
+    // kernel stream. Samples are independent, so they run in parallel;
+    // per-sample results come back in batch order and are reduced
+    // sequentially, keeping the mean bit-for-bit identical to the
+    // sequential loop.
     let indices: Vec<usize> = (0..features.len()).collect();
-    let per_sample = par_map(&indices, |&i| {
-        sample_gradient(model, &program, params, &features[i], labels[i], method)
-    });
+    let per_sample = match method {
+        GradientMethod::Adjoint => {
+            // Classifier training only reads trainable gradients, so the
+            // backward sweep skips every data-embedding slot.
+            let adjoint = AdjointProgram::compile_params_only(model.circuit());
+            par_map(&indices, |&i| {
+                let mut grad = vec![0.0; params.len()];
+                let (loss, executions) = adjoint_sample_gradient(
+                    model,
+                    &adjoint,
+                    params,
+                    &features[i],
+                    labels[i],
+                    &mut grad,
+                );
+                (loss, grad, executions)
+            })
+        }
+        GradientMethod::ParameterShift => {
+            let program = Program::compile(model.circuit());
+            par_map(&indices, |&i| {
+                ps_sample_gradient(model, &program, params, &features[i], labels[i])
+            })
+        }
+    };
     let mut loss = 0.0;
     let mut gradient = vec![0.0; params.len()];
     let mut executions = 0u64;
@@ -253,21 +296,19 @@ thread_local! {
     });
 }
 
-/// [`sample_gradient`] for the fused cohort path: the forward state `psi`
-/// has already been produced by the multi-program dispatch, and the
+/// [`ps_sample_gradient`] for the fused cohort path: the forward state
+/// `psi` has already been produced by the multi-program dispatch, and the
 /// gradient is written into `grad_out` (the caller's arena slice) instead
 /// of a fresh vector. Every float op runs in the same order on the same
-/// values as [`sample_gradient`], so the loss and gradient are bit-for-bit
-/// identical; with [`GradientMethod::Adjoint`] the steady state performs no
-/// heap allocation.
+/// values as [`ps_sample_gradient`], so the loss and gradient are
+/// bit-for-bit identical.
 #[allow(clippy::too_many_arguments)]
-fn cohort_sample_gradient(
+fn ps_cohort_sample_gradient(
     model: &QuantumClassifier,
     program: &Program,
     params: &[f64],
     features: &[f64],
     label: usize,
-    method: GradientMethod,
     psi: &StateVector,
     grad_out: &mut [f64],
 ) -> (f64, u64) {
@@ -277,64 +318,46 @@ fn cohort_sample_gradient(
         model.logits_from_expectations_into(&s.expectations, &mut s.logits);
         let loss = cross_entropy_into(&s.logits, label, &mut s.dlogits);
         model.observable_weights_into(&s.dlogits, &mut s.weights);
-        match method {
-            GradientMethod::Adjoint => {
-                s.obs.reset_terms(s.weights.iter().copied());
-                adjoint_gradient_into(model.circuit(), params, features, &s.obs, &mut s.g);
-                grad_out[..params.len()].copy_from_slice(&s.g.params);
-                (loss, 1)
+        let grad = &mut grad_out[..params.len()];
+        grad.fill(0.0);
+        let mut executions = 1u64; // the forward pass
+        for (i, g) in grad.iter_mut().enumerate() {
+            usage_sites_into(model, i, &mut s.sites);
+            if s.sites.is_empty() {
+                continue;
             }
-            GradientMethod::ParameterShift => {
-                let grad = &mut grad_out[..params.len()];
-                grad.fill(0.0);
-                let mut executions = 1u64; // the forward pass
-                for (i, g) in grad.iter_mut().enumerate() {
-                    usage_sites_into(model, i, &mut s.sites);
-                    if s.sites.is_empty() {
-                        continue;
-                    }
-                    let single_plain_site = s.sites.len() == 1
-                        && (s.sites[0].1.abs() - 1.0).abs() < 1e-12
-                        && shift_rule(model.circuit().instructions()[s.sites[0].0].gate)
-                            .is_some();
-                    if single_plain_site {
-                        let gate = model.circuit().instructions()[s.sites[0].0].gate;
-                        let rule = shift_rule(gate).expect("checked above");
-                        let sign = s.sites[0].1; // +1 or -1
-                        for &(shift, coeff) in rule {
-                            s.shifted_plus.clear();
-                            s.shifted_plus.extend_from_slice(params);
-                            s.shifted_plus[i] += sign * shift;
-                            *g += sign * coeff
-                                * weighted_expectation(
-                                    program,
-                                    &s.shifted_plus,
-                                    features,
-                                    &s.weights,
-                                );
-                            executions += 1;
-                        }
-                    } else {
-                        // Shared or scaled parameter: central difference
-                        // (still two executions, like a shift).
-                        let h = 1e-4;
-                        s.shifted_plus.clear();
-                        s.shifted_plus.extend_from_slice(params);
-                        s.shifted_minus.clear();
-                        s.shifted_minus.extend_from_slice(params);
-                        s.shifted_plus[i] += h;
-                        s.shifted_minus[i] -= h;
-                        let ep =
-                            weighted_expectation(program, &s.shifted_plus, features, &s.weights);
-                        let em =
-                            weighted_expectation(program, &s.shifted_minus, features, &s.weights);
-                        *g += (ep - em) / (2.0 * h);
-                        executions += 2;
-                    }
+            let single_plain_site = s.sites.len() == 1
+                && (s.sites[0].1.abs() - 1.0).abs() < 1e-12
+                && shift_rule(model.circuit().instructions()[s.sites[0].0].gate).is_some();
+            if single_plain_site {
+                let gate = model.circuit().instructions()[s.sites[0].0].gate;
+                let rule = shift_rule(gate).expect("checked above");
+                let sign = s.sites[0].1; // +1 or -1
+                for &(shift, coeff) in rule {
+                    s.shifted_plus.clear();
+                    s.shifted_plus.extend_from_slice(params);
+                    s.shifted_plus[i] += sign * shift;
+                    *g += sign * coeff
+                        * weighted_expectation(program, &s.shifted_plus, features, &s.weights);
+                    executions += 1;
                 }
-                (loss, executions)
+            } else {
+                // Shared or scaled parameter: central difference
+                // (still two executions, like a shift).
+                let h = 1e-4;
+                s.shifted_plus.clear();
+                s.shifted_plus.extend_from_slice(params);
+                s.shifted_minus.clear();
+                s.shifted_minus.extend_from_slice(params);
+                s.shifted_plus[i] += h;
+                s.shifted_minus[i] -= h;
+                let ep = weighted_expectation(program, &s.shifted_plus, features, &s.weights);
+                let em = weighted_expectation(program, &s.shifted_minus, features, &s.weights);
+                *g += (ep - em) / (2.0 * h);
+                executions += 2;
             }
         }
+        (loss, executions)
     })
 }
 
@@ -350,14 +373,22 @@ fn cohort_sample_gradient(
 /// `out` have grown to capacity the steady state performs no heap
 /// allocation (with [`GradientMethod::Adjoint`]).
 ///
+/// With [`GradientMethod::Adjoint`] each pair streams through its member's
+/// pre-compiled [`AdjointProgram`] (forward, loss hook, backward in one
+/// pass); with [`GradientMethod::ParameterShift`] the multi-program
+/// dispatch produces the forward states and shifted evaluations follow.
+/// Both run through the engine's work-stealing pool.
+///
 /// # Panics
 ///
-/// Panics if `models`, `multi`, and `params` disagree on the cohort size,
-/// if features/labels lengths differ, or if an item indexes out of range.
+/// Panics if `models`, `multi`, `adjoints`, and `params` disagree on the
+/// cohort size, if features/labels lengths differ, or if an item indexes
+/// out of range.
 #[allow(clippy::too_many_arguments)]
 pub fn cohort_batch_gradients(
     models: &[QuantumClassifier],
     multi: &MultiProgram,
+    adjoints: &[AdjointProgram],
     params: &[Vec<f64>],
     features: &[Vec<f64>],
     labels: &[usize],
@@ -367,24 +398,54 @@ pub fn cohort_batch_gradients(
     out: &mut Vec<(f64, u64)>,
 ) -> usize {
     assert_eq!(models.len(), multi.len(), "model/program mismatch");
+    assert_eq!(models.len(), adjoints.len(), "model/adjoint mismatch");
     assert_eq!(models.len(), params.len(), "model/params mismatch");
     assert_eq!(features.len(), labels.len(), "feature/label mismatch");
     let stride = params.iter().map(Vec::len).max().unwrap_or(0).max(1);
     arena.clear();
     arena.resize(items.len() * stride, 0.0);
-    multi.batch_execute_multi(params, features, items, arena, stride, out, |_, item, psi, slice| {
-        let m = item.member as usize;
-        cohort_sample_gradient(
-            &models[m],
-            multi.program(m),
-            &params[m],
-            &features[item.sample as usize],
-            labels[item.sample as usize],
-            method,
-            psi,
-            slice,
-        )
-    });
+    match method {
+        GradientMethod::Adjoint => {
+            for item in items {
+                assert!((item.member as usize) < models.len(), "member out of range");
+                assert!((item.sample as usize) < features.len(), "sample out of range");
+            }
+            par_items_with_arena(items.len(), arena, stride, out, |i, slice| {
+                let item = &items[i];
+                let m = item.member as usize;
+                adjoint_sample_gradient(
+                    &models[m],
+                    &adjoints[m],
+                    &params[m],
+                    &features[item.sample as usize],
+                    labels[item.sample as usize],
+                    slice,
+                )
+            });
+        }
+        GradientMethod::ParameterShift => {
+            multi.batch_execute_multi(
+                params,
+                features,
+                items,
+                arena,
+                stride,
+                out,
+                |_, item, psi, slice| {
+                    let m = item.member as usize;
+                    ps_cohort_sample_gradient(
+                        &models[m],
+                        multi.program(m),
+                        &params[m],
+                        &features[item.sample as usize],
+                        labels[item.sample as usize],
+                        psi,
+                        slice,
+                    )
+                },
+            );
+        }
+    }
     stride
 }
 

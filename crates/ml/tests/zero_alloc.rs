@@ -17,7 +17,7 @@
 
 use elivagar_circuit::{Circuit, Gate, ParamExpr};
 use elivagar_ml::{cohort_batch_gradients, init_params, Adam, GradientMethod, QuantumClassifier};
-use elivagar_sim::{MultiItem, MultiProgram};
+use elivagar_sim::{AdjointProgram, MultiItem, MultiProgram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -86,6 +86,8 @@ fn steady_state_cohort_minibatch_does_not_allocate() {
 
     let models = [layered_model(2, 1), layered_model(3, 2), layered_model(2, 2)];
     let multi = MultiProgram::compile(models.iter().map(|m| m.circuit()));
+    let adjoints: Vec<AdjointProgram> =
+        models.iter().map(|m| AdjointProgram::compile(m.circuit())).collect();
     let features: Vec<Vec<f64>> =
         (0..16).map(|i| vec![0.1 * i as f64 - 0.8, 0.05 * i as f64]).collect();
     let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
@@ -116,7 +118,8 @@ fn steady_state_cohort_minibatch_does_not_allocate() {
                         out: &mut Vec<(f64, u64)>,
                         grad: &mut Vec<f64>| {
             let stride = cohort_batch_gradients(
-                &models, &multi, params, &features, &labels, &items, method, arena, out,
+                &models, &multi, &adjoints, params, &features, &labels, &items, method, arena,
+                out,
             );
             let mut acc = 0.0;
             for (m, p) in params.iter_mut().enumerate() {

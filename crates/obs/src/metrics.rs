@@ -238,6 +238,12 @@ counters! {
     ENGINE_BATCHES => "engine.batches";
     /// Samples executed across all engine batches.
     ENGINE_SAMPLES => "engine.samples";
+    /// Fused static ops executed by the engine (one per op per state
+    /// application, after compile/bind/per-sample fusion).
+    ENGINE_FUSED_OPS => "engine.fused_ops";
+    /// Cache tiles processed by blocked sweeps (one per tile per
+    /// tile-local op run; zero for states no larger than one tile).
+    ENGINE_TILES => "engine.tiles";
     /// Candidate evaluations performed by baseline searches
     /// (QuantumSupernet, QuantumNAS).
     BASELINE_EVALS => "baselines.evals";
@@ -304,6 +310,9 @@ histograms! {
     CHECKPOINT_SAVE_NS => "checkpoint_save";
     /// Engine batch execution latency (ns).
     ENGINE_BATCH_NS => "engine_batch";
+    /// Gate-fusion pass latency (ns): one compile/bind fusion or one
+    /// per-sample dynamic re-fusion through the recycled scratch.
+    FUSION_NS => "fusion";
     /// Per-block latency of the Pauli-frame engine (ns): one 64-lane
     /// propagation through the compiled step stream.
     FRAME_BLOCK_NS => "frame_block";

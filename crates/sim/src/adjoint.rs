@@ -8,10 +8,11 @@
 //! sweeps instead of the O(P) circuit executions of the parameter-shift
 //! rule.
 
+use crate::engine;
 use crate::statevector::StateVector;
 use crate::workspace;
 use elivagar_circuit::math::{C64, Mat2, Mat4};
-use elivagar_circuit::{Circuit, Instruction, ParamSource};
+use elivagar_circuit::{Circuit, Gate, Instruction, ParamExpr, ParamSource};
 
 /// A weighted sum of single-qubit Pauli-Z terms, `O = sum_k w_k Z_{q_k}`.
 ///
@@ -355,6 +356,295 @@ enum SinkKind {
     Feature(usize),
 }
 
+/// One operation of a compiled adjoint program: fused static blocks carry
+/// their dagger precomputed (the backward pass reuses it on both `psi` and
+/// `lambda`), parametric gates stay symbolic and act as fusion barriers.
+#[derive(Clone, Debug)]
+enum AdjOp {
+    One { q: usize, md: Mat2 },
+    Two { qa: usize, qb: usize, md: Mat4 },
+    Dyn1 { q: usize, gate: Gate, params: Vec<ParamExpr> },
+    Dyn2 { qa: usize, qb: usize, gate: Gate, params: Vec<ParamExpr> },
+}
+
+/// A circuit compiled for streamed adjoint differentiation.
+///
+/// The instruction stream is run through the engine's gate fuser once at
+/// compile time, so every static stretch of the circuit becomes a single
+/// fused block with its dagger precomputed. The forward and backward
+/// sweeps then execute through the same fused kernels as
+/// [`Program::run`](crate::Program::run), and gradient terms are formed by
+/// the one-pass bilinear kernels (`2 Re <lambda| dU |psi>`) instead of
+/// materializing `dU |psi>` — three full state sweeps per parameter slot
+/// collapse into one.
+///
+/// Compile once per circuit, then call [`AdjointProgram::run_adjoint_with`]
+/// (or the [`AdjointProgram::gradient_into`] convenience) per sample; a
+/// warmed-up call performs no heap allocation.
+#[derive(Clone, Debug)]
+pub struct AdjointProgram {
+    num_qubits: usize,
+    amplitude_embedding: bool,
+    /// The fused op stream as [`Program`](crate::Program) executes it —
+    /// the forward sweep runs through [`engine::apply_ops`] (including
+    /// the angles-known re-fusion pass), so the pre-backward state is
+    /// bit-identical to `Program::run`'s.
+    forward: Vec<engine::Op>,
+    /// The same stream with per-block daggers precomputed, walked in
+    /// reverse by the backward sweep.
+    ops: Vec<AdjOp>,
+    /// Lowest op index whose backward visit can contribute a gradient
+    /// term (the first dynamic op with a slot this program differentiates
+    /// — see [`AdjointProgram::feature_grads`]). Once the backward sweep
+    /// passes it, `psi` and `lambda` are dead and the remaining rollback
+    /// sweeps are skipped.
+    stop: usize,
+    /// Whether feature slots are differentiated. [`AdjointProgram::compile`]
+    /// sets this; [`AdjointProgram::compile_params_only`] clears it, which
+    /// skips the bilinear pass for every feature-sourced slot and lets
+    /// `stop` rise past trailing feature-embedding stretches.
+    feature_grads: bool,
+}
+
+impl AdjointProgram {
+    /// Fuses a circuit into a streamed-adjoint program differentiating
+    /// every trainable parameter and input feature.
+    pub fn compile(circuit: &Circuit) -> Self {
+        Self::compile_inner(circuit, true)
+    }
+
+    /// Fuses a circuit into a streamed-adjoint program differentiating
+    /// trainable parameters only: `out.features` comes back all-zero and
+    /// no backward work is spent on feature-sourced slots. Trainable
+    /// gradients are bit-identical to [`AdjointProgram::compile`]'s. The
+    /// classifier training paths use this — they never read feature
+    /// gradients, and data-embedding gates are pure overhead there.
+    pub fn compile_params_only(circuit: &Circuit) -> Self {
+        Self::compile_inner(circuit, false)
+    }
+
+    fn compile_inner(circuit: &Circuit, feature_grads: bool) -> Self {
+        let items = engine::classify_items(circuit);
+        let forward = engine::fuse(circuit.num_qubits(), items);
+        let ops: Vec<AdjOp> = forward
+            .iter()
+            .map(|op| match op.clone() {
+                engine::Op::One { q, m } => AdjOp::One { q, md: m.dagger() },
+                engine::Op::Two { qa, qb, m } => AdjOp::Two { qa, qb, md: m.dagger() },
+                engine::Op::Dyn1 { q, gate, params } => AdjOp::Dyn1 { q, gate, params },
+                engine::Op::Dyn2 { qa, qb, gate, params } => AdjOp::Dyn2 { qa, qb, gate, params },
+            })
+            .collect();
+        let differentiated = |e: &ParamExpr| {
+            if feature_grads {
+                !matches!(e.source, ParamSource::Constant(_))
+            } else {
+                matches!(e.source, ParamSource::Trainable(_))
+            }
+        };
+        let stop = ops
+            .iter()
+            .position(|op| match op {
+                AdjOp::Dyn1 { params, .. } | AdjOp::Dyn2 { params, .. } => {
+                    params.iter().any(differentiated)
+                }
+                AdjOp::One { .. } | AdjOp::Two { .. } => false,
+            })
+            .unwrap_or(ops.len());
+        AdjointProgram {
+            num_qubits: circuit.num_qubits(),
+            amplitude_embedding: circuit.amplitude_embedding(),
+            forward,
+            ops,
+            stop,
+            feature_grads,
+        }
+    }
+
+    /// Number of qubits in the compiled circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// One streamed adjoint pass with a caller hook between the forward
+    /// sweep and the backward sweep.
+    ///
+    /// `prepare` receives the final forward state and a mutable borrow of
+    /// the observable; classifier losses use it to compute per-class
+    /// expectations / loss weights from `psi` and rebuild the effective
+    /// observable in place (via [`ZObservable::reset_terms`]) — the
+    /// separate forward execution the old path needed for that disappears.
+    /// Whatever `prepare` returns is returned to the caller.
+    ///
+    /// After `prepare`, `out.expectation` is set to `<psi|O|psi>` for the
+    /// (possibly updated) observable and `out.params` / `out.features`
+    /// receive the gradients, exactly as [`adjoint_gradient_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references out-of-range parameters/features,
+    /// or if an observable qubit is out of range.
+    pub fn run_adjoint_with<T>(
+        &self,
+        params: &[f64],
+        features: &[f64],
+        observable: &mut ZObservable,
+        prepare: impl FnOnce(&StateVector, &mut ZObservable) -> T,
+        out: &mut Gradients,
+    ) -> T {
+        let parallel = self.num_qubits >= engine::AMPLITUDE_PAR_MIN_QUBITS;
+        // Forward pass: the exact `Program::run` execution — fused blocks,
+        // angles-known re-fusion of dynamic stretches, cache-blocked
+        // sweeps — so the state handed to `prepare` is bit-identical to a
+        // plain forward execute.
+        let mut psi = if self.amplitude_embedding {
+            workspace::acquire_embedded(self.num_qubits, features)
+        } else {
+            workspace::acquire_zero(self.num_qubits)
+        };
+        engine::apply_ops(&mut psi, &self.forward, self.num_qubits, params, features);
+
+        let result = prepare(&psi, observable);
+        out.expectation = observable.expectation(&psi);
+        let mut lambda = workspace::acquire_copy(&psi);
+        observable.apply_in_place(&mut lambda);
+        out.params.clear();
+        out.params.resize(params.len(), 0.0);
+        out.features.clear();
+        out.features.resize(features.len(), 0.0);
+
+        for (idx, op) in self.ops.iter().enumerate().rev() {
+            // Below `stop` no op can contribute a gradient term, so the
+            // remaining rollback of `psi`/`lambda` is dead work. At `stop`
+            // itself `lambda` is dead after the bilinear terms.
+            if idx < self.stop {
+                break;
+            }
+            let last = idx == self.stop;
+            match op {
+                AdjOp::One { q, md, .. } => {
+                    engine::apply_fused1(&mut psi, *q, md, parallel);
+                    engine::apply_fused1(&mut lambda, *q, md, parallel);
+                }
+                AdjOp::Two { qa, qb, md, .. } => {
+                    engine::apply_fused2(&mut psi, *qa, *qb, md, parallel);
+                    engine::apply_fused2(&mut lambda, *qa, *qb, md, parallel);
+                }
+                AdjOp::Dyn1 { q, gate, params: exprs } => {
+                    let values = engine::resolve_values(exprs, params, features);
+                    let values = &values[..exprs.len()];
+                    let ud = gate.matrix1(values).dagger();
+                    // psi_{k-1} = U_k^dagger psi_k.
+                    engine::apply_fused1(&mut psi, *q, &ud, parallel);
+                    for (slot, expr) in exprs.iter().enumerate() {
+                        let mut sinks = [(SinkKind::Param(0), 0.0); 2];
+                        let num_sinks =
+                            classify_sinks(expr, features, self.feature_grads, &mut sinks);
+                        if num_sinks == 0 {
+                            continue;
+                        }
+                        // 2 Re <lambda_k | dU_k | psi_{k-1}> in one pass.
+                        let g = 2.0 * lambda.bilinear_mat1(&psi, *q, &dmat1(*gate, values, slot));
+                        accumulate_sinks(&sinks[..num_sinks], g, out);
+                    }
+                    // lambda_{k-1} = U_k^dagger lambda_k.
+                    if !last {
+                        engine::apply_fused1(&mut lambda, *q, &ud, parallel);
+                    }
+                }
+                AdjOp::Dyn2 { qa, qb, gate, params: exprs } => {
+                    let values = engine::resolve_values(exprs, params, features);
+                    let values = &values[..exprs.len()];
+                    let ud = gate.matrix2(values).dagger();
+                    engine::apply_fused2(&mut psi, *qa, *qb, &ud, parallel);
+                    for (slot, expr) in exprs.iter().enumerate() {
+                        let mut sinks = [(SinkKind::Param(0), 0.0); 2];
+                        let num_sinks =
+                            classify_sinks(expr, features, self.feature_grads, &mut sinks);
+                        if num_sinks == 0 {
+                            continue;
+                        }
+                        let g = 2.0
+                            * lambda.bilinear_mat2(&psi, *qa, *qb, &dmat2(*gate, values, slot));
+                        accumulate_sinks(&sinks[..num_sinks], g, out);
+                    }
+                    if !last {
+                        engine::apply_fused2(&mut lambda, *qa, *qb, &ud, parallel);
+                    }
+                }
+            }
+        }
+
+        workspace::release_state(lambda);
+        workspace::release_state(psi);
+        result
+    }
+
+    /// Streamed-adjoint gradient into a caller-provided [`Gradients`]
+    /// (the fixed-observable convenience over
+    /// [`AdjointProgram::run_adjoint_with`]).
+    pub fn gradient_into(
+        &self,
+        params: &[f64],
+        features: &[f64],
+        observable: &ZObservable,
+        out: &mut Gradients,
+    ) {
+        let mut obs = observable.clone();
+        self.run_adjoint_with(params, features, &mut obs, |_, _| (), out);
+    }
+
+    /// Allocating convenience wrapper over [`AdjointProgram::gradient_into`].
+    pub fn gradient(&self, params: &[f64], features: &[f64], observable: &ZObservable) -> Gradients {
+        let mut out = Gradients {
+            expectation: 0.0,
+            params: Vec::new(),
+            features: Vec::new(),
+        };
+        self.gradient_into(params, features, observable, &mut out);
+        out
+    }
+}
+
+/// Expands a parameter expression into its gradient sinks (chain-rule
+/// scales included); returns how many of the two slots are used. With
+/// `feature_grads` off, feature-sourced expressions yield no sinks so the
+/// caller skips their bilinear pass entirely.
+#[inline]
+fn classify_sinks(
+    expr: &ParamExpr,
+    features: &[f64],
+    feature_grads: bool,
+    sinks: &mut [(SinkKind, f64); 2],
+) -> usize {
+    match expr.source {
+        ParamSource::Trainable(i) => {
+            sinks[0] = (SinkKind::Param(i), expr.scale);
+            1
+        }
+        ParamSource::Feature(i) if feature_grads => {
+            sinks[0] = (SinkKind::Feature(i), expr.scale);
+            1
+        }
+        ParamSource::FeatureProduct(i, j) if feature_grads => {
+            sinks[0] = (SinkKind::Feature(i), expr.scale * features[j]);
+            sinks[1] = (SinkKind::Feature(j), expr.scale * features[i]);
+            2
+        }
+        _ => 0,
+    }
+}
+
+#[inline]
+fn accumulate_sinks(sinks: &[(SinkKind, f64)], g: f64, out: &mut Gradients) {
+    for &(sink, chain) in sinks {
+        match sink {
+            SinkKind::Param(i) => out.params[i] += g * chain,
+            SinkKind::Feature(i) => out.features[i] += g * chain,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +778,104 @@ mod tests {
         let g = adjoint_gradient(&c, &[theta], &[], &obs);
         assert!((g.expectation - theta.cos()).abs() < 1e-10);
         assert!((g.params[0] + theta.sin()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn streamed_adjoint_matches_reference_on_entangled_circuit() {
+        let mut c = Circuit::new(3);
+        c.push_gate(Gate::H, &[0], &[]);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::trainable(1)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Crz, &[1, 2], &[ParamExpr::trainable(2)]);
+        c.push_gate(Gate::Rz, &[2], &[ParamExpr::constant(0.3)]);
+        c.push_gate(
+            Gate::U3,
+            &[2],
+            &[
+                ParamExpr::trainable(3),
+                ParamExpr::feature(0),
+                ParamExpr::constant(0.2),
+            ],
+        );
+        c.push_gate(Gate::Rzz, &[0, 2], &[ParamExpr::feature_product(0, 1)]);
+        let params = [0.3, -0.8, 1.2, 0.5];
+        let features = [0.7, -0.2];
+        let obs = ZObservable::new(vec![(0, 0.5), (2, -1.25)]);
+        let reference = adjoint_gradient(&c, &params, &features, &obs);
+        let program = AdjointProgram::compile(&c);
+        let streamed = program.gradient(&params, &features, &obs);
+        assert!((streamed.expectation - reference.expectation).abs() < 1e-12);
+        for (i, (s, r)) in streamed.params.iter().zip(&reference.params).enumerate() {
+            assert!((s - r).abs() < 1e-10, "param {i}: streamed {s} vs reference {r}");
+        }
+        for (i, (s, r)) in streamed.features.iter().zip(&reference.features).enumerate() {
+            assert!((s - r).abs() < 1e-10, "feature {i}: streamed {s} vs reference {r}");
+        }
+    }
+
+    #[test]
+    fn params_only_compile_matches_full_trainable_gradients_bitwise() {
+        // Same circuit shape as the entangled test: feature slots mixed
+        // into trainable gates, a feature-product Rzz at the end. The
+        // params-only program must reproduce the trainable gradients to
+        // the bit while zeroing every feature gradient.
+        let mut c = Circuit::new(3);
+        c.push_gate(Gate::Rz, &[0], &[ParamExpr::feature(1)]);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Rx, &[1], &[ParamExpr::trainable(1)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        c.push_gate(Gate::Crz, &[1, 2], &[ParamExpr::trainable(2)]);
+        c.push_gate(
+            Gate::U3,
+            &[2],
+            &[
+                ParamExpr::trainable(3),
+                ParamExpr::feature(0),
+                ParamExpr::constant(0.2),
+            ],
+        );
+        c.push_gate(Gate::Rzz, &[0, 2], &[ParamExpr::feature_product(0, 1)]);
+        let params = [0.3, -0.8, 1.2, 0.5];
+        let features = [0.7, -0.2];
+        let obs = ZObservable::new(vec![(0, 0.5), (2, -1.25)]);
+        let full = AdjointProgram::compile(&c).gradient(&params, &features, &obs);
+        let po = AdjointProgram::compile_params_only(&c).gradient(&params, &features, &obs);
+        assert_eq!(po.expectation.to_bits(), full.expectation.to_bits());
+        assert_eq!(po.params.len(), full.params.len());
+        for (i, (p, f)) in po.params.iter().zip(&full.params).enumerate() {
+            assert_eq!(p.to_bits(), f.to_bits(), "param {i} must be bit-identical");
+        }
+        assert_eq!(po.features, vec![0.0; features.len()], "feature grads must be zeroed");
+    }
+
+    #[test]
+    fn run_adjoint_with_rebuilds_observable_from_forward_state() {
+        // The prepare hook swaps in a new effective observable; the
+        // gradient must be taken against the *updated* observable while
+        // the hook still sees the forward state.
+        let mut c = Circuit::new(2);
+        c.push_gate(Gate::Ry, &[0], &[ParamExpr::trainable(0)]);
+        c.push_gate(Gate::Cx, &[0, 1], &[]);
+        let params = [0.9];
+        let program = AdjointProgram::compile(&c);
+        let mut obs = ZObservable::z(0);
+        let mut out = Gradients { expectation: 0.0, params: vec![], features: vec![] };
+        let seen = program.run_adjoint_with(
+            &params,
+            &[],
+            &mut obs,
+            |psi, obs| {
+                let e = ZObservable::z(0).expectation(psi);
+                obs.reset_terms([(1usize, 2.0)]);
+                e
+            },
+            &mut out,
+        );
+        let reference = adjoint_gradient(&c, &params, &[], &ZObservable::new(vec![(1, 2.0)]));
+        assert!((seen - params[0].cos()).abs() < 1e-10);
+        assert!((out.expectation - reference.expectation).abs() < 1e-12);
+        assert!((out.params[0] - reference.params[0]).abs() < 1e-10);
     }
 
     #[test]

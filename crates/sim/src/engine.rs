@@ -33,11 +33,47 @@ use crate::statevector::StateVector;
 use crate::workspace;
 use elivagar_circuit::math::{C64, Mat2, Mat4};
 use elivagar_circuit::{Circuit, Gate, ParamExpr};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Minimum qubit count at which single-state execution splits amplitude
 /// blocks across threads. Below this, per-op thread scoping costs more
 /// than the arithmetic it parallelizes.
 pub const AMPLITUDE_PAR_MIN_QUBITS: usize = 16;
+
+/// Qubits per cache tile for blocked sweeps: `2^TILE_QUBITS` amplitudes
+/// (64 KiB of interleaved `f64` pairs) stay resident in L1/L2 while every
+/// tile-local fused op in a run is applied to them, turning k memory
+/// passes over the full state into one.
+pub const TILE_QUBITS: usize = 12;
+
+/// Process-wide fusion switch: 0 = unset (consult `ELIVAGAR_NO_FUSE`
+/// once), 1 = fusion on, 2 = fusion off.
+static FUSION_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether gate fusion and cache-blocked sweeps are enabled. Defaults to
+/// on; set the `ELIVAGAR_NO_FUSE` environment variable (to anything but
+/// `0` or empty) or call [`set_fusion_enabled`] to fall back to
+/// per-instruction full-state sweeps — the escape hatch behind the CLI's
+/// `--no-fuse` flag.
+pub fn fusion_enabled() -> bool {
+    match FUSION_MODE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var_os("ELIVAGAR_NO_FUSE")
+                .is_none_or(|v| v.is_empty() || v == "0");
+            FUSION_MODE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the fusion switch (see [`fusion_enabled`]). Programs compile
+/// against the switch's value at [`Program::compile`]/[`Program::bind`]
+/// time; already-compiled programs keep their op streams.
+pub fn set_fusion_enabled(on: bool) {
+    FUSION_MODE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
 
 /// Tallies a batch dispatch and starts its wall-time stopwatch; callers
 /// file the elapsed time into `ENGINE_BATCH_NS` when the batch drains.
@@ -52,7 +88,7 @@ const IDENTITY_TOL: f64 = 1e-14;
 
 /// One executable operation of a compiled program.
 #[derive(Clone, Debug)]
-enum Op {
+pub(crate) enum Op {
     /// A fused static single-qubit unitary.
     One { q: usize, m: Mat2 },
     /// A fused static two-qubit unitary; `qa` is the low subspace bit.
@@ -87,7 +123,7 @@ fn expand_high(u: &Mat2) -> Mat4 {
 /// Reorders a two-qubit unitary expressed on operands `(b, a)` into the
 /// `(a, b)` operand convention by conjugating with SWAP (indices 1 and 2
 /// exchange).
-fn swap_operands(m: &Mat4) -> Mat4 {
+pub(crate) fn swap_operands(m: &Mat4) -> Mat4 {
     const PERM: [usize; 4] = [0, 2, 1, 3];
     let mut out = [[C64::ZERO; 4]; 4];
     for (i, row) in out.iter_mut().enumerate() {
@@ -100,7 +136,7 @@ fn swap_operands(m: &Mat4) -> Mat4 {
 
 /// Fusion input: one instruction either resolved to a static unitary or
 /// kept symbolic.
-enum Item {
+pub(crate) enum Item {
     Static1(usize, Mat2),
     Static2(usize, usize, Mat4),
     Dyn1(usize, Gate, Vec<ParamExpr>),
@@ -124,17 +160,21 @@ enum Item {
 /// `ops`/`pending` buffers keep their capacity across samples — the
 /// steady-state fusion pass allocates nothing.
 #[derive(Default)]
-struct Fuser {
-    ops: Vec<Op>,
+pub(crate) struct Fuser {
+    pub(crate) ops: Vec<Op>,
     pending: Vec<Option<Mat2>>,
+    /// When set (the `--no-fuse` escape hatch), every item is emitted as
+    /// its own op: no coalescing, no absorption, no identity dropping.
+    passthrough: bool,
 }
 
 impl Fuser {
     /// Resets for a new instruction stream, keeping buffer capacity.
-    fn begin(&mut self, num_qubits: usize) {
+    pub(crate) fn begin(&mut self, num_qubits: usize) {
         self.ops.clear();
         self.pending.clear();
         self.pending.resize(num_qubits, None);
+        self.passthrough = !fusion_enabled();
     }
 
     fn flush(&mut self, q: usize) {
@@ -145,7 +185,16 @@ impl Fuser {
         }
     }
 
-    fn push(&mut self, item: Item) {
+    pub(crate) fn push(&mut self, item: Item) {
+        if self.passthrough {
+            self.ops.push(match item {
+                Item::Static1(q, m) => Op::One { q, m },
+                Item::Static2(qa, qb, m) => Op::Two { qa, qb, m },
+                Item::Dyn1(q, gate, params) => Op::Dyn1 { q, gate, params },
+                Item::Dyn2(qa, qb, gate, params) => Op::Dyn2 { qa, qb, gate, params },
+            });
+            return;
+        }
         match item {
             Item::Static1(q, m) => {
                 self.pending[q] = Some(match self.pending[q].take() {
@@ -199,7 +248,7 @@ impl Fuser {
 
     /// Flushes all pending single-qubit products; the op stream is
     /// complete afterwards.
-    fn finish(&mut self) {
+    pub(crate) fn finish(&mut self) {
         for q in 0..self.pending.len() {
             self.flush(q);
         }
@@ -208,14 +257,48 @@ impl Fuser {
 
 /// Folds a classified instruction stream into fused ops (the one-shot
 /// wrapper over [`Fuser`], used on the cold compile/bind paths).
-fn fuse(num_qubits: usize, items: Vec<Item>) -> Vec<Op> {
+pub(crate) fn fuse(num_qubits: usize, items: Vec<Item>) -> Vec<Op> {
+    let sw = elivagar_obs::metrics::Stopwatch::start();
     let mut fuser = Fuser::default();
     fuser.begin(num_qubits);
     for item in items {
         fuser.push(item);
     }
     fuser.finish();
+    sw.record(&elivagar_obs::metrics::FUSION_NS);
     fuser.ops
+}
+
+/// Classifies a circuit's instruction stream into fusion items:
+/// constant-angle gates resolve to static unitaries, everything else
+/// keeps its symbolic slots. Shared by [`Program::compile`] and the
+/// streamed-adjoint compiler.
+pub(crate) fn classify_items(circuit: &Circuit) -> Vec<Item> {
+    circuit
+        .instructions()
+        .iter()
+        .map(|ins| {
+            let constants: Option<Vec<f64>> =
+                ins.params.iter().map(|p| p.as_constant()).collect();
+            match constants {
+                Some(values) if ins.gate.num_qubits() == 1 => {
+                    Item::Static1(ins.qubits[0], ins.gate.matrix1(&values))
+                }
+                Some(values) => {
+                    Item::Static2(ins.qubits[0], ins.qubits[1], ins.gate.matrix2(&values))
+                }
+                None if ins.gate.num_qubits() == 1 => {
+                    Item::Dyn1(ins.qubits[0], ins.gate, ins.params.clone())
+                }
+                None => Item::Dyn2(
+                    ins.qubits[0],
+                    ins.qubits[1],
+                    ins.gate,
+                    ins.params.clone(),
+                ),
+            }
+        })
+        .collect()
 }
 
 thread_local! {
@@ -237,31 +320,7 @@ impl Program {
     /// Compiles a circuit: constant-angle gates become static unitaries and
     /// fuse; trainable/data-dependent gates stay symbolic.
     pub fn compile(circuit: &Circuit) -> Program {
-        let items = circuit
-            .instructions()
-            .iter()
-            .map(|ins| {
-                let constants: Option<Vec<f64>> =
-                    ins.params.iter().map(|p| p.as_constant()).collect();
-                match constants {
-                    Some(values) if ins.gate.num_qubits() == 1 => {
-                        Item::Static1(ins.qubits[0], ins.gate.matrix1(&values))
-                    }
-                    Some(values) => {
-                        Item::Static2(ins.qubits[0], ins.qubits[1], ins.gate.matrix2(&values))
-                    }
-                    None if ins.gate.num_qubits() == 1 => {
-                        Item::Dyn1(ins.qubits[0], ins.gate, ins.params.clone())
-                    }
-                    None => Item::Dyn2(
-                        ins.qubits[0],
-                        ins.qubits[1],
-                        ins.gate,
-                        ins.params.clone(),
-                    ),
-                }
-            })
-            .collect();
+        let items = classify_items(circuit);
         Program {
             num_qubits: circuit.num_qubits(),
             amplitude_embedding: circuit.amplitude_embedding(),
@@ -372,57 +431,148 @@ impl Program {
         }
     }
 
-    /// Applies all fused ops to `psi` in place.
-    ///
-    /// Programs still holding dynamic gates get a final fusion pass now
-    /// that every angle is known, so e.g. feature-embedding rotations are
-    /// absorbed into the entangling kernels instead of executing as
-    /// standalone barrier ops. The pass costs one 4x4 matrix product per
-    /// absorbed gate — negligible next to a kernel sweep over 2^n
-    /// amplitudes — and fully static programs skip it.
+    /// Applies all fused ops to `psi` in place (see [`apply_ops`]).
     fn apply(&self, psi: &mut StateVector, params: &[f64], features: &[f64]) {
-        let parallel_amps = self.num_qubits >= AMPLITUDE_PAR_MIN_QUBITS;
-        let has_dynamic = self
-            .ops
-            .iter()
-            .any(|op| matches!(op, Op::Dyn1 { .. } | Op::Dyn2 { .. }));
-        if !has_dynamic {
-            for op in &self.ops {
-                apply_static_op(psi, op, parallel_amps);
-            }
-            return;
+        apply_ops(psi, &self.ops, self.num_qubits, params, features);
+    }
+}
+
+/// Applies a fused op stream to `psi` in place.
+///
+/// Streams still holding dynamic gates get a final fusion pass now that
+/// every angle is known, so e.g. feature-embedding rotations are absorbed
+/// into the entangling kernels instead of executing as standalone barrier
+/// ops. The pass costs one 4x4 matrix product per absorbed gate —
+/// negligible next to a kernel sweep over 2^n amplitudes — and fully
+/// static streams skip it. Shared by [`Program::run`] and the streamed
+/// adjoint's forward sweep, so both produce bit-identical forward states.
+pub(crate) fn apply_ops(
+    psi: &mut StateVector,
+    ops: &[Op],
+    num_qubits: usize,
+    params: &[f64],
+    features: &[f64],
+) {
+    let parallel_amps = num_qubits >= AMPLITUDE_PAR_MIN_QUBITS;
+    let has_dynamic = ops
+        .iter()
+        .any(|op| matches!(op, Op::Dyn1 { .. } | Op::Dyn2 { .. }));
+    if !has_dynamic {
+        execute_static_ops(psi, ops, parallel_amps);
+        return;
+    }
+    // Re-fuse with every angle known, in the thread's recycled scratch:
+    // the op sequence is identical to a fresh `fuse` call (same logic,
+    // same order), but the steady state allocates nothing.
+    FUSE_SCRATCH.with(|cell| {
+        let mut fuser = cell.borrow_mut();
+        let sw = elivagar_obs::metrics::Stopwatch::start();
+        fuser.begin(num_qubits);
+        for op in ops {
+            let item = match op {
+                Op::One { q, m } => Item::Static1(*q, *m),
+                Op::Two { qa, qb, m } => Item::Static2(*qa, *qb, *m),
+                Op::Dyn1 { q, gate, params: p } => {
+                    let values = resolve_values(p, params, features);
+                    Item::Static1(*q, gate.matrix1(&values[..p.len()]))
+                }
+                Op::Dyn2 {
+                    qa,
+                    qb,
+                    gate,
+                    params: p,
+                } => {
+                    let values = resolve_values(p, params, features);
+                    Item::Static2(*qa, *qb, gate.matrix2(&values[..p.len()]))
+                }
+            };
+            fuser.push(item);
         }
-        // Re-fuse with every angle known, in the thread's recycled scratch:
-        // the op sequence is identical to a fresh `fuse` call (same logic,
-        // same order), but the steady state allocates nothing.
-        FUSE_SCRATCH.with(|cell| {
-            let mut fuser = cell.borrow_mut();
-            fuser.begin(self.num_qubits);
-            for op in &self.ops {
-                let item = match op {
-                    Op::One { q, m } => Item::Static1(*q, *m),
-                    Op::Two { qa, qb, m } => Item::Static2(*qa, *qb, *m),
-                    Op::Dyn1 { q, gate, params: p } => {
-                        let values = resolve_values(p, params, features);
-                        Item::Static1(*q, gate.matrix1(&values[..p.len()]))
+        fuser.finish();
+        sw.record(&elivagar_obs::metrics::FUSION_NS);
+        execute_static_ops(psi, &fuser.ops, parallel_amps);
+    });
+}
+
+/// The highest qubit a fully static op touches.
+fn static_max_qubit(op: &Op) -> usize {
+    match op {
+        Op::One { q, .. } => *q,
+        Op::Two { qa, qb, .. } => *qa.max(qb),
+        Op::Dyn1 { .. } | Op::Dyn2 { .. } => {
+            unreachable!("dynamic ops are resolved before application")
+        }
+    }
+}
+
+/// Executes a fully static op stream against `psi` with cache-blocked
+/// sweeps: maximal runs of ops that touch only qubits below
+/// [`TILE_QUBITS`] are applied tile by tile — every run op visits a
+/// `2^TILE_QUBITS`-amplitude tile while it is cache-resident before the
+/// sweep advances — and ops reaching higher qubits execute as full-state
+/// sweeps between runs. Tiles are disjoint and each butterfly is
+/// tile-local, so results are bit-identical to per-op full sweeps at any
+/// thread count.
+///
+/// States no larger than one tile (and the `--no-fuse` escape hatch) take
+/// the plain per-op path.
+pub(crate) fn execute_static_ops(psi: &mut StateVector, ops: &[Op], parallel: bool) {
+    elivagar_obs::metrics::ENGINE_FUSED_OPS.add(ops.len() as u64);
+    let num_qubits = psi.num_qubits();
+    if num_qubits <= TILE_QUBITS || !fusion_enabled() {
+        for op in ops {
+            apply_static_op(psi, op, parallel);
+        }
+        return;
+    }
+    let tile = 1usize << TILE_QUBITS;
+    let mut tiles = 0u64;
+    let mut i = 0;
+    while i < ops.len() {
+        let mut j = i;
+        while j < ops.len() && static_max_qubit(&ops[j]) < TILE_QUBITS {
+            j += 1;
+        }
+        if j > i {
+            let run = &ops[i..j];
+            tiles += (psi.amps_mut().len() / tile) as u64;
+            if parallel {
+                par_apply_blocks(psi.amps_mut(), tile, move |amps| {
+                    for op in run {
+                        apply_static_op_slice(amps, op);
                     }
-                    Op::Dyn2 {
-                        qa,
-                        qb,
-                        gate,
-                        params: p,
-                    } => {
-                        let values = resolve_values(p, params, features);
-                        Item::Static2(*qa, *qb, gate.matrix2(&values[..p.len()]))
+                });
+            } else {
+                for amps in psi.amps_mut().chunks_exact_mut(tile) {
+                    for op in run {
+                        apply_static_op_slice(amps, op);
                     }
-                };
-                fuser.push(item);
+                }
             }
-            fuser.finish();
-            for op in &fuser.ops {
-                apply_static_op(psi, op, parallel_amps);
-            }
-        });
+            i = j;
+        } else {
+            apply_static_op(psi, &ops[i], parallel);
+            i += 1;
+        }
+    }
+    elivagar_obs::metrics::ENGINE_TILES.add(tiles);
+}
+
+/// Applies one static op to an amplitude slice (a tile), routing exact
+/// diagonals to the dedicated diagonal kernels.
+fn apply_static_op_slice(amps: &mut [C64], op: &Op) {
+    match op {
+        Op::One { q, m } => match diag_of_mat2(m) {
+            Some(d) => apply_diag1_slice(amps, *q, &d),
+            None => apply_mat1_slice(amps, *q, m),
+        },
+        Op::Two { qa, qb, m } => match diag_of_mat4(m) {
+            Some(d) => apply_diag2_slice(amps, *qa, *qb, &d),
+            None => apply_mat2_slice(amps, *qa, *qb, m),
+        },
+        Op::Dyn1 { .. } | Op::Dyn2 { .. } => {
+            unreachable!("dynamic ops are resolved before application")
+        }
     }
 }
 
@@ -582,16 +732,8 @@ impl MultiProgram {
             assert!((item.member as usize) < self.programs.len(), "member out of range");
             assert!((item.sample as usize) < features_batch.len(), "sample out of range");
         }
-        let sw = record_batch(items.len());
-        let base = SendPtr(arena.as_mut_ptr());
-        par_map_index_into(items.len(), out, |i| {
+        par_items_with_arena(items.len(), arena, stride, out, |i, slice| {
             let item = items[i];
-            // SAFETY: item slices `i * stride .. (i+1) * stride` are
-            // disjoint, in-bounds (asserted above), each index is claimed
-            // exactly once by the runtime, and `arena` stays mutably
-            // borrowed for the whole region.
-            let slice =
-                unsafe { std::slice::from_raw_parts_mut(base.get().add(i * stride), stride) };
             let m = item.member as usize;
             self.programs[m].run_with(
                 &params[m],
@@ -599,14 +741,57 @@ impl MultiProgram {
                 |psi| post(i, item, psi, slice),
             )
         });
-        sw.record(&elivagar_obs::metrics::ENGINE_BATCH_NS);
     }
+}
+
+/// Work-stealing dispatch of `num_items` independent work items, each
+/// handed its disjoint `stride`-wide slice of `arena`; results land in
+/// `out` in item order. This is the arena-slicing core that
+/// [`MultiProgram::batch_execute_multi`] runs on, exposed so callers that
+/// drive their own execution per item (e.g. streamed adjoint gradients)
+/// batch through the same pool with the same obs accounting. With warmed
+/// capacities the dispatch performs no heap allocation beyond what `f`
+/// itself does; item results are index-addressed, so outputs are
+/// bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `arena` is shorter than `num_items * stride`.
+pub fn par_items_with_arena<T, F>(
+    num_items: usize,
+    arena: &mut [f64],
+    stride: usize,
+    out: &mut Vec<T>,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [f64]) -> T + Sync,
+{
+    assert!(
+        arena.len() >= num_items * stride,
+        "arena holds {} f64s, need {} ({} items x stride {})",
+        arena.len(),
+        num_items * stride,
+        num_items,
+        stride
+    );
+    let sw = record_batch(num_items);
+    let base = SendPtr(arena.as_mut_ptr());
+    par_map_index_into(num_items, out, |i| {
+        // SAFETY: item slices `i * stride .. (i+1) * stride` are
+        // disjoint, in-bounds (asserted above), each index is claimed
+        // exactly once by the runtime, and `arena` stays mutably
+        // borrowed for the whole region.
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(i * stride), stride) };
+        f(i, slice)
+    });
+    sw.record(&elivagar_obs::metrics::ENGINE_BATCH_NS);
 }
 
 /// Resolves up to three angle slots into a stack buffer (no gate takes
 /// more than three parameters, so dynamic ops never heap-allocate).
 #[inline]
-fn resolve_values(exprs: &[ParamExpr], params: &[f64], features: &[f64]) -> [f64; 3] {
+pub(crate) fn resolve_values(exprs: &[ParamExpr], params: &[f64], features: &[f64]) -> [f64; 3] {
     debug_assert!(exprs.len() <= 3, "gates take at most 3 parameters");
     let mut values = [0.0; 3];
     for (slot, e) in values.iter_mut().zip(exprs) {
@@ -624,6 +809,47 @@ fn apply_static_op(psi: &mut StateVector, op: &Op, parallel_amps: bool) {
         Op::Dyn1 { .. } | Op::Dyn2 { .. } => {
             unreachable!("dynamic ops are resolved before application")
         }
+    }
+}
+
+/// The diagonal of a single-qubit unitary whose off-diagonal entries are
+/// exactly zero (Rz/P/Z chains and their fusions), or `None`.
+#[inline]
+pub(crate) fn diag_of_mat2(m: &Mat2) -> Option<[C64; 2]> {
+    let zero = |c: C64| c.re == 0.0 && c.im == 0.0;
+    (zero(m.0[0][1]) && zero(m.0[1][0])).then(|| [m.0[0][0], m.0[1][1]])
+}
+
+/// The diagonal of a two-qubit unitary whose off-diagonal entries are
+/// exactly zero (CZ/CP/CRZ/RZZ chains and their fusions), or `None`.
+#[inline]
+pub(crate) fn diag_of_mat4(m: &Mat4) -> Option<[C64; 4]> {
+    for (r, row) in m.0.iter().enumerate() {
+        for (c, cell) in row.iter().enumerate() {
+            if r != c && (cell.re != 0.0 || cell.im != 0.0) {
+                return None;
+            }
+        }
+    }
+    Some([m.0[0][0], m.0[1][1], m.0[2][2], m.0[3][3]])
+}
+
+/// Applies a fused single-qubit unitary to the whole state, routing exact
+/// diagonals to the dedicated diagonal kernels. The streamed-adjoint
+/// forward/backward sweeps run through this.
+pub(crate) fn apply_fused1(psi: &mut StateVector, q: usize, m: &Mat2, parallel: bool) {
+    match diag_of_mat2(m) {
+        Some(d) => apply_diag1_state(psi, q, &d, parallel),
+        None => apply_mat1_state(psi, q, m, parallel),
+    }
+}
+
+/// Applies a fused two-qubit unitary to the whole state, routing exact
+/// diagonals to the dedicated diagonal kernels.
+pub(crate) fn apply_fused2(psi: &mut StateVector, qa: usize, qb: usize, m: &Mat4, parallel: bool) {
+    match diag_of_mat4(m) {
+        Some(d) => apply_diag2_state(psi, qa, qb, &d, parallel),
+        None => apply_mat2_state(psi, qa, qb, m, parallel),
     }
 }
 
@@ -703,6 +929,213 @@ mod simd {
                 _mm256_storeu_pd(ps.add(k), r1);
             }
         }
+    }
+
+    /// Diagonal single-qubit kernel: scales the clear/set halves of each
+    /// butterfly block by the two diagonal entries — one multiply per
+    /// amplitude, no cross terms. Requires `q >= 1` and `amps.len()` a
+    /// multiple of `2^(q+1)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (see [`available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn apply_diag1_slice(amps: &mut [C64], q: usize, d: &[C64; 2]) {
+        let re = [_mm256_set1_pd(d[0].re), _mm256_set1_pd(d[1].re)];
+        let im = [_mm256_set1_pd(d[0].im), _mm256_set1_pd(d[1].im)];
+        let stride = 1usize << q;
+        for block in amps.chunks_exact_mut(stride << 1) {
+            let (clear, set) = block.split_at_mut(stride);
+            let pc = clear.as_mut_ptr().cast::<f64>();
+            let ps = set.as_mut_ptr().cast::<f64>();
+            for k in (0..stride << 1).step_by(4) {
+                let a0 = _mm256_loadu_pd(pc.add(k));
+                let a1 = _mm256_loadu_pd(ps.add(k));
+                let s0 = _mm256_permute_pd(a0, 0b0101);
+                let s1 = _mm256_permute_pd(a1, 0b0101);
+                let r0 = _mm256_fmaddsub_pd(re[0], a0, _mm256_mul_pd(im[0], s0));
+                let r1 = _mm256_fmaddsub_pd(re[1], a1, _mm256_mul_pd(im[1], s1));
+                _mm256_storeu_pd(pc.add(k), r0);
+                _mm256_storeu_pd(ps.add(k), r1);
+            }
+        }
+    }
+
+    /// Diagonal two-qubit kernel: scales each of the four amplitude
+    /// quadrants by its diagonal entry. `d` is indexed `bit_qa + 2*bit_qb`
+    /// pre-normalization; requires `min(qa, qb) >= 1` and `amps.len()` a
+    /// multiple of `2^(max(qa,qb)+1)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (see [`available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn apply_diag2_slice(amps: &mut [C64], qa: usize, qb: usize, d: &[C64; 4]) {
+        let (lo, hi) = if qa < qb { (qa, qb) } else { (qb, qa) };
+        let nd = if qa < qb { *d } else { [d[0], d[2], d[1], d[3]] };
+        let re = [
+            _mm256_set1_pd(nd[0].re),
+            _mm256_set1_pd(nd[1].re),
+            _mm256_set1_pd(nd[2].re),
+            _mm256_set1_pd(nd[3].re),
+        ];
+        let im = [
+            _mm256_set1_pd(nd[0].im),
+            _mm256_set1_pd(nd[1].im),
+            _mm256_set1_pd(nd[2].im),
+            _mm256_set1_pd(nd[3].im),
+        ];
+        let sl = 1usize << lo;
+        for block in amps.chunks_exact_mut(1usize << (hi + 1)) {
+            let (h0, h1) = block.split_at_mut(1usize << hi);
+            for (sub0, sub1) in h0.chunks_exact_mut(sl << 1).zip(h1.chunks_exact_mut(sl << 1)) {
+                let (q0, q1) = sub0.split_at_mut(sl);
+                let (q2, q3) = sub1.split_at_mut(sl);
+                let p = [
+                    q0.as_mut_ptr().cast::<f64>(),
+                    q1.as_mut_ptr().cast::<f64>(),
+                    q2.as_mut_ptr().cast::<f64>(),
+                    q3.as_mut_ptr().cast::<f64>(),
+                ];
+                for k in (0..sl << 1).step_by(4) {
+                    for quad in 0..4 {
+                        let a = _mm256_loadu_pd(p[quad].add(k));
+                        let s = _mm256_permute_pd(a, 0b0101);
+                        let r = _mm256_fmaddsub_pd(re[quad], a, _mm256_mul_pd(im[quad], s));
+                        _mm256_storeu_pd(p[quad].add(k), r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sums all four lanes of `v` into one scalar.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (see [`available`]).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    /// `Re <lam| M_q |psi>` in one read-only pass: because `Re(conj(l)*f)
+    /// = l.re*f.re + l.im*f.im`, the interleaved layout reduces each
+    /// butterfly to an elementwise FMA into a running 4-lane accumulator,
+    /// summed once at the end. Requires `q >= 1` and both slices the same
+    /// length, a multiple of `2^(q+1)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (see [`available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn bilinear_mat1(lam: &[C64], psi: &[C64], q: usize, m: &Mat2) -> f64 {
+        let re = [
+            [_mm256_set1_pd(m.0[0][0].re), _mm256_set1_pd(m.0[0][1].re)],
+            [_mm256_set1_pd(m.0[1][0].re), _mm256_set1_pd(m.0[1][1].re)],
+        ];
+        let im = [
+            [_mm256_set1_pd(m.0[0][0].im), _mm256_set1_pd(m.0[0][1].im)],
+            [_mm256_set1_pd(m.0[1][0].im), _mm256_set1_pd(m.0[1][1].im)],
+        ];
+        let stride = 1usize << q;
+        let mut acc = _mm256_setzero_pd();
+        for (lb, pb) in lam.chunks_exact(stride << 1).zip(psi.chunks_exact(stride << 1)) {
+            let (lc, ls) = lb.split_at(stride);
+            let (pc, ps) = pb.split_at(stride);
+            let lpc = lc.as_ptr().cast::<f64>();
+            let lps = ls.as_ptr().cast::<f64>();
+            let ppc = pc.as_ptr().cast::<f64>();
+            let pps = ps.as_ptr().cast::<f64>();
+            for k in (0..stride << 1).step_by(4) {
+                let a0 = _mm256_loadu_pd(ppc.add(k));
+                let a1 = _mm256_loadu_pd(pps.add(k));
+                let s0 = _mm256_permute_pd(a0, 0b0101);
+                let s1 = _mm256_permute_pd(a1, 0b0101);
+                let zero = _mm256_setzero_pd();
+                let f0 =
+                    cmul_acc(cmul_acc(zero, re[0][0], im[0][0], a0, s0), re[0][1], im[0][1], a1, s1);
+                let f1 =
+                    cmul_acc(cmul_acc(zero, re[1][0], im[1][0], a0, s0), re[1][1], im[1][1], a1, s1);
+                acc = _mm256_fmadd_pd(_mm256_loadu_pd(lpc.add(k)), f0, acc);
+                acc = _mm256_fmadd_pd(_mm256_loadu_pd(lps.add(k)), f1, acc);
+            }
+        }
+        hsum(acc)
+    }
+
+    /// `Re <lam| M_{qa,qb} |psi>` in one read-only pass over the four
+    /// amplitude quadrants; the two-qubit sibling of [`bilinear_mat1`].
+    /// Requires `min(qa, qb) >= 1` and both slices the same length, a
+    /// multiple of `2^(max(qa,qb)+1)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (see [`available`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn bilinear_mat2(lam: &[C64], psi: &[C64], qa: usize, qb: usize, m: &Mat4) -> f64 {
+        let (lo, hi) = if qa < qb { (qa, qb) } else { (qb, qa) };
+        let normalized = if qa < qb { *m } else { swap_operands(m) };
+        let mut re = [[_mm256_setzero_pd(); 4]; 4];
+        let mut im = [[_mm256_setzero_pd(); 4]; 4];
+        for (i, (re_row, im_row)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+            for j in 0..4 {
+                re_row[j] = _mm256_set1_pd(normalized.0[i][j].re);
+                im_row[j] = _mm256_set1_pd(normalized.0[i][j].im);
+            }
+        }
+        let sl = 1usize << lo;
+        let mut acc = _mm256_setzero_pd();
+        for (lb, pb) in
+            lam.chunks_exact(1usize << (hi + 1)).zip(psi.chunks_exact(1usize << (hi + 1)))
+        {
+            let (lh0, lh1) = lb.split_at(1usize << hi);
+            let (ph0, ph1) = pb.split_at(1usize << hi);
+            for (((ls0, ls1), ps0), ps1) in lh0
+                .chunks_exact(sl << 1)
+                .zip(lh1.chunks_exact(sl << 1))
+                .zip(ph0.chunks_exact(sl << 1))
+                .zip(ph1.chunks_exact(sl << 1))
+            {
+                let (l0, l1) = ls0.split_at(sl);
+                let (l2, l3) = ls1.split_at(sl);
+                let (p0, p1) = ps0.split_at(sl);
+                let (p2, p3) = ps1.split_at(sl);
+                let lp = [
+                    l0.as_ptr().cast::<f64>(),
+                    l1.as_ptr().cast::<f64>(),
+                    l2.as_ptr().cast::<f64>(),
+                    l3.as_ptr().cast::<f64>(),
+                ];
+                let pp = [
+                    p0.as_ptr().cast::<f64>(),
+                    p1.as_ptr().cast::<f64>(),
+                    p2.as_ptr().cast::<f64>(),
+                    p3.as_ptr().cast::<f64>(),
+                ];
+                for k in (0..sl << 1).step_by(4) {
+                    let a = [
+                        _mm256_loadu_pd(pp[0].add(k)),
+                        _mm256_loadu_pd(pp[1].add(k)),
+                        _mm256_loadu_pd(pp[2].add(k)),
+                        _mm256_loadu_pd(pp[3].add(k)),
+                    ];
+                    let s = [
+                        _mm256_permute_pd(a[0], 0b0101),
+                        _mm256_permute_pd(a[1], 0b0101),
+                        _mm256_permute_pd(a[2], 0b0101),
+                        _mm256_permute_pd(a[3], 0b0101),
+                    ];
+                    for row in 0..4 {
+                        let mut f = _mm256_setzero_pd();
+                        for col in 0..4 {
+                            f = cmul_acc(f, re[row][col], im[row][col], a[col], s[col]);
+                        }
+                        acc = _mm256_fmadd_pd(_mm256_loadu_pd(lp[row].add(k)), f, acc);
+                    }
+                }
+            }
+        }
+        hsum(acc)
     }
 
     /// Two-qubit butterfly over the four amplitude quadrants. Requires
@@ -835,6 +1268,179 @@ fn apply_mat2_slice_scalar(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
             }
         }
     }
+}
+
+/// Applies a diagonal single-qubit unitary (`d = [d_clear, d_set]`) to a
+/// slice whose length is a multiple of `2^(q+1)`: one complex multiply
+/// per amplitude, half the memory traffic of the dense butterfly.
+fn apply_diag1_slice(amps: &mut [C64], q: usize, d: &[C64; 2]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if q >= 1 && simd::available() {
+            // SAFETY: `available()` confirmed AVX2+FMA at runtime and
+            // `q >= 1` satisfies the kernel's alignment contract.
+            unsafe { simd::apply_diag1_slice(amps, q, d) };
+            return;
+        }
+    }
+    apply_diag1_slice_scalar(amps, q, d);
+}
+
+fn apply_diag1_slice_scalar(amps: &mut [C64], q: usize, d: &[C64; 2]) {
+    let stride = 1usize << q;
+    for block in amps.chunks_exact_mut(stride << 1) {
+        let (clear, set) = block.split_at_mut(stride);
+        for (c, s) in clear.iter_mut().zip(set.iter_mut()) {
+            *c = d[0] * *c;
+            *s = d[1] * *s;
+        }
+    }
+}
+
+/// Applies a diagonal two-qubit unitary (`d` indexed `bit_qa + 2*bit_qb`)
+/// to a slice whose length is a multiple of `2^(max(qa,qb)+1)`.
+fn apply_diag2_slice(amps: &mut [C64], qa: usize, qb: usize, d: &[C64; 4]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if qa.min(qb) >= 1 && simd::available() {
+            // SAFETY: `available()` confirmed AVX2+FMA at runtime and
+            // `min(qa, qb) >= 1` satisfies the kernel's contract.
+            unsafe { simd::apply_diag2_slice(amps, qa, qb, d) };
+            return;
+        }
+    }
+    apply_diag2_slice_scalar(amps, qa, qb, d);
+}
+
+fn apply_diag2_slice_scalar(amps: &mut [C64], qa: usize, qb: usize, d: &[C64; 4]) {
+    let (lo, hi) = if qa < qb { (qa, qb) } else { (qb, qa) };
+    let nd = if qa < qb { *d } else { [d[0], d[2], d[1], d[3]] };
+    let sl = 1usize << lo;
+    for block in amps.chunks_exact_mut(1usize << (hi + 1)) {
+        let (h0, h1) = block.split_at_mut(1usize << hi);
+        for (sub0, sub1) in h0.chunks_exact_mut(sl << 1).zip(h1.chunks_exact_mut(sl << 1)) {
+            let (q0, q1) = sub0.split_at_mut(sl);
+            let (q2, q3) = sub1.split_at_mut(sl);
+            for (quad, dq) in [q0, q1, q2, q3].into_iter().zip(nd) {
+                for a in quad {
+                    *a = dq * *a;
+                }
+            }
+        }
+    }
+}
+
+/// `Re <lam| M_q |psi>` over matched amplitude slices — the read-only
+/// bilinear sibling of [`apply_mat1_slice`]. The streamed adjoint calls
+/// this once per gradient slot, so it shares the AVX2 butterfly kernels
+/// rather than the scalar accumulation loop.
+pub(crate) fn bilinear_mat1(lam: &[C64], psi: &[C64], q: usize, m: &Mat2) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if q >= 1 && simd::available() {
+            // SAFETY: `available()` confirmed AVX2+FMA at runtime and
+            // `q >= 1` satisfies the kernel's alignment contract.
+            return unsafe { simd::bilinear_mat1(lam, psi, q, m) };
+        }
+    }
+    bilinear_mat1_scalar(lam, psi, q, m)
+}
+
+fn bilinear_mat1_scalar(lam: &[C64], psi: &[C64], q: usize, m: &Mat2) -> f64 {
+    let stride = 1usize << q;
+    let [[m00, m01], [m10, m11]] = m.0;
+    let mut acc = 0.0;
+    for (lb, pb) in lam.chunks_exact(stride << 1).zip(psi.chunks_exact(stride << 1)) {
+        let (l0, l1) = lb.split_at(stride);
+        let (p0, p1) = pb.split_at(stride);
+        for ((lc, ls), (pc, ps)) in l0.iter().zip(l1).zip(p0.iter().zip(p1)) {
+            let f0 = m00 * *pc + m01 * *ps;
+            let f1 = m10 * *pc + m11 * *ps;
+            // Re(conj(l) * f) = l.re * f.re + l.im * f.im.
+            acc += lc.re * f0.re + lc.im * f0.im;
+            acc += ls.re * f1.re + ls.im * f1.im;
+        }
+    }
+    acc
+}
+
+/// `Re <lam| M_{qa,qb} |psi>` over matched amplitude slices (`qa` the low
+/// subspace bit); the two-qubit sibling of [`bilinear_mat1`].
+pub(crate) fn bilinear_mat2(lam: &[C64], psi: &[C64], qa: usize, qb: usize, m: &Mat4) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if qa.min(qb) >= 1 && simd::available() {
+            // SAFETY: `available()` confirmed AVX2+FMA at runtime and
+            // `min(qa, qb) >= 1` satisfies the kernel's contract.
+            return unsafe { simd::bilinear_mat2(lam, psi, qa, qb, m) };
+        }
+    }
+    bilinear_mat2_scalar(lam, psi, qa, qb, m)
+}
+
+fn bilinear_mat2_scalar(lam: &[C64], psi: &[C64], qa: usize, qb: usize, m: &Mat4) -> f64 {
+    let (lo, hi) = if qa < qb { (qa, qb) } else { (qb, qa) };
+    let normalized = if qa < qb { *m } else { swap_operands(m) };
+    let [[m00, m01, m02, m03], [m10, m11, m12, m13], [m20, m21, m22, m23], [m30, m31, m32, m33]] =
+        normalized.0;
+    let sl = 1usize << lo;
+    let mut acc = 0.0;
+    for (lb, pb) in lam.chunks_exact(1usize << (hi + 1)).zip(psi.chunks_exact(1usize << (hi + 1)))
+    {
+        let (lh0, lh1) = lb.split_at(1usize << hi);
+        let (ph0, ph1) = pb.split_at(1usize << hi);
+        for (((ls0, ls1), ps0), ps1) in lh0
+            .chunks_exact(sl << 1)
+            .zip(lh1.chunks_exact(sl << 1))
+            .zip(ph0.chunks_exact(sl << 1))
+            .zip(ph1.chunks_exact(sl << 1))
+        {
+            let (l0, l1) = ls0.split_at(sl);
+            let (l2, l3) = ls1.split_at(sl);
+            let (p0, p1) = ps0.split_at(sl);
+            let (p2, p3) = ps1.split_at(sl);
+            for i in 0..sl {
+                let (a0, a1, a2, a3) = (p0[i], p1[i], p2[i], p3[i]);
+                let f0 = m00 * a0 + m01 * a1 + m02 * a2 + m03 * a3;
+                let f1 = m10 * a0 + m11 * a1 + m12 * a2 + m13 * a3;
+                let f2 = m20 * a0 + m21 * a1 + m22 * a2 + m23 * a3;
+                let f3 = m30 * a0 + m31 * a1 + m32 * a2 + m33 * a3;
+                acc += l0[i].re * f0.re + l0[i].im * f0.im;
+                acc += l1[i].re * f1.re + l1[i].im * f1.im;
+                acc += l2[i].re * f2.re + l2[i].im * f2.im;
+                acc += l3[i].re * f3.re + l3[i].im * f3.im;
+            }
+        }
+    }
+    acc
+}
+
+/// [`apply_diag1_slice`] over a whole state, optionally split across
+/// threads for large states.
+fn apply_diag1_state(psi: &mut StateVector, q: usize, d: &[C64; 2], parallel: bool) {
+    if !parallel {
+        apply_diag1_slice(psi.amps_mut(), q, d);
+        return;
+    }
+    let block = 1usize << (q + 1);
+    let d = *d;
+    par_apply_blocks(psi.amps_mut(), block, move |amps| {
+        apply_diag1_slice(amps, q, &d);
+    });
+}
+
+/// [`apply_diag2_slice`] over a whole state, optionally split across
+/// threads for large states.
+fn apply_diag2_state(psi: &mut StateVector, qa: usize, qb: usize, d: &[C64; 4], parallel: bool) {
+    if !parallel {
+        apply_diag2_slice(psi.amps_mut(), qa, qb, d);
+        return;
+    }
+    let block = 1usize << (qa.max(qb) + 1);
+    let d = *d;
+    par_apply_blocks(psi.amps_mut(), block, move |amps| {
+        apply_diag2_slice(amps, qa, qb, &d);
+    });
 }
 
 /// Applies a single-qubit unitary, optionally splitting independent

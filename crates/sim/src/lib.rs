@@ -96,11 +96,14 @@ pub mod statevector;
 pub mod trajectory;
 pub mod workspace;
 
-pub use adjoint::{adjoint_gradient, adjoint_gradient_into, Gradients, ZObservable};
+pub use adjoint::{adjoint_gradient, adjoint_gradient_into, AdjointProgram, Gradients, ZObservable};
 pub use backend::{
     Backend, DensityMatrixBackend, StateVectorBackend, TrajectoryBackend,
 };
-pub use engine::{BoundProgram, MultiItem, MultiProgram, Program};
+pub use engine::{
+    fusion_enabled, par_items_with_arena, set_fusion_enabled, BoundProgram, MultiItem,
+    MultiProgram, Program, TILE_QUBITS,
+};
 pub use cancel::CancelToken;
 pub use clifford::{lower_instruction, run_clifford, LowerCliffordError};
 pub use density::DensityMatrix;

@@ -388,6 +388,35 @@ impl StateVector {
         e
     }
 
+    /// `Re <self| M_q |other>` in one pass: the matrix element of a
+    /// single-qubit operator between two states, accumulated in a fixed
+    /// serial order (deterministic at any thread count). The streamed
+    /// adjoint uses this for gradient terms `2 Re <lambda| dU |psi>`
+    /// without materializing `dU |psi>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `q` is out of range.
+    pub(crate) fn bilinear_mat1(&self, other: &StateVector, q: usize, m: &Mat2) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "dimension mismatch");
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        crate::engine::bilinear_mat1(&self.amps, &other.amps, q, m)
+    }
+
+    /// `Re <self| M_{qa,qb} |other>` in one pass (`qa` the low subspace
+    /// bit); the two-qubit sibling of [`StateVector::bilinear_mat1`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ, the qubits coincide, or either is out
+    /// of range.
+    pub(crate) fn bilinear_mat2(&self, other: &StateVector, qa: usize, qb: usize, m: &Mat4) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "dimension mismatch");
+        assert!(qa != qb, "two-qubit operator needs distinct qubits");
+        assert!(qa < self.num_qubits && qb < self.num_qubits, "qubit out of range");
+        crate::engine::bilinear_mat2(&self.amps, &other.amps, qa, qb, m)
+    }
+
     /// Inner product `<self|other>`.
     ///
     /// # Panics

@@ -1,0 +1,67 @@
+//! The `--no-fuse` escape hatch: with fusion disabled, compiled programs
+//! emit one op per instruction (no coalescing, no identity dropping, no
+//! cache-blocked sweeps) and still agree with the naive reference.
+//!
+//! Fusion enablement is process-global (`ELIVAGAR_NO_FUSE` /
+//! `set_fusion_enabled`), so this lives in its own test binary with a
+//! single `#[test]` — toggling the flag concurrently with other tests
+//! would race their compiled programs.
+
+use elivagar_circuit::{Circuit, Gate, ParamExpr};
+use elivagar_sim::{
+    adjoint_gradient, fusion_enabled, set_fusion_enabled, AdjointProgram, Program, StateVector,
+    ZObservable,
+};
+
+fn circuit() -> Circuit {
+    let mut c = Circuit::new(4);
+    for q in 0..4 {
+        c.push_gate(Gate::H, &[q], &[]);
+        c.push_gate(Gate::Rz, &[q], &[ParamExpr::constant(0.2 * q as f64 + 0.1)]);
+        c.push_gate(Gate::Ry, &[q], &[ParamExpr::trainable(q)]);
+    }
+    c.push_gate(Gate::Cx, &[0, 1], &[]);
+    c.push_gate(Gate::Cx, &[0, 1], &[]); // fuses to identity when enabled
+    c.push_gate(Gate::Crz, &[1, 2], &[ParamExpr::trainable(4)]);
+    c.push_gate(Gate::Rx, &[3], &[ParamExpr::feature(0)]);
+    c
+}
+
+#[test]
+fn disabling_fusion_preserves_results_and_op_counts() {
+    let c = circuit();
+    let params = [0.4, -0.9, 1.3, 0.2, 0.7];
+    let features = [0.6];
+    let reference = StateVector::run(&c, &params, &features);
+    let obs = ZObservable::new(vec![(0, 1.0), (2, -0.5)]);
+    let ref_grad = adjoint_gradient(&c, &params, &features, &obs);
+
+    assert!(fusion_enabled(), "fusion is on by default");
+    let fused = Program::compile(&c);
+
+    set_fusion_enabled(false);
+    assert!(!fusion_enabled());
+    let unfused = Program::compile(&c);
+    // Passthrough keeps every instruction as its own op; fusion collapses
+    // the static runs (and drops the Cx;Cx identity).
+    assert_eq!(unfused.num_ops(), c.instructions().len());
+    assert!(fused.num_ops() < unfused.num_ops());
+
+    let state = unfused.run(&params, &features);
+    for (a, r) in state.amplitudes().iter().zip(reference.amplitudes()) {
+        assert!(a.approx_eq(*r, 1e-12), "unfused state drifted: {a:?} vs {r:?}");
+    }
+    let grad = AdjointProgram::compile(&c).gradient(&params, &features, &obs);
+    assert!((grad.expectation - ref_grad.expectation).abs() < 1e-12);
+    for (g, r) in grad.params.iter().zip(&ref_grad.params) {
+        assert!((g - r).abs() < 1e-10, "unfused adjoint drifted: {g} vs {r}");
+    }
+
+    // Re-enabling restores coalescing for fresh compiles.
+    set_fusion_enabled(true);
+    assert_eq!(Program::compile(&c).num_ops(), fused.num_ops());
+    let refused = Program::compile(&c).run(&params, &features);
+    for (a, r) in refused.amplitudes().iter().zip(reference.amplitudes()) {
+        assert!(a.approx_eq(*r, 1e-12));
+    }
+}

@@ -113,6 +113,36 @@ if [ "$ranking_match" != "true" ]; then
   exit 1
 fi
 
+# Fused-block engine differential matrix: the ULP-bounded fused-vs-unfused
+# proptests, the --no-fuse escape hatch, and the zero-allocation
+# steady-state checks must hold at every pool size (the cache-blocked
+# sweeps and the re-fusion scratch are per-thread state).
+for t in 1 2 4; do
+  ELIVAGAR_THREADS="$t" run_counted "fusion differential @ $t threads" \
+    cargo test -q -p elivagar-sim --test fusion_differential --test no_fuse --test zero_alloc_fusion
+done
+run_counted "baseline scoring cache roundtrip" \
+  cargo test -q -p elivagar-baselines --test cache_roundtrip
+
+# Fused-block execution gate: the streamed adjoint must cut the
+# 32-sample minibatch gradient at least 2x against the pre-streaming
+# pipeline (a forward execute for the loss plus the reference adjoint's
+# three sweeps per parameter slot), with the per-sample loss ranking
+# unchanged — training sees the same landscape, only faster.
+cargo build --release -p elivagar-bench --bin bench_fusion
+./target/release/bench_fusion
+fusion_speedup="$(sed -n 's/.*"gradient_speedup":\([0-9.][0-9.]*\).*/\1/p' BENCH_fusion.json)"
+fusion_rank="$(sed -n 's/.*"ranking_match":\(true\|false\).*/\1/p' BENCH_fusion.json)"
+echo "verify: fused-engine gradient speedup ${fusion_speedup}x (ranking_match=${fusion_rank})"
+awk -v s="$fusion_speedup" 'BEGIN { exit !(s >= 2.0) }' || {
+  echo "verify: FAIL — streamed adjoint speedup ${fusion_speedup}x below the 2x gate" >&2
+  exit 1
+}
+if [ "$fusion_rank" != "true" ]; then
+  echo "verify: FAIL — streamed adjoint changed the per-sample loss ranking" >&2
+  exit 1
+fi
+
 # Result-cache throughput gate: a fully warm cache must cut the search's
 # wall time by at least 2x while selecting the bit-identical winner (the
 # binary compares cold, warm, and uncached runs before reporting).

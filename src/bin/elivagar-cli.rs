@@ -75,7 +75,8 @@ fn usage() -> ExitCode {
          [--candidates N] [--params N] [--epochs N] [--seed N] \
          [--strategy oneshot|nsga2] [--population N] [--generations N] \
          [--train-batch N] [--train-topk R] \
-         [--checkpoint FILE] [--resume FILE] [--cache DIR] [--stats] [--trace-out FILE]\n  \
+         [--checkpoint FILE] [--resume FILE] [--cache DIR] [--stats] [--trace-out FILE] \
+         [--no-fuse]\n  \
          elivagar-cli submit --spool DIR --id NAME [--benchmark <name>] [--device <name>] \
          [--tenant NAME] [--priority N] [--candidates N] [--seed N] \
          [--train-size N] [--test-size N] [--epochs N] [--slice-records N] \
@@ -87,6 +88,12 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Escape hatch for the fused-block engine: execute programs one op per
+    // instruction (also reachable via ELIVAGAR_NO_FUSE=1). Must be set
+    // before the first compile.
+    if args.iter().any(|a| a == "--no-fuse") {
+        elivagar_sim::set_fusion_enabled(false);
+    }
     match args.first().map(String::as_str) {
         Some("devices") => {
             for d in all_devices() {
